@@ -1,0 +1,45 @@
+package qxmap
+
+import (
+	"repro/internal/arch"
+	"repro/internal/qasm"
+)
+
+// QX4 returns the IBM QX4 ("Tenerife") 5-qubit architecture of paper
+// Fig. 2 — the evaluation target of the paper.
+func QX4() *Architecture { return arch.QX4() }
+
+// QX2 returns the IBM QX2 ("Yorktown") 5-qubit architecture.
+func QX2() *Architecture { return arch.QX2() }
+
+// QX5 returns the IBM QX5 ("Rueschlikon") 16-qubit architecture.
+func QX5() *Architecture { return arch.QX5() }
+
+// LinearArch returns a linear-nearest-neighbor architecture on m qubits.
+func LinearArch(m int) *Architecture { return arch.Linear(m) }
+
+// Melbourne returns the IBM Q 14 Melbourne architecture.
+func Melbourne() *Architecture { return arch.Melbourne() }
+
+// Tokyo returns the IBM Q 20 Tokyo architecture (bidirectional couplings).
+func Tokyo() *Architecture { return arch.Tokyo() }
+
+// ArchByName resolves an architecture name: "ibmqx2", "ibmqx4", "ibmqx5",
+// "melbourne", "tokyo", "linear<m>", "ring<m>", "grid<r>x<c>".
+func ArchByName(name string) (*Architecture, error) { return arch.ByName(name) }
+
+// NewArch builds a custom architecture from directed coupling pairs, each
+// [control, target].
+func NewArch(name string, m int, pairs [][2]int) (*Architecture, error) {
+	ps := make([]arch.Pair, len(pairs))
+	for i, p := range pairs {
+		ps[i] = arch.Pair{Control: p[0], Target: p[1]}
+	}
+	return arch.New(name, m, ps)
+}
+
+// ParseQASM reads an OpenQASM 2.0 program into a circuit.
+func ParseQASM(src string) (*Circuit, error) { return qasm.Parse(src) }
+
+// WriteQASM renders a circuit as an OpenQASM 2.0 program.
+func WriteQASM(c *Circuit) (string, error) { return qasm.Write(c) }

@@ -1,0 +1,64 @@
+// Command qxbench regenerates the paper's evaluation: Table 1 over the
+// 25-benchmark suite and the aggregate claims of §5.
+//
+// Usage:
+//
+//	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-runs 5]
+//	        [-names a,b,c] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+	"repro/internal/exact"
+)
+
+func main() {
+	archName := flag.String("arch", "ibmqx4", "target architecture")
+	engine := flag.String("engine", "dp", "exact engine: dp or sat")
+	seedSAT := flag.Bool("seed-sat", false, "seed SAT descent with the DP cost")
+	runs := flag.Int("runs", 5, "heuristic runs per benchmark (paper: 5)")
+	names := flag.String("names", "", "comma-separated benchmark subset (default: all 25)")
+	summaryOnly := flag.Bool("summary", false, "print only the aggregate summary")
+	parallel := flag.Bool("parallel", false, "evaluate benchmark rows concurrently")
+	flag.Parse()
+
+	a, err := arch.ByName(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{Arch: a, HeuristicRuns: *runs, SeedSATWithDP: *seedSAT, Parallel: *parallel}
+	switch *engine {
+	case "dp":
+		cfg.Engine = exact.EngineDP
+	case "sat":
+		cfg.Engine = exact.EngineSAT
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if *names != "" {
+		cfg.Names = strings.Split(*names, ",")
+	}
+
+	rows, err := bench.RunTable1(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*summaryOnly {
+		fmt.Println("Table 1 — mapping the benchmark suite to", a.Name(),
+			"(engine:", *engine+")")
+		fmt.Print(bench.FormatTable(rows))
+		fmt.Println()
+	}
+	fmt.Print(bench.FormatSummary(bench.Summary(rows)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qxbench:", err)
+	os.Exit(1)
+}

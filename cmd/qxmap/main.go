@@ -1,0 +1,135 @@
+// Command qxmap maps an OpenQASM 2.0 circuit to an IBM QX architecture
+// with the minimal number of SWAP and H operations.
+//
+// Usage:
+//
+//	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-runs 5]
+//	      [-render] [-o out.qasm] input.qasm
+//
+// With input "-", the program reads from standard input. The mapped
+// circuit is written as QASM to -o (default: stdout), preceded by a cost
+// report on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/render"
+
+	qxmap "repro"
+)
+
+func main() {
+	archName := flag.String("arch", "ibmqx4", "target architecture (ibmqx2, ibmqx4, ibmqx5, melbourne, tokyo, linear<m>, ring<m>, grid<r>x<c>)")
+	methodName := flag.String("method", "exact", "mapping method: exact, exact-subsets, disjoint, odd, triangle, heuristic, astar, sabre")
+	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
+	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
+	seed := flag.Int64("seed", 1, "heuristic random seed")
+	doRender := flag.Bool("render", false, "render original and mapped circuits as ASCII diagrams on stderr")
+	outPath := flag.String("o", "", "output QASM path (default stdout)")
+	optimize := flag.Bool("optimize", false, "run post-mapping peephole optimization")
+	initial := flag.String("initial", "", "pin the initial layout, e.g. 2,0,1 (logical j on physical value[j])")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("expected exactly one input file (or -), got %d args", flag.NArg()))
+	}
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := qxmap.ParseQASM(src)
+	if err != nil {
+		fatal(err)
+	}
+	a, err := qxmap.ArchByName(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	method, err := qxmap.ParseMethod(*methodName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize}
+	if *initial != "" {
+		layout, err := parseLayout(*initial)
+		if err != nil {
+			fatal(err)
+		}
+		opts.InitialLayout = layout
+	}
+	switch *engineName {
+	case "sat":
+		opts.Engine = qxmap.EngineSAT
+	case "dp":
+		opts.Engine = qxmap.EngineDP
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	}
+
+	res, err := qxmap.Map(c, a, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "mapped %d-qubit circuit (%d gates) to %s\n", c.NumQubits(), c.Len(), a)
+	fmt.Fprintf(os.Stderr, "method=%s engine=%s cost F=%d (%d SWAPs, %d direction switches)\n",
+		res.Method, res.Engine, res.Cost, res.Swaps, res.Switches)
+	fmt.Fprintf(os.Stderr, "total gates: %d → %d; depth: %d → %d; minimal: %v; runtime: %v\n",
+		c.Len(), res.TotalGates(), c.Depth(), res.Mapped.Depth(), res.Minimal, res.Runtime)
+	if res.GatesOptimizedAway > 0 {
+		fmt.Fprintf(os.Stderr, "peephole optimization removed %d gates\n", res.GatesOptimizedAway)
+	}
+	fmt.Fprintf(os.Stderr, "initial layout: %s\n", render.Mapping(res.InitialLayout))
+	fmt.Fprintf(os.Stderr, "final layout:   %s\n", render.Mapping(res.FinalLayout))
+	if *doRender {
+		fmt.Fprintln(os.Stderr, "\noriginal:")
+		fmt.Fprint(os.Stderr, render.Circuit(c))
+		fmt.Fprintln(os.Stderr, "\nmapped:")
+		fmt.Fprint(os.Stderr, render.Circuit(res.Mapped))
+	}
+
+	out, err := qxmap.WriteQASM(res.Mapped)
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath == "" {
+		fmt.Print(out)
+		return
+	}
+	if err := os.WriteFile(*outPath, []byte(out), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLayout parses a comma-separated physical qubit list.
+func parseLayout(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad layout entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func readInput(path string) (string, error) {
+	if path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qxmap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command qxsynth synthesizes reversible functions into quantum circuits:
+// a named benchmark function (or an explicit permutation) is synthesized
+// into a multiple-controlled-Toffoli netlist with the transformation-based
+// MMD algorithm, optionally decomposed into the IBM-native {u, cx} gate
+// set, and written as OpenQASM 2.0 or RevLib .real.
+//
+// Usage:
+//
+//	qxsynth -fn 3_17                      # named function → QASM
+//	qxsynth -perm 7,1,4,3,0,2,6,5         # explicit permutation
+//	qxsynth -fn rd32 -format real         # MCT netlist in .real format
+//	qxsynth -fn 4mod5 -elementary=false   # keep MCT gates
+//	qxsynth -qft 4                        # QFT circuit
+//	qxsynth -list                         # available named functions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/qasm"
+	"repro/internal/revlib"
+)
+
+func main() {
+	fn := flag.String("fn", "", "named reversible function (see -list)")
+	permSpec := flag.String("perm", "", "explicit permutation, comma-separated outputs")
+	qft := flag.Int("qft", 0, "build a QFT on the given number of qubits")
+	format := flag.String("format", "qasm", "output format: qasm or real")
+	elementary := flag.Bool("elementary", true, "decompose MCT gates into {u, cx}")
+	list := flag.Bool("list", false, "list named functions and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0)
+		for name := range revlib.Tables() {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	c, err := buildCircuit(*fn, *permSpec, *qft)
+	if err != nil {
+		fatal(err)
+	}
+	if *elementary {
+		if c, err = revlib.Decompose(c); err != nil {
+			fatal(err)
+		}
+	}
+
+	st := c.Statistics()
+	fmt.Fprintf(os.Stderr, "qxsynth: %d qubits, %d gates (%d single-qubit, %d CNOT, %d MCT)\n",
+		c.NumQubits(), c.Len(), st.SingleQubit, st.CNOT, st.MCT)
+
+	var out string
+	switch *format {
+	case "qasm":
+		out, err = qasm.Write(c)
+	case "real":
+		out, err = revlib.WriteReal(c)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func buildCircuit(fn, permSpec string, qft int) (*circuit.Circuit, error) {
+	set := 0
+	for _, s := range []bool{fn != "", permSpec != "", qft > 0} {
+		if s {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("specify exactly one of -fn, -perm, -qft")
+	}
+	switch {
+	case qft > 0:
+		return revlib.BuildQFT(qft).SetName(fmt.Sprintf("qft%d", qft)), nil
+	case fn != "":
+		tt, ok := revlib.Tables()[fn]
+		if !ok {
+			return nil, fmt.Errorf("unknown function %q (try -list)", fn)
+		}
+		return revlib.Synthesize(tt).SetName(fn), nil
+	}
+	parts := strings.Split(permSpec, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad permutation entry %q", p)
+		}
+		out[i] = v
+	}
+	n := 0
+	for 1<<uint(n) < len(out) {
+		n++
+	}
+	tt, err := revlib.NewTable(n, out)
+	if err != nil {
+		return nil, err
+	}
+	return revlib.Synthesize(tt).SetName("perm"), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qxsynth:", err)
+	os.Exit(1)
+}

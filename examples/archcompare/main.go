@@ -1,0 +1,52 @@
+// Archcompare maps one workload across five IBM devices — QX2, QX4,
+// QX5, Melbourne and Tokyo — comparing added cost F, circuit depth, and
+// the effect of coupling directionality (Tokyo's bidirectional couplings
+// never need the 4-H direction fix).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/revlib"
+
+	qxmap "repro"
+)
+
+func main() {
+	// Workload: 4-qubit QFT, the paper's qe_qft family.
+	c := revlib.BuildQFT(4).SetName("qft4")
+	fmt.Printf("workload: %s — %d gates, depth %d, 2q-depth %d\n\n",
+		c.Name(), c.Len(), c.Depth(), c.TwoQubitDepth())
+	fmt.Printf("%-10s %-14s %6s %6s %8s %7s %8s\n",
+		"device", "method", "F", "swaps", "switches", "gates", "depth")
+
+	devices := []*qxmap.Architecture{
+		qxmap.QX2(), qxmap.QX4(), qxmap.QX5(), qxmap.Melbourne(), qxmap.Tokyo(),
+	}
+	for _, a := range devices {
+		method := qxmap.MethodExact
+		if a.NumQubits() > 5 {
+			// Exhaustive permutation enumeration is infeasible beyond the
+			// 5-qubit devices; use the §4.1 subset optimization.
+			method = qxmap.MethodExactSubsets
+		}
+		res, err := qxmap.Map(c, a, qxmap.Options{Method: method, Engine: qxmap.EngineDP})
+		if err != nil {
+			log.Fatalf("%s: %v", a.Name(), err)
+		}
+		fmt.Printf("%-10s %-14s %6d %6d %8d %7d %8d\n",
+			a.Name(), method, res.Cost, res.Swaps, res.Switches,
+			res.TotalGates(), res.Mapped.Depth())
+	}
+
+	fmt.Println("\nwith post-mapping peephole optimization (-optimize):")
+	for _, a := range devices[:2] {
+		res, err := qxmap.Map(c, a, qxmap.Options{Engine: qxmap.EngineDP, Optimize: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s gates %d (%d optimized away), depth %d\n",
+			a.Name(), res.TotalGates(), res.GatesOptimizedAway, res.Mapped.Depth())
+	}
+}

@@ -1,0 +1,166 @@
+// Package arch models IBM QX architectures: sets of physical qubits with a
+// directed coupling map constraining which CNOT gates are natively
+// executable (paper Definition 2 and Fig. 2), together with the structural
+// queries the mapping algorithms need — undirected distances, connected
+// physical-qubit subsets (paper §4.1) and coupling triangles (paper §4.2).
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/perm"
+)
+
+// Pair is a directed coupling-map entry: a CNOT with control Control and
+// target Target is natively executable.
+type Pair struct{ Control, Target int }
+
+// Arch is a quantum-computer architecture: m physical qubits and a directed
+// coupling map. Construct with New or one of the predefined IBM QX
+// constructors; Arch values are immutable after construction.
+type Arch struct {
+	name       string
+	m          int
+	pairs      []Pair
+	allowed    [][]bool // allowed[i][j]: CNOT control i, target j executable
+	undirEdges []perm.Edge
+	dist       [][]int // undirected hop distances; -1 if disconnected
+}
+
+// New builds an architecture from a name, qubit count and directed coupling
+// pairs. Duplicate pairs are rejected, as are self-loops and out-of-range
+// qubits.
+func New(name string, m int, pairs []Pair) (*Arch, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("arch: qubit count %d must be positive", m)
+	}
+	a := &Arch{name: name, m: m}
+	a.allowed = make([][]bool, m)
+	for i := range a.allowed {
+		a.allowed[i] = make([]bool, m)
+	}
+	undirSeen := make(map[perm.Edge]bool)
+	for _, p := range pairs {
+		if p.Control < 0 || p.Control >= m || p.Target < 0 || p.Target >= m {
+			return nil, fmt.Errorf("arch: pair %+v out of range [0,%d)", p, m)
+		}
+		if p.Control == p.Target {
+			return nil, fmt.Errorf("arch: self-loop on qubit %d", p.Control)
+		}
+		if a.allowed[p.Control][p.Target] {
+			return nil, fmt.Errorf("arch: duplicate pair %+v", p)
+		}
+		a.allowed[p.Control][p.Target] = true
+		a.pairs = append(a.pairs, p)
+		e := perm.Edge{A: p.Control, B: p.Target}.Normalize()
+		if !undirSeen[e] {
+			undirSeen[e] = true
+			a.undirEdges = append(a.undirEdges, e)
+		}
+	}
+	sort.Slice(a.undirEdges, func(i, j int) bool {
+		if a.undirEdges[i].A != a.undirEdges[j].A {
+			return a.undirEdges[i].A < a.undirEdges[j].A
+		}
+		return a.undirEdges[i].B < a.undirEdges[j].B
+	})
+	a.computeDistances()
+	return a, nil
+}
+
+// MustNew is New panicking on error, for static architecture definitions.
+func MustNew(name string, m int, pairs []Pair) *Arch {
+	a, err := New(name, m, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Arch) computeDistances() {
+	m := a.m
+	adj := make([][]int, m)
+	for _, e := range a.undirEdges {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	a.dist = make([][]int, m)
+	for src := 0; src < m; src++ {
+		d := make([]int, m)
+		for i := range d {
+			d[i] = -1
+		}
+		d[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj[v] {
+				if d[w] == -1 {
+					d[w] = d[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		a.dist[src] = d
+	}
+}
+
+// Name returns the architecture's name (e.g. "ibmqx4").
+func (a *Arch) Name() string { return a.name }
+
+// NumQubits returns the number of physical qubits m.
+func (a *Arch) NumQubits() int { return a.m }
+
+// Pairs returns the directed coupling-map entries. Callers must not modify
+// the returned slice.
+func (a *Arch) Pairs() []Pair { return a.pairs }
+
+// Allows reports whether a CNOT with the given physical control and target
+// is natively executable, i.e. (control, target) ∈ CM.
+func (a *Arch) Allows(control, target int) bool {
+	return a.allowed[control][target]
+}
+
+// AllowsEitherDirection reports whether two physical qubits are coupled in
+// at least one direction, i.e. a CNOT between them is executable possibly
+// after switching direction with 4 H gates.
+func (a *Arch) AllowsEitherDirection(i, j int) bool {
+	return a.allowed[i][j] || a.allowed[j][i]
+}
+
+// UndirectedEdges returns the undirected coupling edges (deduplicated,
+// normalized, sorted). Callers must not modify the returned slice.
+func (a *Arch) UndirectedEdges() []perm.Edge { return a.undirEdges }
+
+// Distance returns the undirected hop distance between physical qubits i
+// and j, or −1 if they are in different components.
+func (a *Arch) Distance(i, j int) int { return a.dist[i][j] }
+
+// Connected reports whether the whole undirected coupling graph is
+// connected.
+func (a *Arch) Connected() bool {
+	for _, d := range a.dist[0] {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Degree returns the undirected degree of physical qubit i.
+func (a *Arch) Degree(i int) int {
+	deg := 0
+	for _, e := range a.undirEdges {
+		if e.A == i || e.B == i {
+			deg++
+		}
+	}
+	return deg
+}
+
+// String returns a compact description of the architecture.
+func (a *Arch) String() string {
+	return fmt.Sprintf("%s (%d qubits, %d directed couplings)", a.name, a.m, len(a.pairs))
+}

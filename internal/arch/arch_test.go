@@ -1,0 +1,189 @@
+package arch
+
+import (
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestQX4MatchesPaperFigure2(t *testing.T) {
+	a := QX4()
+	if a.NumQubits() != 5 {
+		t.Fatalf("m = %d", a.NumQubits())
+	}
+	// Paper Example 2 coupling map, 0-based.
+	wantAllowed := []Pair{{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {4, 2}}
+	for _, p := range wantAllowed {
+		if !a.Allows(p.Control, p.Target) {
+			t.Errorf("QX4 should allow CNOT(%d→%d)", p.Control, p.Target)
+		}
+		if a.Allows(p.Target, p.Control) {
+			t.Errorf("QX4 should not allow reversed CNOT(%d→%d)", p.Target, p.Control)
+		}
+	}
+	if a.Allows(0, 3) || a.Allows(1, 4) {
+		t.Error("uncoupled qubits must not be allowed")
+	}
+	if len(a.Pairs()) != 6 {
+		t.Errorf("got %d pairs, want 6", len(a.Pairs()))
+	}
+}
+
+func TestAllowsEitherDirection(t *testing.T) {
+	a := QX4()
+	if !a.AllowsEitherDirection(0, 1) || !a.AllowsEitherDirection(1, 0) {
+		t.Error("coupled pair should allow either direction")
+	}
+	if a.AllowsEitherDirection(0, 4) {
+		t.Error("uncoupled pair should not allow either direction")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		m     int
+		pairs []Pair
+	}{
+		{"zero qubits", 0, nil},
+		{"out of range", 2, []Pair{{0, 5}}},
+		{"self-loop", 2, []Pair{{1, 1}}},
+		{"duplicate", 2, []Pair{{0, 1}, {0, 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.name, tc.m, tc.pairs); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestUndirectedEdgesDeduped(t *testing.T) {
+	// Both directions present should produce a single undirected edge.
+	a := MustNew("both", 2, []Pair{{0, 1}, {1, 0}})
+	if len(a.UndirectedEdges()) != 1 {
+		t.Errorf("edges = %v", a.UndirectedEdges())
+	}
+	if a.UndirectedEdges()[0] != (perm.Edge{A: 0, B: 1}) {
+		t.Errorf("edge = %v", a.UndirectedEdges()[0])
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := QX4()
+	cases := []struct{ i, j, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 1}, {0, 3, 2}, {0, 4, 2}, {3, 4, 1}, {1, 4, 2},
+	}
+	for _, tc := range cases {
+		if got := a.Distance(tc.i, tc.j); got != tc.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", tc.i, tc.j, got, tc.want)
+		}
+	}
+	if !a.Connected() {
+		t.Error("QX4 should be connected")
+	}
+	disc := MustNew("disc", 4, []Pair{{0, 1}, {2, 3}})
+	if disc.Connected() {
+		t.Error("disconnected arch reported connected")
+	}
+	if disc.Distance(0, 2) != -1 {
+		t.Error("cross-component distance should be -1")
+	}
+}
+
+func TestDegree(t *testing.T) {
+	a := QX4()
+	// Qubit 2 (paper p3) is the hub with degree 4.
+	if got := a.Degree(2); got != 4 {
+		t.Errorf("Degree(2) = %d, want 4", got)
+	}
+	if got := a.Degree(0); got != 2 {
+		t.Errorf("Degree(0) = %d, want 2", got)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		m    int
+	}{
+		{"ibmqx2", 5}, {"ibmqx4", 5}, {"ibmqx5", 16},
+		{"linear4", 4}, {"ring5", 5}, {"grid2x3", 6},
+	} {
+		a, err := ByName(tc.name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", tc.name, err)
+			continue
+		}
+		if a.NumQubits() != tc.m {
+			t.Errorf("%s: m = %d, want %d", tc.name, a.NumQubits(), tc.m)
+		}
+		if !a.Connected() {
+			t.Errorf("%s should be connected", tc.name)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("unknown name should error")
+	}
+	if _, err := ByName("qx4"); err != nil {
+		t.Error("short alias qx4 should work")
+	}
+}
+
+func TestQX5Degrees(t *testing.T) {
+	a := QX5()
+	if len(a.Pairs()) != 22 {
+		t.Errorf("QX5 pairs = %d, want 22", len(a.Pairs()))
+	}
+	// Ladder topology: every qubit has degree 2 or 3.
+	for q := 0; q < 16; q++ {
+		if d := a.Degree(q); d < 2 || d > 3 {
+			t.Errorf("QX5 qubit %d degree %d", q, d)
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Grid(0,3) should panic")
+		}
+	}()
+	Grid(0, 3)
+}
+
+func TestRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ring(2) should panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestMelbourneAndTokyo(t *testing.T) {
+	m := Melbourne()
+	if m.NumQubits() != 14 || !m.Connected() {
+		t.Errorf("melbourne: %d qubits connected=%v", m.NumQubits(), m.Connected())
+	}
+	tk := Tokyo()
+	if tk.NumQubits() != 20 || !tk.Connected() {
+		t.Errorf("tokyo: %d qubits connected=%v", tk.NumQubits(), tk.Connected())
+	}
+	// Tokyo is bidirectional: every coupling exists both ways.
+	for _, p := range tk.Pairs() {
+		if !tk.Allows(p.Target, p.Control) {
+			t.Fatalf("tokyo pair %+v lacks reverse", p)
+		}
+	}
+	// Melbourne is antisymmetric like the QX devices.
+	for _, p := range m.Pairs() {
+		if m.Allows(p.Target, p.Control) {
+			t.Fatalf("melbourne pair %+v has both directions", p)
+		}
+	}
+	for _, name := range []string{"melbourne", "tokyo"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package arch
+
+import "fmt"
+
+// QX4 returns the IBM QX4 ("Tenerife", 5 qubits) architecture of paper
+// Fig. 2. Physical qubits p1..p5 of the paper are 0-based 0..4 here:
+// CM = {(p2,p1),(p3,p1),(p3,p2),(p4,p3),(p4,p5),(p5,p3)}.
+func QX4() *Arch {
+	return MustNew("ibmqx4", 5, []Pair{
+		{1, 0}, {2, 0}, {2, 1}, {3, 2}, {3, 4}, {4, 2},
+	})
+}
+
+// QX2 returns the IBM QX2 ("Yorktown", 5 qubits) architecture. Same
+// undirected topology family as QX4 (two triangles sharing qubit 2) with
+// different CNOT directions.
+func QX2() *Arch {
+	return MustNew("ibmqx2", 5, []Pair{
+		{0, 1}, {0, 2}, {1, 2}, {3, 2}, {3, 4}, {4, 2},
+	})
+}
+
+// QX5 returns the IBM QX5 ("Rueschlikon", 16 qubits) architecture: a 2×8
+// ladder with directed couplings.
+func QX5() *Arch {
+	return MustNew("ibmqx5", 16, []Pair{
+		{1, 0}, {1, 2}, {2, 3}, {3, 4}, {3, 14}, {5, 4},
+		{6, 5}, {6, 7}, {6, 11}, {7, 10}, {8, 7}, {9, 8},
+		{9, 10}, {11, 10}, {12, 5}, {12, 11}, {12, 13},
+		{13, 4}, {13, 14}, {15, 0}, {15, 2}, {15, 14},
+	})
+}
+
+// Linear returns a linear-nearest-neighbor architecture on m qubits with
+// CNOT control always on the lower index (a common abstraction in
+// nearest-neighbor mapping literature).
+func Linear(m int) *Arch {
+	var pairs []Pair
+	for i := 0; i+1 < m; i++ {
+		pairs = append(pairs, Pair{i, i + 1})
+	}
+	return MustNew(fmt.Sprintf("linear%d", m), m, pairs)
+}
+
+// Ring returns a directed ring architecture on m qubits (control i, target
+// (i+1) mod m).
+func Ring(m int) *Arch {
+	if m < 3 {
+		panic("arch: ring needs at least 3 qubits")
+	}
+	var pairs []Pair
+	for i := 0; i < m; i++ {
+		pairs = append(pairs, Pair{i, (i + 1) % m})
+	}
+	return MustNew(fmt.Sprintf("ring%d", m), m, pairs)
+}
+
+// Grid returns a rows×cols grid architecture with CNOT control on the
+// lexicographically smaller endpoint of each edge.
+func Grid(rows, cols int) *Arch {
+	if rows < 1 || cols < 1 {
+		panic("arch: grid needs positive dimensions")
+	}
+	var pairs []Pair
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				pairs = append(pairs, Pair{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				pairs = append(pairs, Pair{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return MustNew(fmt.Sprintf("grid%dx%d", rows, cols), rows*cols, pairs)
+}
+
+// ByName returns a predefined architecture by name: "ibmqx2", "ibmqx4",
+// "ibmqx5", "linear<m>", "ring<m>", or "grid<r>x<c>".
+func ByName(name string) (*Arch, error) {
+	switch name {
+	case "ibmqx2", "qx2":
+		return QX2(), nil
+	case "ibmqx4", "qx4":
+		return QX4(), nil
+	case "ibmqx5", "qx5":
+		return QX5(), nil
+	case "melbourne":
+		return Melbourne(), nil
+	case "tokyo":
+		return Tokyo(), nil
+	}
+	var m, r, c int
+	if n, _ := fmt.Sscanf(name, "linear%d", &m); n == 1 && m > 0 {
+		return Linear(m), nil
+	}
+	if n, _ := fmt.Sscanf(name, "ring%d", &m); n == 1 && m >= 3 {
+		return Ring(m), nil
+	}
+	if n, _ := fmt.Sscanf(name, "grid%dx%d", &r, &c); n == 2 && r > 0 && c > 0 {
+		return Grid(r, c), nil
+	}
+	return nil, fmt.Errorf("arch: unknown architecture %q", name)
+}
+
+// Melbourne returns the IBM Q 14 Melbourne architecture: a 2×7 ladder with
+// the published CNOT directions.
+func Melbourne() *Arch {
+	return MustNew("melbourne", 14, []Pair{
+		{1, 0}, {1, 2}, {2, 3}, {4, 3}, {4, 10}, {5, 4},
+		{5, 6}, {5, 9}, {6, 8}, {7, 8}, {9, 8}, {9, 10},
+		{11, 3}, {11, 10}, {11, 12}, {12, 2}, {13, 1}, {13, 12},
+	})
+}
+
+// Tokyo returns the IBM Q 20 Tokyo architecture. Its couplings are
+// bidirectional (CX executable in both directions), so direction switches
+// are never needed — a useful contrast to the QX devices in experiments.
+func Tokyo() *Arch {
+	undirected := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4},
+		{0, 5}, {1, 6}, {1, 7}, {2, 6}, {2, 7}, {3, 8}, {3, 9}, {4, 8}, {4, 9},
+		{5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{5, 10}, {5, 11}, {6, 10}, {6, 11}, {7, 12}, {7, 13}, {8, 12}, {8, 13}, {9, 14},
+		{10, 11}, {11, 12}, {12, 13}, {13, 14},
+		{10, 15}, {11, 16}, {11, 17}, {12, 16}, {12, 17}, {13, 18}, {13, 19}, {14, 18}, {14, 19},
+		{15, 16}, {16, 17}, {17, 18}, {18, 19},
+	}
+	var pairs []Pair
+	for _, e := range undirected {
+		pairs = append(pairs, Pair{e[0], e[1]}, Pair{e[1], e[0]})
+	}
+	return MustNew("tokyo", 20, pairs)
+}

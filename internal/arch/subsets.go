@@ -1,0 +1,119 @@
+package arch
+
+// ConnectedSubsets enumerates all size-n subsets of physical qubits whose
+// induced undirected coupling graph is connected (paper §4.1). Subsets whose
+// qubits are mutually isolated can never host a mapping, so they are pruned
+// before any reasoning-engine call (paper Example 9: on QX4 every connected
+// 4-subset contains p3, leaving 4 of the 5 possible subsets).
+//
+// Each subset is returned as a sorted slice of physical qubit indices.
+func (a *Arch) ConnectedSubsets(n int) [][]int {
+	if n <= 0 || n > a.m {
+		return nil
+	}
+	var out [][]int
+	subset := make([]int, 0, n)
+	var rec func(next int)
+	rec = func(next int) {
+		if len(subset) == n {
+			if a.subsetConnected(subset) {
+				out = append(out, append([]int(nil), subset...))
+			}
+			return
+		}
+		// Not enough remaining qubits to finish the subset.
+		if a.m-next < n-len(subset) {
+			return
+		}
+		for i := next; i < a.m; i++ {
+			subset = append(subset, i)
+			rec(i + 1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// subsetConnected reports whether the induced undirected graph on the given
+// qubits is connected (O(n²) over the subset, linear in edges).
+func (a *Arch) subsetConnected(subset []int) bool {
+	if len(subset) == 0 {
+		return false
+	}
+	in := make(map[int]bool, len(subset))
+	for _, q := range subset {
+		in[q] = true
+	}
+	visited := map[int]bool{subset[0]: true}
+	queue := []int{subset[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range a.undirEdges {
+			var w int
+			switch {
+			case e.A == v:
+				w = e.B
+			case e.B == v:
+				w = e.A
+			default:
+				continue
+			}
+			if in[w] && !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(visited) == len(subset)
+}
+
+// Triangles returns all unordered triples of physical qubits that are
+// pairwise coupled (in either direction) — the "triangles" exploited by the
+// qubit-triangle strategy (paper §4.2). On QX4 these are {p1,p2,p3} and
+// {p3,p4,p5} (0-based: {0,1,2} and {2,3,4}).
+func (a *Arch) Triangles() [][3]int {
+	var out [][3]int
+	for i := 0; i < a.m; i++ {
+		for j := i + 1; j < a.m; j++ {
+			if !a.AllowsEitherDirection(i, j) {
+				continue
+			}
+			for k := j + 1; k < a.m; k++ {
+				if a.AllowsEitherDirection(i, k) && a.AllowsEitherDirection(j, k) {
+					out = append(out, [3]int{i, j, k})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Restrict returns a new architecture consisting only of the given physical
+// qubits (renumbered 0..len(subset)−1 in sorted order) and the coupling
+// pairs among them, together with the mapping from new indices back to the
+// original physical qubits. This is the instance-shrinking step of the
+// subset optimization (paper §4.1).
+func (a *Arch) Restrict(subset []int) (*Arch, []int) {
+	sorted := append([]int(nil), subset...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	oldToNew := make(map[int]int, len(sorted))
+	for newIdx, old := range sorted {
+		oldToNew[old] = newIdx
+	}
+	var pairs []Pair
+	for _, p := range a.pairs {
+		ci, cok := oldToNew[p.Control]
+		ti, tok := oldToNew[p.Target]
+		if cok && tok {
+			pairs = append(pairs, Pair{ci, ti})
+		}
+	}
+	sub := MustNew(a.name+"/subset", len(sorted), pairs)
+	return sub, sorted
+}

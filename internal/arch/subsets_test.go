@@ -1,0 +1,134 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedSubsetsQX4Example9(t *testing.T) {
+	a := QX4()
+	// Paper Example 9: of the C(5,4) = 5 subsets of size 4, only the 4
+	// containing p3 (0-based qubit 2) are connected.
+	subs := a.ConnectedSubsets(4)
+	if len(subs) != 4 {
+		t.Fatalf("got %d connected 4-subsets, want 4: %v", len(subs), subs)
+	}
+	for _, s := range subs {
+		has2 := false
+		for _, q := range s {
+			if q == 2 {
+				has2 = true
+			}
+		}
+		if !has2 {
+			t.Errorf("connected subset %v missing hub qubit 2", s)
+		}
+	}
+}
+
+func TestConnectedSubsetsSizes(t *testing.T) {
+	a := QX4()
+	if got := len(a.ConnectedSubsets(5)); got != 1 {
+		t.Errorf("full subset count = %d, want 1", got)
+	}
+	if got := len(a.ConnectedSubsets(1)); got != 5 {
+		t.Errorf("singleton count = %d, want 5", got)
+	}
+	if a.ConnectedSubsets(0) != nil || a.ConnectedSubsets(6) != nil {
+		t.Error("degenerate sizes should return nil")
+	}
+	// Size-2 connected subsets = undirected edges.
+	if got := len(a.ConnectedSubsets(2)); got != len(a.UndirectedEdges()) {
+		t.Errorf("2-subsets = %d, want %d", got, len(a.UndirectedEdges()))
+	}
+}
+
+func TestConnectedSubsetsDisconnectedArch(t *testing.T) {
+	a := MustNew("disc", 4, []Pair{{0, 1}, {2, 3}})
+	subs := a.ConnectedSubsets(2)
+	if len(subs) != 2 {
+		t.Errorf("got %v, want exactly the two edges", subs)
+	}
+	if len(a.ConnectedSubsets(3)) != 0 {
+		t.Error("no connected 3-subset should exist")
+	}
+}
+
+func TestTrianglesQX4(t *testing.T) {
+	tri := QX4().Triangles()
+	if len(tri) != 2 {
+		t.Fatalf("QX4 triangles = %v, want 2", tri)
+	}
+	want := [][3]int{{0, 1, 2}, {2, 3, 4}}
+	for i, tr := range tri {
+		if tr != want[i] {
+			t.Errorf("triangle %d = %v, want %v", i, tr, want[i])
+		}
+	}
+}
+
+func TestTrianglesLinear(t *testing.T) {
+	if tri := Linear(5).Triangles(); len(tri) != 0 {
+		t.Errorf("linear arch has triangles: %v", tri)
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	a := QX4()
+	sub, back := a.Restrict([]int{2, 3, 4})
+	if sub.NumQubits() != 3 {
+		t.Fatalf("restricted m = %d", sub.NumQubits())
+	}
+	// back maps new→old and must be sorted.
+	if back[0] != 2 || back[1] != 3 || back[2] != 4 {
+		t.Errorf("back = %v", back)
+	}
+	// Original pairs among {2,3,4}: (3,2),(3,4),(4,2) → new (1,0),(1,2),(2,0).
+	wantPairs := []Pair{{1, 0}, {1, 2}, {2, 0}}
+	if len(sub.Pairs()) != len(wantPairs) {
+		t.Fatalf("pairs = %v", sub.Pairs())
+	}
+	for _, p := range wantPairs {
+		if !sub.Allows(p.Control, p.Target) {
+			t.Errorf("restricted arch should allow %+v", p)
+		}
+	}
+	// Unsorted input must still produce sorted renumbering.
+	_, back2 := a.Restrict([]int{4, 2, 3})
+	for i := range back {
+		if back2[i] != back[i] {
+			t.Errorf("unsorted Restrict back = %v", back2)
+		}
+	}
+}
+
+// Property: every reported subset is connected and sorted; subsets are
+// unique.
+func TestConnectedSubsetsProperty(t *testing.T) {
+	archs := []*Arch{QX4(), QX2(), Linear(6), Ring(6), Grid(2, 3)}
+	f := func(ai, n uint) bool {
+		a := archs[int(ai%uint(len(archs)))]
+		size := 1 + int(n%uint(a.NumQubits()))
+		seen := map[string]bool{}
+		for _, s := range a.ConnectedSubsets(size) {
+			key := ""
+			for i, q := range s {
+				if i > 0 && s[i-1] >= q {
+					return false // not strictly sorted
+				}
+				key += string(rune('a' + q))
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+			if !a.subsetConnected(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

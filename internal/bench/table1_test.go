@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/revlib"
+)
+
+func TestRunRowSmall(t *testing.T) {
+	b, err := revlib.SuiteByName("ex-1_166")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunRow(b, Config{Engine: exact.EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OriginalCost != 19 {
+		t.Errorf("orig cost = %d, want 19", row.OriginalCost)
+	}
+	// Minimal and subsets must agree (paper: §4.1 preserves minimality on
+	// the suite).
+	if row.Minimal.Cost != row.Subsets.Cost {
+		t.Errorf("minimal %d vs subsets %d", row.Minimal.Cost, row.Subsets.Cost)
+	}
+	// No method can beat the minimum.
+	for name, col := range map[string]Column{
+		"subsets": row.Subsets, "disjoint": row.Disjoint,
+		"odd": row.Odd, "triangle": row.Triangle, "ibm": row.IBM,
+	} {
+		if col.DeltaMin < 0 {
+			t.Errorf("%s beats the minimum by %d", name, -col.DeltaMin)
+		}
+	}
+	if row.Minimal.DeltaMin != 0 {
+		t.Error("minimal column must have Δmin = 0")
+	}
+	// |G'| ordering: all ≥ disjoint ≥ triangle, odd ≈ half.
+	if row.Disjoint.PermPoints < row.Triangle.PermPoints {
+		t.Errorf("disjoint |G'| %d < triangle %d", row.Disjoint.PermPoints, row.Triangle.PermPoints)
+	}
+	// Cost identity: c = original + F.
+	if row.Minimal.Cost != row.OriginalCost+row.Minimal.Added {
+		t.Error("cost identity violated")
+	}
+}
+
+func TestRunTable1Subset(t *testing.T) {
+	rows, err := RunTable1(Config{Engine: exact.EngineDP, Names: []string{"3_17_13", "ham3_102", "4gt11_84"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	s := Summary(rows)
+	if s.Rows != 3 {
+		t.Errorf("summary rows = %d", s.Rows)
+	}
+	if s.AvgIBMAboveMinTotal < 0 {
+		t.Errorf("IBM below minimum on average: %f", s.AvgIBMAboveMinTotal)
+	}
+	table := FormatTable(rows)
+	for _, want := range []string{"3_17_13", "ham3_102", "Benchmark", "cmin"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+	sum := FormatSummary(s)
+	if !strings.Contains(sum, "paper") {
+		t.Errorf("summary missing paper reference:\n%s", sum)
+	}
+}
+
+func TestSATEngineMatchesDPOnRow(t *testing.T) {
+	// The methodology cross-check at harness level: the seeded SAT engine
+	// must reproduce the DP costs on a small benchmark.
+	b, err := revlib.SuiteByName("ex-1_166")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dpRow, err := RunRow(b, Config{Engine: exact.EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	satRow, err := RunRow(b, Config{Engine: exact.EngineSAT, SeedSATWithDP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dpRow.Minimal.Cost != satRow.Minimal.Cost {
+		t.Errorf("minimal: dp %d vs sat %d", dpRow.Minimal.Cost, satRow.Minimal.Cost)
+	}
+	if dpRow.Triangle.Cost != satRow.Triangle.Cost {
+		t.Errorf("triangle: dp %d vs sat %d", dpRow.Triangle.Cost, satRow.Triangle.Cost)
+	}
+}
+
+func TestSummaryGuardsZeroAdded(t *testing.T) {
+	rows := []Row{{
+		OriginalCost: 10,
+		Minimal:      Column{Cost: 10, Added: 0},
+		IBM:          Column{Cost: 12, Added: 2},
+	}}
+	s := Summary(rows)
+	if s.AvgIBMAboveMinAdded != 0 {
+		t.Errorf("zero-F row should be excluded from added average, got %f", s.AvgIBMAboveMinAdded)
+	}
+	if s.AvgIBMAboveMinTotal != 0.2 {
+		t.Errorf("total ratio = %f, want 0.2", s.AvgIBMAboveMinTotal)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Arch == nil || cfg.Arch.Name() != "ibmqx4" {
+		t.Error("default arch should be QX4")
+	}
+	if cfg.HeuristicRuns != 5 {
+		t.Errorf("default heuristic runs = %d", cfg.HeuristicRuns)
+	}
+}
+
+func TestParallelTableMatchesSequential(t *testing.T) {
+	names := []string{"ex-1_166", "4gt11_84", "4mod5-v0_20"}
+	seq, err := RunTable1(Config{Engine: exact.EngineDP, Names: names})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunTable1(Config{Engine: exact.EngineDP, Names: names, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Name != par[i].Name || seq[i].Minimal.Cost != par[i].Minimal.Cost ||
+			seq[i].IBM.Cost != par[i].IBM.Cost || seq[i].Triangle.Cost != par[i].Triangle.Cost {
+			t.Errorf("row %s differs between parallel and sequential", seq[i].Name)
+		}
+	}
+}

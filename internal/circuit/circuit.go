@@ -1,0 +1,224 @@
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Circuit is an ordered sequence of gates over NumQubits logical qubits,
+// the quantum-circuit representation of paper Definition 1.
+//
+// The zero value is an empty circuit over zero qubits. Use New to create a
+// circuit with a fixed qubit count and the fluent builder methods to append
+// gates.
+type Circuit struct {
+	numQubits int
+	gates     []Gate
+	name      string
+}
+
+// New returns an empty circuit over n qubits. It panics if n is negative.
+func New(n int) *Circuit {
+	if n < 0 {
+		panic("circuit: negative qubit count")
+	}
+	return &Circuit{numQubits: n}
+}
+
+// NumQubits returns the number of logical qubits of the circuit.
+func (c *Circuit) NumQubits() int { return c.numQubits }
+
+// Len returns the number of gates in the circuit.
+func (c *Circuit) Len() int { return len(c.gates) }
+
+// Gates returns the circuit's gate sequence. The returned slice is the
+// circuit's backing storage; callers must not modify it.
+func (c *Circuit) Gates() []Gate { return c.gates }
+
+// Gate returns the k-th gate (0-based).
+func (c *Circuit) Gate(k int) Gate { return c.gates[k] }
+
+// Name returns the optional circuit name (e.g. the benchmark name).
+func (c *Circuit) Name() string { return c.name }
+
+// SetName sets the circuit name and returns the circuit for chaining.
+func (c *Circuit) SetName(name string) *Circuit {
+	c.name = name
+	return c
+}
+
+// Append validates g against the circuit and appends it.
+func (c *Circuit) Append(g Gate) error {
+	if err := g.Validate(c.numQubits); err != nil {
+		return err
+	}
+	c.gates = append(c.gates, g)
+	return nil
+}
+
+// MustAppend appends g, panicking if it is invalid. It returns the circuit
+// so gate construction can be chained fluently.
+func (c *Circuit) MustAppend(gs ...Gate) *Circuit {
+	for _, g := range gs {
+		if err := c.Append(g); err != nil {
+			panic(err)
+		}
+	}
+	return c
+}
+
+// AddU appends a U(θ,φ,λ) gate on qubit q.
+func (c *Circuit) AddU(q int, theta, phi, lambda float64) *Circuit {
+	return c.MustAppend(U(q, theta, phi, lambda))
+}
+
+// AddH appends a Hadamard gate on qubit q.
+func (c *Circuit) AddH(q int) *Circuit { return c.MustAppend(H(q)) }
+
+// AddX appends a NOT gate on qubit q.
+func (c *Circuit) AddX(q int) *Circuit { return c.MustAppend(X(q)) }
+
+// AddT appends a T gate on qubit q.
+func (c *Circuit) AddT(q int) *Circuit { return c.MustAppend(T(q)) }
+
+// AddTdg appends a T† gate on qubit q.
+func (c *Circuit) AddTdg(q int) *Circuit { return c.MustAppend(Tdg(q)) }
+
+// AddS appends an S gate on qubit q.
+func (c *Circuit) AddS(q int) *Circuit { return c.MustAppend(S(q)) }
+
+// AddSdg appends an S† gate on qubit q.
+func (c *Circuit) AddSdg(q int) *Circuit { return c.MustAppend(Sdg(q)) }
+
+// AddRz appends an Rz(λ) gate on qubit q.
+func (c *Circuit) AddRz(q int, lambda float64) *Circuit { return c.MustAppend(Rz(q, lambda)) }
+
+// AddCNOT appends a CNOT gate with the given control and target.
+func (c *Circuit) AddCNOT(control, target int) *Circuit {
+	return c.MustAppend(CNOT(control, target))
+}
+
+// AddSWAP appends a SWAP gate on qubits a and b.
+func (c *Circuit) AddSWAP(a, b int) *Circuit { return c.MustAppend(SWAP(a, b)) }
+
+// AddMCT appends a multi-controlled Toffoli gate.
+func (c *Circuit) AddMCT(controls []int, target int) *Circuit {
+	return c.MustAppend(MCT(controls, target))
+}
+
+// Extend appends all gates of other to c. The circuits must have compatible
+// qubit counts (other's qubits must fit in c).
+func (c *Circuit) Extend(other *Circuit) error {
+	if other.numQubits > c.numQubits {
+		return fmt.Errorf("circuit: cannot extend %d-qubit circuit with %d-qubit circuit",
+			c.numQubits, other.numQubits)
+	}
+	for _, g := range other.gates {
+		if err := c.Append(g.Copy()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy returns a deep copy of the circuit.
+func (c *Circuit) Copy() *Circuit {
+	gates := make([]Gate, len(c.gates))
+	for i, g := range c.gates {
+		gates[i] = g.Copy()
+	}
+	return &Circuit{numQubits: c.numQubits, gates: gates, name: c.name}
+}
+
+// Equal reports whether two circuits have the same qubit count and an
+// identical gate sequence (names are ignored).
+func (c *Circuit) Equal(o *Circuit) bool {
+	if c.numQubits != o.numQubits || len(c.gates) != len(o.gates) {
+		return false
+	}
+	for i, g := range c.gates {
+		if !g.Equal(o.gates[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate re-checks every gate in the circuit.
+func (c *Circuit) Validate() error {
+	for i, g := range c.gates {
+		if err := g.Validate(c.numQubits); err != nil {
+			return fmt.Errorf("gate %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the circuit one gate per line, suitable for debugging.
+func (c *Circuit) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "circuit %q (%d qubits, %d gates)\n", c.name, c.numQubits, len(c.gates))
+	for i, g := range c.gates {
+		fmt.Fprintf(&b, "  g%-3d %s\n", i+1, g)
+	}
+	return b.String()
+}
+
+// Stats summarizes the gate composition of a circuit. OriginalCost is the
+// paper's "original cost" column: single-qubit gates plus CNOT gates before
+// mapping (SWAP and MCT gates, which are not elementary on IBM QX, are
+// counted separately and are zero for decomposed circuits).
+type Stats struct {
+	SingleQubit  int
+	CNOT         int
+	SWAP         int
+	MCT          int
+	OriginalCost int
+}
+
+// Statistics computes gate-composition statistics for the circuit.
+func (c *Circuit) Statistics() Stats {
+	var s Stats
+	for _, g := range c.gates {
+		switch {
+		case g.Kind.IsSingleQubit():
+			s.SingleQubit++
+		case g.Kind == KindCNOT:
+			s.CNOT++
+		case g.Kind == KindSWAP:
+			s.SWAP++
+		case g.Kind == KindMCT:
+			s.MCT++
+		}
+	}
+	s.OriginalCost = s.SingleQubit + s.CNOT
+	return s
+}
+
+// IsElementary reports whether the circuit contains only gates natively
+// supported by the IBM QX architectures (single-qubit gates and CNOT).
+func (c *Circuit) IsElementary() bool {
+	for _, g := range c.gates {
+		if !g.Kind.IsSingleQubit() && g.Kind != KindCNOT {
+			return false
+		}
+	}
+	return true
+}
+
+// UsedQubits returns the sorted list of qubits touched by at least one gate.
+func (c *Circuit) UsedQubits() []int {
+	used := make([]bool, c.numQubits)
+	for _, g := range c.gates {
+		for _, q := range g.Qubits {
+			used[q] = true
+		}
+	}
+	var qs []int
+	for q, u := range used {
+		if u {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}

@@ -1,0 +1,171 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAndBuilders(t *testing.T) {
+	c := New(3)
+	c.AddH(0).AddT(1).AddCNOT(0, 1).AddCNOT(1, 2).AddX(2)
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", c.Len())
+	}
+	if c.NumQubits() != 3 {
+		t.Fatalf("NumQubits = %d, want 3", c.NumQubits())
+	}
+	if g := c.Gate(2); g.Kind != KindCNOT || g.Control() != 0 || g.Target() != 1 {
+		t.Errorf("gate 2 = %v", g)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAppendValidates(t *testing.T) {
+	c := New(2)
+	if err := c.Append(CNOT(0, 5)); err == nil {
+		t.Error("Append of out-of-range gate should fail")
+	}
+	if c.Len() != 0 {
+		t.Error("failed Append must not modify circuit")
+	}
+	if err := c.Append(CNOT(0, 1)); err != nil {
+		t.Errorf("valid Append failed: %v", err)
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend of invalid gate should panic")
+		}
+	}()
+	New(1).MustAppend(CNOT(0, 1))
+}
+
+func TestAllBuilders(t *testing.T) {
+	c := New(4)
+	c.AddU(0, 1, 2, 3).AddH(1).AddX(2).AddT(3).AddTdg(0).
+		AddS(1).AddSdg(2).AddRz(3, 0.5).AddCNOT(0, 1).
+		AddSWAP(2, 3).AddMCT([]int{0, 1}, 2)
+	if c.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", c.Len())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	c := New(2).SetName("orig")
+	c.AddCNOT(0, 1)
+	d := c.Copy()
+	if !c.Equal(d) {
+		t.Fatal("copy should equal original")
+	}
+	d.AddH(0)
+	if c.Len() != 1 {
+		t.Error("modifying copy changed original length")
+	}
+	d.Gates()[0].Qubits[0] = 1
+	if c.Gate(0).Qubits[0] != 0 {
+		t.Error("copy shares gate qubit storage")
+	}
+	if d.Name() != "orig" {
+		t.Error("copy should preserve name")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(2).AddCNOT(0, 1)
+	b := New(2).AddCNOT(0, 1)
+	if !a.Equal(b) {
+		t.Error("identical circuits should be equal")
+	}
+	if a.Equal(New(3).AddCNOT(0, 1)) {
+		t.Error("different qubit counts should differ")
+	}
+	if a.Equal(New(2).AddCNOT(1, 0)) {
+		t.Error("different gates should differ")
+	}
+	if a.Equal(New(2)) {
+		t.Error("different lengths should differ")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	a := New(3).AddH(0)
+	b := New(2).AddCNOT(0, 1)
+	if err := a.Extend(b); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("Len after extend = %d", a.Len())
+	}
+	big := New(5).AddH(4)
+	if err := b.Extend(big); err == nil {
+		t.Error("extending 2-qubit circuit with 5-qubit circuit should fail")
+	}
+}
+
+func TestStatistics(t *testing.T) {
+	c := Figure1a()
+	s := c.Statistics()
+	if s.SingleQubit != 3 {
+		t.Errorf("SingleQubit = %d, want 3", s.SingleQubit)
+	}
+	if s.CNOT != 5 {
+		t.Errorf("CNOT = %d, want 5", s.CNOT)
+	}
+	if s.OriginalCost != 8 {
+		t.Errorf("OriginalCost = %d, want 8", s.OriginalCost)
+	}
+	if s.SWAP != 0 || s.MCT != 0 {
+		t.Errorf("SWAP=%d MCT=%d, want 0,0", s.SWAP, s.MCT)
+	}
+}
+
+func TestIsElementary(t *testing.T) {
+	if !Figure1a().IsElementary() {
+		t.Error("Figure1a should be elementary")
+	}
+	if New(2).AddSWAP(0, 1).IsElementary() {
+		t.Error("SWAP is not elementary")
+	}
+	if New(3).AddMCT([]int{0, 1}, 2).IsElementary() {
+		t.Error("MCT is not elementary")
+	}
+}
+
+func TestUsedQubits(t *testing.T) {
+	c := New(5).AddH(1).AddCNOT(3, 1)
+	got := c.UsedQubits()
+	want := []int{1, 3}
+	if len(got) != len(want) || got[0] != 1 || got[1] != 3 {
+		t.Errorf("UsedQubits = %v, want %v", got, want)
+	}
+}
+
+func TestCircuitString(t *testing.T) {
+	s := New(2).SetName("demo").AddCNOT(0, 1).String()
+	for _, want := range []string{"demo", "cx q0,q1", "2 qubits", "1 gates"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := New(2).AddCNOT(0, 1)
+	c.Gates()[0].Qubits[1] = 9 // simulate external corruption
+	if err := c.Validate(); err == nil {
+		t.Error("Validate should catch out-of-range qubit")
+	}
+}

@@ -1,0 +1,54 @@
+package circuit
+
+// Depth returns the circuit depth: the length of the longest chain of
+// gates connected by shared qubits (gates on disjoint qubits execute in
+// parallel). Depth is the execution-time analogue of the gate-count cost
+// the paper minimizes, and is reported alongside F by the extension
+// metrics.
+func (c *Circuit) Depth() int {
+	clock := make([]int, c.numQubits)
+	depth := 0
+	for _, g := range c.gates {
+		t := 0
+		for _, q := range g.Qubits {
+			if clock[q] > t {
+				t = clock[q]
+			}
+		}
+		t++
+		for _, q := range g.Qubits {
+			clock[q] = t
+		}
+		if t > depth {
+			depth = t
+		}
+	}
+	return depth
+}
+
+// TwoQubitDepth returns the depth counting only multi-qubit gates — the
+// error-dominating layers on NISQ devices. Single-qubit gates are ignored
+// entirely.
+func (c *Circuit) TwoQubitDepth() int {
+	clock := make([]int, c.numQubits)
+	depth := 0
+	for _, g := range c.gates {
+		if g.Kind.IsSingleQubit() {
+			continue
+		}
+		t := 0
+		for _, q := range g.Qubits {
+			if clock[q] > t {
+				t = clock[q]
+			}
+		}
+		t++
+		for _, q := range g.Qubits {
+			clock[q] = t
+		}
+		if t > depth {
+			depth = t
+		}
+	}
+	return depth
+}

@@ -1,0 +1,90 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDepthBasics(t *testing.T) {
+	if got := New(2).Depth(); got != 0 {
+		t.Errorf("empty depth = %d", got)
+	}
+	// Parallel single-qubit gates: depth 1.
+	if got := New(3).AddH(0).AddH(1).AddH(2).Depth(); got != 1 {
+		t.Errorf("parallel depth = %d, want 1", got)
+	}
+	// Serial chain on one qubit: depth = length.
+	if got := New(1).AddH(0).AddT(0).AddH(0).Depth(); got != 3 {
+		t.Errorf("serial depth = %d, want 3", got)
+	}
+	// CNOT chains serialize through the shared qubit.
+	c := New(3).AddCNOT(0, 1).AddCNOT(1, 2).AddCNOT(0, 1)
+	if got := c.Depth(); got != 3 {
+		t.Errorf("cnot chain depth = %d, want 3", got)
+	}
+	// Disjoint CNOTs are parallel.
+	if got := New(4).AddCNOT(0, 1).AddCNOT(2, 3).Depth(); got != 1 {
+		t.Errorf("disjoint depth = %d, want 1", got)
+	}
+}
+
+func TestTwoQubitDepth(t *testing.T) {
+	c := New(2).AddH(0).AddH(0).AddCNOT(0, 1).AddT(1).AddCNOT(0, 1)
+	if got := c.TwoQubitDepth(); got != 2 {
+		t.Errorf("2q depth = %d, want 2", got)
+	}
+	if got := New(2).AddH(0).TwoQubitDepth(); got != 0 {
+		t.Errorf("1q-only 2q depth = %d", got)
+	}
+}
+
+func TestFigure1aDepth(t *testing.T) {
+	// q2: H, g1(2,3), g3(1,2), g4(0,2), g5(2,0) → depth ≥ 5 through q2.
+	d := Figure1a().Depth()
+	if d != 5 {
+		t.Errorf("Figure1a depth = %d, want 5", d)
+	}
+	if got := Figure1b(); got.Len() != 5 {
+		t.Fatal("skeleton changed")
+	}
+}
+
+// Property: depth ≤ gate count; depth ≥ 2q-depth; depth ≥ per-qubit load.
+func TestDepthProperties(t *testing.T) {
+	f := func(seed int64, count uint) bool {
+		state := uint64(seed)
+		next := func(mod int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(mod))
+		}
+		const n = 4
+		c := New(n)
+		load := make([]int, n)
+		for i := 0; i < int(count%40); i++ {
+			if next(2) == 0 {
+				q := next(n)
+				c.AddH(q)
+				load[q]++
+			} else {
+				a := next(n)
+				b := (a + 1 + next(n-1)) % n
+				c.AddCNOT(a, b)
+				load[a]++
+				load[b]++
+			}
+		}
+		d := c.Depth()
+		if d > c.Len() || c.TwoQubitDepth() > d {
+			return false
+		}
+		for _, l := range load {
+			if d < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

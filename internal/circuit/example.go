@@ -1,0 +1,38 @@
+package circuit
+
+// Figure1a returns the paper's running example (Fig. 1a): a 4-qubit circuit
+// with 8 gates — three single-qubit gates (H on q2, H on q3, T on q1) and
+// five CNOTs. The CNOT skeleton (Fig. 1b) is reconstructed to be consistent
+// with every statement the paper makes about it:
+//
+//   - Example 10 (disjoint qubits): g1 and g2 act on disjoint qubit sets, so
+//     G' = {g3, g4, g5}.
+//   - Example 10 (odd gates): G' = {g3, g5}.
+//   - Example 10 (qubit triangle): g2..g5 act on only {q1,q2,q3}, so
+//     G' = {g2}.
+//   - Example 7 / Fig. 5: minimal mapping cost to IBM QX4 is F = 4
+//     (asserted by integration tests against both exact engines).
+//
+// Qubits are 0-based here: paper q1..q4 correspond to 0..3.
+func Figure1a() *Circuit {
+	c := New(4).SetName("fig1a")
+	c.AddH(1)       // H q2
+	c.AddH(2)       // H q3
+	c.AddCNOT(2, 3) // g1: CNOT(q3, q4)
+	c.AddCNOT(0, 1) // g2: CNOT(q1, q2)
+	c.AddT(0)       // T q1
+	c.AddCNOT(1, 2) // g3: CNOT(q2, q3)
+	c.AddCNOT(0, 2) // g4: CNOT(q1, q3)
+	c.AddCNOT(2, 0) // g5: CNOT(q3, q1)
+	return c
+}
+
+// Figure1b returns the CNOT skeleton of the running example (Fig. 1b):
+// the five CNOT gates of Figure1a with single-qubit gates removed.
+func Figure1b() *Skeleton {
+	sk, err := ExtractSkeleton(Figure1a())
+	if err != nil {
+		panic("circuit: Figure1a is not elementary: " + err.Error())
+	}
+	return sk
+}

@@ -1,0 +1,189 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindU:    "u",
+		KindH:    "h",
+		KindX:    "x",
+		KindCNOT: "cx",
+		KindSWAP: "swap",
+		KindMCT:  "mct",
+		KindTdg:  "tdg",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("invalid kind string = %q, want to mention 99", got)
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if Kind(-1).Valid() {
+		t.Error("Kind(-1) should be invalid")
+	}
+	if Kind(numKinds).Valid() {
+		t.Error("Kind(numKinds) should be invalid")
+	}
+	if !KindCNOT.Valid() {
+		t.Error("KindCNOT should be valid")
+	}
+}
+
+func TestIsSingleQubit(t *testing.T) {
+	single := []Kind{KindU, KindH, KindX, KindY, KindZ, KindS, KindSdg, KindT, KindTdg, KindRz}
+	for _, k := range single {
+		if !k.IsSingleQubit() {
+			t.Errorf("%s should be single-qubit", k)
+		}
+	}
+	for _, k := range []Kind{KindCNOT, KindSWAP, KindMCT} {
+		if k.IsSingleQubit() {
+			t.Errorf("%s should not be single-qubit", k)
+		}
+	}
+}
+
+func TestGateConstructors(t *testing.T) {
+	g := CNOT(2, 5)
+	if g.Control() != 2 || g.Target() != 5 {
+		t.Errorf("CNOT(2,5): control=%d target=%d", g.Control(), g.Target())
+	}
+	if got := H(3).Target(); got != 3 {
+		t.Errorf("H(3).Target() = %d", got)
+	}
+	m := MCT([]int{0, 1, 2}, 4)
+	if m.Target() != 4 {
+		t.Errorf("MCT target = %d, want 4", m.Target())
+	}
+	if ctrls := m.Controls(); len(ctrls) != 3 || ctrls[0] != 0 || ctrls[2] != 2 {
+		t.Errorf("MCT controls = %v", ctrls)
+	}
+	u := U(1, 0.1, 0.2, 0.3)
+	if u.Theta != 0.1 || u.Phi != 0.2 || u.Lambda != 0.3 {
+		t.Errorf("U params = %g,%g,%g", u.Theta, u.Phi, u.Lambda)
+	}
+	r := Rz(0, 1.5)
+	if r.Lambda != 1.5 {
+		t.Errorf("Rz lambda = %g", r.Lambda)
+	}
+}
+
+func TestGatePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Control on H", func() { H(0).Control() })
+	mustPanic("Target on SWAP", func() { SWAP(0, 1).Target() })
+	mustPanic("Controls on H", func() { H(0).Controls() })
+}
+
+func TestGateValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       Gate
+		n       int
+		wantErr bool
+	}{
+		{"valid cnot", CNOT(0, 1), 2, false},
+		{"out of range", CNOT(0, 5), 2, true},
+		{"negative qubit", H(-1), 2, true},
+		{"duplicate qubits", Gate{Kind: KindCNOT, Qubits: []int{1, 1}}, 3, true},
+		{"wrong arity 1q", Gate{Kind: KindH, Qubits: []int{0, 1}}, 3, true},
+		{"wrong arity cnot", Gate{Kind: KindCNOT, Qubits: []int{0}}, 3, true},
+		{"empty mct", Gate{Kind: KindMCT}, 3, true},
+		{"mct no controls ok", MCT(nil, 0), 1, false},
+		{"invalid kind", Gate{Kind: Kind(42), Qubits: []int{0}}, 1, true},
+		{"valid swap", SWAP(0, 2), 3, false},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate(tc.n)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: Validate err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestGateEqualAndCopy(t *testing.T) {
+	g := U(1, 0.5, 0.25, 0.125)
+	if !g.Equal(g.Copy()) {
+		t.Error("copy should equal original")
+	}
+	c := g.Copy()
+	c.Qubits[0] = 2
+	if g.Qubits[0] != 1 {
+		t.Error("Copy must not share qubit storage")
+	}
+	if g.Equal(U(1, 0.5, 0.25, 0.126)) {
+		t.Error("different lambda should not be equal")
+	}
+	if g.Equal(H(1)) {
+		t.Error("different kinds should not be equal")
+	}
+	if CNOT(0, 1).Equal(CNOT(1, 0)) {
+		t.Error("reversed CNOT should not be equal")
+	}
+}
+
+func TestGateString(t *testing.T) {
+	cases := []struct {
+		g    Gate
+		want string
+	}{
+		{CNOT(0, 1), "cx q0,q1"},
+		{H(2), "h q2"},
+		{Rz(0, 0.5), "rz(0.5) q0"},
+		{U(3, 1, 2, 3), "u(1,2,3) q3"},
+	}
+	for _, tc := range cases {
+		if got := tc.g.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAsU(t *testing.T) {
+	// Every named single-qubit gate must convert to a U gate; 2-qubit
+	// gates must not.
+	for _, g := range []Gate{H(0), X(0), Y(0), Z(0), S(0), Sdg(0), T(0), Tdg(0), Rz(0, 0.7), U(0, 1, 2, 3)} {
+		u, ok := g.AsU()
+		if !ok {
+			t.Errorf("%s: AsU failed", g)
+			continue
+		}
+		if u.Kind != KindU || u.Qubits[0] != 0 {
+			t.Errorf("%s: AsU gave %v", g, u)
+		}
+	}
+	// Spot-check parameters for H.
+	u, _ := H(0).AsU()
+	if math.Abs(u.Theta-math.Pi/2) > 1e-15 || math.Abs(u.Lambda-math.Pi) > 1e-15 {
+		t.Errorf("H as U: theta=%g lambda=%g", u.Theta, u.Lambda)
+	}
+	if _, ok := CNOT(0, 1).AsU(); ok {
+		t.Error("CNOT.AsU should fail")
+	}
+	if _, ok := SWAP(0, 1).AsU(); ok {
+		t.Error("SWAP.AsU should fail")
+	}
+}
+
+func TestGateArity(t *testing.T) {
+	if H(0).Arity() != 1 || CNOT(0, 1).Arity() != 2 || MCT([]int{0, 1}, 2).Arity() != 3 {
+		t.Error("unexpected arity")
+	}
+}

@@ -1,0 +1,47 @@
+package circuit
+
+import "fmt"
+
+// MappedOp is one element of a mapped gate stream — the common output
+// format of the exact and heuristic mappers: either a SWAP between two
+// physical qubits or a (possibly direction-switched) CNOT implementing a
+// skeleton gate. All qubit indices are physical.
+type MappedOp struct {
+	// Swap marks a SWAP operation on physical qubits A and B.
+	Swap bool
+	A, B int
+	// For CNOT ops: GateIndex is the skeleton gate index this op
+	// implements, Control/Target the physical qubits of the CNOT as
+	// executed, and Switched whether the logical direction was reversed
+	// (requiring 4 H gates around the physical CNOT).
+	GateIndex int
+	Control   int
+	Target    int
+	Switched  bool
+}
+
+// String renders the op compactly.
+func (o MappedOp) String() string {
+	if o.Swap {
+		return fmt.Sprintf("swap p%d,p%d", o.A, o.B)
+	}
+	if o.Switched {
+		return fmt.Sprintf("cx p%d,p%d (switched, g%d)", o.Control, o.Target, o.GateIndex+1)
+	}
+	return fmt.Sprintf("cx p%d,p%d (g%d)", o.Control, o.Target, o.GateIndex+1)
+}
+
+// OpStreamCost returns the added-operation cost of an op stream under the
+// paper's metric: 7 per SWAP and 4 per direction switch.
+func OpStreamCost(ops []MappedOp) int {
+	cost := 0
+	for _, o := range ops {
+		switch {
+		case o.Swap:
+			cost += 7
+		case o.Switched:
+			cost += 4
+		}
+	}
+	return cost
+}

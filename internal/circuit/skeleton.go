@@ -1,0 +1,131 @@
+package circuit
+
+import "fmt"
+
+// CNOTGate is one gate of a CNOT skeleton: a control/target pair over
+// logical qubits, together with the index of the originating gate in the
+// full circuit (so inserted SWAP/H operations can be spliced back).
+type CNOTGate struct {
+	Control int
+	Target  int
+	// Index is the position of this CNOT in the original (full) circuit.
+	Index int
+}
+
+// Qubits returns the two qubits the gate acts on, control first.
+func (g CNOTGate) Qubits() [2]int { return [2]int{g.Control, g.Target} }
+
+// Skeleton is the CNOT-only view of a circuit (paper Fig. 1b): single-qubit
+// gates never violate coupling constraints, so the mapping problem is
+// formulated over the CNOT sequence alone (paper Definition 4).
+type Skeleton struct {
+	NumQubits int
+	Gates     []CNOTGate
+}
+
+// ExtractSkeleton returns the CNOT skeleton of the circuit. MCT gates with
+// exactly one control are treated as CNOTs; larger MCTs and SWAP gates are
+// rejected because they must be decomposed before mapping.
+func ExtractSkeleton(c *Circuit) (*Skeleton, error) {
+	sk := &Skeleton{NumQubits: c.NumQubits()}
+	for i, g := range c.Gates() {
+		switch {
+		case g.Kind.IsSingleQubit():
+			// Ignored for mapping purposes (paper §3.2).
+		case g.Kind == KindCNOT:
+			sk.Gates = append(sk.Gates, CNOTGate{Control: g.Qubits[0], Target: g.Qubits[1], Index: i})
+		case g.Kind == KindMCT && len(g.Qubits) == 2:
+			sk.Gates = append(sk.Gates, CNOTGate{Control: g.Qubits[0], Target: g.Qubits[1], Index: i})
+		default:
+			return nil, fmt.Errorf("circuit: gate %d (%s) is not elementary; decompose before mapping", i, g.Kind)
+		}
+	}
+	return sk, nil
+}
+
+// Len returns the number of CNOT gates in the skeleton.
+func (s *Skeleton) Len() int { return len(s.Gates) }
+
+// UsedQubits returns the sorted qubits touched by at least one CNOT.
+func (s *Skeleton) UsedQubits() []int {
+	used := make([]bool, s.NumQubits)
+	for _, g := range s.Gates {
+		used[g.Control] = true
+		used[g.Target] = true
+	}
+	var qs []int
+	for q, u := range used {
+		if u {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// DisjointLayers greedily clusters the skeleton into maximal runs of
+// consecutive gates acting on pairwise-disjoint qubit sets (the "layers" of
+// heuristic mappers; paper §4.2, strategy "disjoint qubits"). Each element
+// of the result is a slice of skeleton gate indices (0-based, contiguous).
+func (s *Skeleton) DisjointLayers() [][]int {
+	var layers [][]int
+	var cur []int
+	inLayer := make(map[int]bool)
+	for i, g := range s.Gates {
+		if inLayer[g.Control] || inLayer[g.Target] {
+			layers = append(layers, cur)
+			cur = nil
+			inLayer = make(map[int]bool)
+		}
+		cur = append(cur, i)
+		inLayer[g.Control] = true
+		inLayer[g.Target] = true
+	}
+	if len(cur) > 0 {
+		layers = append(layers, cur)
+	}
+	return layers
+}
+
+// QubitClusters greedily clusters consecutive gates so that the union of
+// qubits touched within a cluster has size at most maxQubits (paper §4.2,
+// strategy "qubit triangle" with maxQubits = 3). Each element of the result
+// is a slice of contiguous skeleton gate indices.
+func (s *Skeleton) QubitClusters(maxQubits int) [][]int {
+	if maxQubits < 2 {
+		panic("circuit: QubitClusters needs maxQubits >= 2")
+	}
+	var clusters [][]int
+	var cur []int
+	inCluster := make(map[int]bool)
+	for i, g := range s.Gates {
+		added := 0
+		if !inCluster[g.Control] {
+			added++
+		}
+		if !inCluster[g.Target] {
+			added++
+		}
+		if len(inCluster)+added > maxQubits && len(cur) > 0 {
+			clusters = append(clusters, cur)
+			cur = nil
+			inCluster = make(map[int]bool)
+		}
+		cur = append(cur, i)
+		inCluster[g.Control] = true
+		inCluster[g.Target] = true
+	}
+	if len(cur) > 0 {
+		clusters = append(clusters, cur)
+	}
+	return clusters
+}
+
+// InteractionPairs returns the set of (control, target) qubit pairs that
+// appear in the skeleton, useful for architecture-compatibility heuristics.
+func (s *Skeleton) InteractionPairs() map[[2]int]int {
+	pairs := make(map[[2]int]int)
+	for _, g := range s.Gates {
+		pairs[[2]int{g.Control, g.Target}]++
+	}
+	return pairs
+}

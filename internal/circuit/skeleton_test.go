@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractSkeletonFigure1(t *testing.T) {
+	sk := Figure1b()
+	if sk.NumQubits != 4 {
+		t.Fatalf("NumQubits = %d, want 4", sk.NumQubits)
+	}
+	if sk.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", sk.Len())
+	}
+	// Paper Fig. 1b gate sequence (0-based qubits).
+	want := []CNOTGate{
+		{Control: 2, Target: 3, Index: 2},
+		{Control: 0, Target: 1, Index: 3},
+		{Control: 1, Target: 2, Index: 5},
+		{Control: 0, Target: 2, Index: 6},
+		{Control: 2, Target: 0, Index: 7},
+	}
+	for i, g := range sk.Gates {
+		if g != want[i] {
+			t.Errorf("gate %d = %+v, want %+v", i, g, want[i])
+		}
+	}
+}
+
+func TestExtractSkeletonRejectsNonElementary(t *testing.T) {
+	if _, err := ExtractSkeleton(New(2).AddSWAP(0, 1)); err == nil {
+		t.Error("SWAP should be rejected")
+	}
+	if _, err := ExtractSkeleton(New(3).AddMCT([]int{0, 1}, 2)); err == nil {
+		t.Error("3-qubit MCT should be rejected")
+	}
+	// A 2-qubit MCT is exactly a CNOT and must be accepted.
+	sk, err := ExtractSkeleton(New(2).AddMCT([]int{0}, 1))
+	if err != nil {
+		t.Fatalf("2-qubit MCT rejected: %v", err)
+	}
+	if sk.Len() != 1 || sk.Gates[0].Control != 0 || sk.Gates[0].Target != 1 {
+		t.Errorf("skeleton = %+v", sk.Gates)
+	}
+}
+
+func TestDisjointLayersFigure1(t *testing.T) {
+	// Paper Example 10: g1,g2 share no qubits; g3, g4, g5 each start a new
+	// layer. Layers: {g1,g2}, {g3}, {g4}, {g5}.
+	layers := Figure1b().DisjointLayers()
+	want := [][]int{{0, 1}, {2}, {3}, {4}}
+	if len(layers) != len(want) {
+		t.Fatalf("got %d layers %v, want %d", len(layers), layers, len(want))
+	}
+	for i := range want {
+		if len(layers[i]) != len(want[i]) {
+			t.Fatalf("layer %d = %v, want %v", i, layers[i], want[i])
+		}
+		for j := range want[i] {
+			if layers[i][j] != want[i][j] {
+				t.Errorf("layer %d = %v, want %v", i, layers[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQubitClustersFigure1(t *testing.T) {
+	// Paper Example 10 (qubit triangle): g1 = {q3,q4}; g2..g5 all fit in
+	// {q1,q2,q3}. Clusters: {g1}, {g2,g3,g4,g5}.
+	clusters := Figure1b().QubitClusters(3)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters %v, want 2", len(clusters), clusters)
+	}
+	if len(clusters[0]) != 1 || clusters[0][0] != 0 {
+		t.Errorf("cluster 0 = %v, want [0]", clusters[0])
+	}
+	if len(clusters[1]) != 4 {
+		t.Errorf("cluster 1 = %v, want [1 2 3 4]", clusters[1])
+	}
+}
+
+func TestQubitClustersPanicsOnBadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("QubitClusters(1) should panic")
+		}
+	}()
+	Figure1b().QubitClusters(1)
+}
+
+func TestSkeletonUsedQubits(t *testing.T) {
+	sk := &Skeleton{NumQubits: 6, Gates: []CNOTGate{{Control: 4, Target: 1}}}
+	got := sk.UsedQubits()
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("UsedQubits = %v", got)
+	}
+}
+
+func TestInteractionPairs(t *testing.T) {
+	sk := Figure1b()
+	pairs := sk.InteractionPairs()
+	if pairs[[2]int{2, 3}] != 1 || pairs[[2]int{0, 2}] != 1 {
+		t.Errorf("pairs = %v", pairs)
+	}
+	if len(pairs) != 5 {
+		t.Errorf("got %d distinct pairs, want 5", len(pairs))
+	}
+}
+
+// Property: layers always partition gate indices contiguously in order, and
+// gates within one layer act on pairwise disjoint qubits.
+func TestDisjointLayersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sk := randomSkeleton(seed, 6, 30)
+		layers := sk.DisjointLayers()
+		next := 0
+		for _, layer := range layers {
+			seen := map[int]bool{}
+			for _, gi := range layer {
+				if gi != next {
+					return false
+				}
+				next++
+				g := sk.Gates[gi]
+				if seen[g.Control] || seen[g.Target] {
+					return false
+				}
+				seen[g.Control] = true
+				seen[g.Target] = true
+			}
+		}
+		return next == sk.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: qubit clusters never exceed the qubit budget and preserve order.
+func TestQubitClustersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sk := randomSkeleton(seed, 6, 30)
+		clusters := sk.QubitClusters(3)
+		next := 0
+		for _, cl := range clusters {
+			qubits := map[int]bool{}
+			for _, gi := range cl {
+				if gi != next {
+					return false
+				}
+				next++
+				qubits[sk.Gates[gi].Control] = true
+				qubits[sk.Gates[gi].Target] = true
+			}
+			if len(qubits) > 3 {
+				return false
+			}
+		}
+		return next == sk.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSkeleton builds a deterministic pseudo-random skeleton from a seed
+// using a simple LCG so tests do not depend on math/rand stability.
+func randomSkeleton(seed int64, n, maxGates int) *Skeleton {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(mod))
+	}
+	sk := &Skeleton{NumQubits: n}
+	gates := next(maxGates) + 1
+	for i := 0; i < gates; i++ {
+		c := next(n)
+		t := next(n)
+		if c == t {
+			t = (t + 1) % n
+		}
+		sk.Gates = append(sk.Gates, CNOTGate{Control: c, Target: t, Index: i})
+	}
+	return sk
+}

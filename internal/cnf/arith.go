@@ -1,0 +1,157 @@
+package cnf
+
+import "repro/internal/sat"
+
+// A BitVec is an unsigned binary number as a little-endian literal vector:
+// element 0 is the least significant bit. Constant bits are represented by
+// the builder's True/False literals.
+type BitVec []sat.Lit
+
+// ConstVec returns a bit vector holding the constant value with the given
+// width. It panics if the value does not fit.
+func (b *Builder) ConstVec(value, width int) BitVec {
+	if value < 0 || (width < 64 && value >= 1<<uint(width)) {
+		panic("cnf: constant does not fit in width")
+	}
+	v := make(BitVec, width)
+	for i := range v {
+		if value>>uint(i)&1 == 1 {
+			v[i] = b.True()
+		} else {
+			v[i] = b.False()
+		}
+	}
+	return v
+}
+
+// Width returns the number of bits needed to represent value.
+func Width(value int) int {
+	w := 0
+	for value > 0 {
+		w++
+		value >>= 1
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// Add returns a bit vector equal to x + y, one bit wider than the wider
+// input (ripple-carry).
+func (b *Builder) Add(x, y BitVec) BitVec {
+	n := len(x)
+	if len(y) > n {
+		n = len(y)
+	}
+	get := func(v BitVec, i int) sat.Lit {
+		if i < len(v) {
+			return v[i]
+		}
+		return b.False()
+	}
+	out := make(BitVec, n+1)
+	carry := b.False()
+	for i := 0; i < n; i++ {
+		a, c := get(x, i), get(y, i)
+		out[i] = b.Xor3(a, c, carry)
+		carry = b.Majority(a, c, carry)
+	}
+	out[n] = carry
+	return out
+}
+
+// SumVecs returns the sum of all vectors as a balanced adder tree, which
+// keeps intermediate widths (and hence clause counts) small.
+func (b *Builder) SumVecs(vecs []BitVec) BitVec {
+	if len(vecs) == 0 {
+		return BitVec{b.False()}
+	}
+	for len(vecs) > 1 {
+		var next []BitVec
+		for i := 0; i+1 < len(vecs); i += 2 {
+			next = append(next, b.Add(vecs[i], vecs[i+1]))
+		}
+		if len(vecs)%2 == 1 {
+			next = append(next, vecs[len(vecs)-1])
+		}
+		vecs = next
+	}
+	return vecs[0]
+}
+
+// SelectConst returns a bit vector equal to values[i] when selectors[i] is
+// true. The caller must separately guarantee that exactly one selector is
+// true (or that the zero vector is acceptable when none is). Bit j of the
+// result is the disjunction of the selectors whose value has bit j set.
+func (b *Builder) SelectConst(selectors []sat.Lit, values []int, width int) BitVec {
+	if len(selectors) != len(values) {
+		panic("cnf: selector/value length mismatch")
+	}
+	out := make(BitVec, width)
+	for j := 0; j < width; j++ {
+		var ons []sat.Lit
+		for i, v := range values {
+			if v < 0 || (width < 64 && v >= 1<<uint(width)) {
+				panic("cnf: selected value does not fit in width")
+			}
+			if v>>uint(j)&1 == 1 {
+				ons = append(ons, selectors[i])
+			}
+		}
+		out[j] = b.Or(ons...)
+	}
+	return out
+}
+
+// ScaleByLit returns a vector equal to value when l is true and 0 when l is
+// false.
+func (b *Builder) ScaleByLit(l sat.Lit, value, width int) BitVec {
+	return b.SelectConst([]sat.Lit{l}, []int{value}, width)
+}
+
+// AssertLessEqConst asserts x ≤ bound for a constant bound.
+//
+// The encoding forbids every "violating prefix": for each bit position i
+// where the bound has a 0, if x matches the bound on all higher 1-bits then
+// x must have a 0 at position i as well.
+func (b *Builder) AssertLessEqConst(x BitVec, bound int) {
+	if bound < 0 {
+		b.S.AddClause() // empty clause: unsatisfiable
+		return
+	}
+	// If the bound covers the whole range of x the constraint is vacuous
+	// (and the per-bit clauses below would be wrong, since they assume all
+	// 1-bits of the bound are within x's width).
+	if len(x) < 63 && bound >= 1<<uint(len(x))-1 {
+		return
+	}
+	for i := len(x) - 1; i >= 0; i-- {
+		if bound>>uint(i)&1 == 1 {
+			continue
+		}
+		clause := []sat.Lit{x[i].Not()}
+		for j := i + 1; j < len(x); j++ {
+			if bound>>uint(j)&1 == 1 {
+				clause = append(clause, x[j].Not())
+			}
+		}
+		b.S.AddClause(clause...)
+	}
+}
+
+// Value reads the numeric value of a bit vector from the solver's model
+// after a Sat result.
+func (b *Builder) Value(x BitVec) int {
+	v := 0
+	for i, l := range x {
+		bit := b.S.Value(l.Var())
+		if !l.IsPos() {
+			bit = !bit
+		}
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

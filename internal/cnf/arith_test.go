@@ -1,0 +1,205 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+func TestWidth(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 255: 8, 256: 9}
+	for v, w := range cases {
+		if got := Width(v); got != w {
+			t.Errorf("Width(%d) = %d, want %d", v, got, w)
+		}
+	}
+}
+
+func TestConstVec(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	v := b.ConstVec(13, 5)
+	assertSat(t, s, sat.Sat, "const vec")
+	if got := b.Value(v); got != 13 {
+		t.Errorf("Value = %d, want 13", got)
+	}
+}
+
+func TestConstVecPanics(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	for _, f := range []func(){
+		func() { b.ConstVec(-1, 4) },
+		func() { b.ConstVec(16, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// freeVec allocates a vector of free variables.
+func freeVec(b *Builder, width int) BitVec {
+	v := make(BitVec, width)
+	for i := range v {
+		v[i] = b.NewLit()
+	}
+	return v
+}
+
+// assumeValue returns assumptions fixing vector x to value.
+func assumeValue(x BitVec, value int) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	for i, l := range x {
+		if value>>uint(i)&1 == 1 {
+			out[i] = l
+		} else {
+			out[i] = l.Not()
+		}
+	}
+	return out
+}
+
+func TestAddExhaustive(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := freeVec(b, 3)
+	y := freeVec(b, 4)
+	sum := b.Add(x, y)
+	if len(sum) != 5 {
+		t.Fatalf("sum width = %d, want 5", len(sum))
+	}
+	for xv := 0; xv < 8; xv++ {
+		for yv := 0; yv < 16; yv++ {
+			assumptions := append(assumeValue(x, xv), assumeValue(y, yv)...)
+			if got := s.Solve(assumptions...); got != sat.Sat {
+				t.Fatalf("x=%d y=%d: %v", xv, yv, got)
+			}
+			if got := b.Value(sum); got != xv+yv {
+				t.Fatalf("x=%d y=%d: sum = %d, want %d", xv, yv, got, xv+yv)
+			}
+		}
+	}
+}
+
+func TestSumVecs(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	vals := []int{3, 7, 1, 12, 5}
+	var vecs []BitVec
+	for _, v := range vals {
+		vecs = append(vecs, b.ConstVec(v, 4))
+	}
+	total := b.SumVecs(vecs)
+	assertSat(t, s, sat.Sat, "sum vecs")
+	if got := b.Value(total); got != 28 {
+		t.Errorf("total = %d, want 28", got)
+	}
+	// Empty sum is zero.
+	if got := b.Value(b.SumVecs(nil)); got != 0 {
+		t.Errorf("empty sum = %d", got)
+	}
+}
+
+func TestSelectConst(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	sel := []sat.Lit{b.NewLit(), b.NewLit(), b.NewLit()}
+	vals := []int{0, 7, 21}
+	out := b.SelectConst(sel, vals, 5)
+	b.ExactlyOne(sel...)
+	for i, v := range vals {
+		if got := s.Solve(sel[i]); got != sat.Sat {
+			t.Fatalf("select %d: %v", i, got)
+		}
+		if got := b.Value(out); got != v {
+			t.Errorf("select %d: value = %d, want %d", i, got, v)
+		}
+	}
+}
+
+func TestSelectConstPanics(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	b.SelectConst([]sat.Lit{b.NewLit()}, []int{1, 2}, 3)
+}
+
+func TestScaleByLit(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	l := b.NewLit()
+	v := b.ScaleByLit(l, 9, 4)
+	if got := s.Solve(l); got != sat.Sat {
+		t.Fatal(got)
+	}
+	if got := b.Value(v); got != 9 {
+		t.Errorf("scaled(true) = %d, want 9", got)
+	}
+	if got := s.Solve(l.Not()); got != sat.Sat {
+		t.Fatal(got)
+	}
+	if got := b.Value(v); got != 0 {
+		t.Errorf("scaled(false) = %d, want 0", got)
+	}
+}
+
+func TestAssertLessEqConstExhaustive(t *testing.T) {
+	// For every bound, a free 4-bit vector must admit exactly the values
+	// 0..min(bound,15).
+	for bound := 0; bound <= 17; bound++ {
+		s := sat.NewSolver()
+		b := NewBuilder(s)
+		x := freeVec(b, 4)
+		b.AssertLessEqConst(x, bound)
+		for v := 0; v < 16; v++ {
+			want := sat.Sat
+			if v > bound {
+				want = sat.Unsat
+			}
+			if got := s.Solve(assumeValue(x, v)...); got != want {
+				t.Errorf("bound=%d v=%d: %v, want %v", bound, v, got, want)
+			}
+		}
+	}
+}
+
+func TestAssertLessEqNegativeBound(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := freeVec(b, 3)
+	b.AssertLessEqConst(x, -1)
+	assertSat(t, s, sat.Unsat, "negative bound")
+}
+
+// Property: sum of random constants compared against random bounds behaves
+// like integer arithmetic.
+func TestArithmeticProperty(t *testing.T) {
+	f := func(aRaw, bRaw, boundRaw uint) bool {
+		av := int(aRaw % 32)
+		bv := int(bRaw % 32)
+		bound := int(boundRaw % 80)
+		s := sat.NewSolver()
+		bld := NewBuilder(s)
+		sum := bld.Add(bld.ConstVec(av, 6), bld.ConstVec(bv, 6))
+		bld.AssertLessEqConst(sum, bound)
+		want := sat.Sat
+		if av+bv > bound {
+			want = sat.Unsat
+		}
+		return s.Solve() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package cnf provides a structured CNF construction layer on top of the
+// CDCL solver: Tseitin-encoded logic gates, cardinality constraints
+// (at-most-one / exactly-one), one-hot constant selection, ripple-carry
+// adders, and comparisons of bit vectors against constants.
+//
+// It is the bridge between the paper's symbolic formulation (Eqs. 1–5,
+// built in internal/encoder) and the raw clause interface of internal/sat.
+// In particular, the cost function F of Eq. 5 is materialized as a binary
+// adder tree whose output is compared against a decreasing bound to prove
+// minimality.
+package cnf
+
+import "repro/internal/sat"
+
+// Builder wraps a sat.Solver with fresh-variable management and Tseitin
+// gate encodings. The zero value is not usable; construct with NewBuilder.
+type Builder struct {
+	S *sat.Solver
+
+	trueLit sat.Lit // literal fixed to true
+}
+
+// NewBuilder returns a Builder over the given solver. It allocates one
+// variable fixed to true so that Boolean constants can be represented as
+// ordinary literals in gate and adder inputs.
+func NewBuilder(s *sat.Solver) *Builder {
+	b := &Builder{S: s}
+	v := s.NewVar()
+	b.trueLit = v.Pos()
+	s.AddClause(b.trueLit)
+	return b
+}
+
+// True returns the constant-true literal.
+func (b *Builder) True() sat.Lit { return b.trueLit }
+
+// False returns the constant-false literal.
+func (b *Builder) False() sat.Lit { return b.trueLit.Not() }
+
+// IsTrue reports whether l is the constant-true literal.
+func (b *Builder) IsTrue(l sat.Lit) bool { return l == b.trueLit }
+
+// IsFalse reports whether l is the constant-false literal.
+func (b *Builder) IsFalse(l sat.Lit) bool { return l == b.trueLit.Not() }
+
+// NewLit allocates a fresh variable and returns its positive literal.
+func (b *Builder) NewLit() sat.Lit { return b.S.NewVar().Pos() }
+
+// AddClause forwards a clause to the solver.
+func (b *Builder) AddClause(lits ...sat.Lit) { b.S.AddClause(lits...) }
+
+// Implies asserts a → b.
+func (b *Builder) Implies(a, c sat.Lit) { b.S.AddClause(a.Not(), c) }
+
+// Equiv asserts a ↔ b.
+func (b *Builder) Equiv(a, c sat.Lit) {
+	b.S.AddClause(a.Not(), c)
+	b.S.AddClause(a, c.Not())
+}
+
+// And returns a literal equivalent to the conjunction of lits.
+// Constant inputs are simplified away.
+func (b *Builder) And(lits ...sat.Lit) sat.Lit {
+	var ins []sat.Lit
+	for _, l := range lits {
+		if b.IsFalse(l) {
+			return b.False()
+		}
+		if !b.IsTrue(l) {
+			ins = append(ins, l)
+		}
+	}
+	switch len(ins) {
+	case 0:
+		return b.True()
+	case 1:
+		return ins[0]
+	}
+	out := b.NewLit()
+	// out → each input; all inputs → out.
+	long := make([]sat.Lit, 0, len(ins)+1)
+	for _, l := range ins {
+		b.S.AddClause(out.Not(), l)
+		long = append(long, l.Not())
+	}
+	long = append(long, out)
+	b.S.AddClause(long...)
+	return out
+}
+
+// Or returns a literal equivalent to the disjunction of lits.
+func (b *Builder) Or(lits ...sat.Lit) sat.Lit {
+	var ins []sat.Lit
+	for _, l := range lits {
+		if b.IsTrue(l) {
+			return b.True()
+		}
+		if !b.IsFalse(l) {
+			ins = append(ins, l)
+		}
+	}
+	switch len(ins) {
+	case 0:
+		return b.False()
+	case 1:
+		return ins[0]
+	}
+	out := b.NewLit()
+	long := make([]sat.Lit, 0, len(ins)+1)
+	for _, l := range ins {
+		b.S.AddClause(out, l.Not())
+		long = append(long, l)
+	}
+	long = append(long, out.Not())
+	b.S.AddClause(long...)
+	return out
+}
+
+// Xor returns a literal equivalent to a ⊕ c.
+func (b *Builder) Xor(a, c sat.Lit) sat.Lit {
+	switch {
+	case b.IsFalse(a):
+		return c
+	case b.IsTrue(a):
+		return c.Not()
+	case b.IsFalse(c):
+		return a
+	case b.IsTrue(c):
+		return a.Not()
+	case a == c:
+		return b.False()
+	case a == c.Not():
+		return b.True()
+	}
+	out := b.NewLit()
+	b.S.AddClause(out.Not(), a, c)
+	b.S.AddClause(out.Not(), a.Not(), c.Not())
+	b.S.AddClause(out, a.Not(), c)
+	b.S.AddClause(out, a, c.Not())
+	return out
+}
+
+// Iff returns a literal equivalent to a ↔ c.
+func (b *Builder) Iff(a, c sat.Lit) sat.Lit { return b.Xor(a, c).Not() }
+
+// Majority returns a literal equivalent to the majority of a, c, d
+// (the carry-out of a full adder).
+func (b *Builder) Majority(a, c, d sat.Lit) sat.Lit {
+	// Simplify constants: maj(false,x,y) = x∧y; maj(true,x,y) = x∨y.
+	switch {
+	case b.IsFalse(a):
+		return b.And(c, d)
+	case b.IsTrue(a):
+		return b.Or(c, d)
+	case b.IsFalse(c):
+		return b.And(a, d)
+	case b.IsTrue(c):
+		return b.Or(a, d)
+	case b.IsFalse(d):
+		return b.And(a, c)
+	case b.IsTrue(d):
+		return b.Or(a, c)
+	}
+	out := b.NewLit()
+	b.S.AddClause(out, a.Not(), c.Not())
+	b.S.AddClause(out, a.Not(), d.Not())
+	b.S.AddClause(out, c.Not(), d.Not())
+	b.S.AddClause(out.Not(), a, c)
+	b.S.AddClause(out.Not(), a, d)
+	b.S.AddClause(out.Not(), c, d)
+	return out
+}
+
+// Xor3 returns a ⊕ c ⊕ d (the sum bit of a full adder).
+func (b *Builder) Xor3(a, c, d sat.Lit) sat.Lit { return b.Xor(b.Xor(a, c), d) }
+
+// AtMostOne asserts that at most one of the literals is true, using the
+// pairwise encoding for few literals and the Sinz sequential encoding
+// otherwise.
+func (b *Builder) AtMostOne(lits ...sat.Lit) {
+	n := len(lits)
+	if n <= 1 {
+		return
+	}
+	if n <= 5 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				b.S.AddClause(lits[i].Not(), lits[j].Not())
+			}
+		}
+		return
+	}
+	// Sequential encoding (Sinz 2005): s_i ↔ "some lit among the first
+	// i+1 is true", with conflict clauses preventing a second one.
+	s := make([]sat.Lit, n-1)
+	for i := range s {
+		s[i] = b.NewLit()
+	}
+	b.S.AddClause(lits[0].Not(), s[0])
+	for i := 1; i < n-1; i++ {
+		b.S.AddClause(lits[i].Not(), s[i])
+		b.S.AddClause(s[i-1].Not(), s[i])
+		b.S.AddClause(lits[i].Not(), s[i-1].Not())
+	}
+	b.S.AddClause(lits[n-1].Not(), s[n-2].Not())
+}
+
+// ExactlyOne asserts that exactly one of the literals is true.
+func (b *Builder) ExactlyOne(lits ...sat.Lit) {
+	b.S.AddClause(lits...)
+	b.AtMostOne(lits...)
+}

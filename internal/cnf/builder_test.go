@@ -1,0 +1,245 @@
+package cnf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sat"
+)
+
+// assertSat solves and fails the test on anything but the expected status.
+func assertSat(t *testing.T, s *sat.Solver, want sat.Status, msg string) {
+	t.Helper()
+	if got := s.Solve(); got != want {
+		t.Fatalf("%s: Solve = %v, want %v", msg, got, want)
+	}
+}
+
+func litVal(s *sat.Solver, l sat.Lit) bool {
+	v := s.Value(l.Var())
+	if !l.IsPos() {
+		v = !v
+	}
+	return v
+}
+
+func TestConstants(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	assertSat(t, s, sat.Sat, "fresh builder")
+	if !litVal(s, b.True()) || litVal(s, b.False()) {
+		t.Error("constants have wrong values")
+	}
+	if !b.IsTrue(b.True()) || !b.IsFalse(b.False()) || b.IsTrue(b.False()) {
+		t.Error("constant recognizers wrong")
+	}
+}
+
+// enumerate checks a gate function against a truth table by solving with
+// unit assumptions for each input combination.
+func enumerate(t *testing.T, nIn int, build func(b *Builder, ins []sat.Lit) sat.Lit, want func(bits []bool) bool) {
+	t.Helper()
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	ins := make([]sat.Lit, nIn)
+	for i := range ins {
+		ins[i] = b.NewLit()
+	}
+	out := build(b, ins)
+	for mask := 0; mask < 1<<uint(nIn); mask++ {
+		assumptions := make([]sat.Lit, nIn)
+		bits := make([]bool, nIn)
+		for i := range ins {
+			bits[i] = mask>>uint(i)&1 == 1
+			if bits[i] {
+				assumptions[i] = ins[i]
+			} else {
+				assumptions[i] = ins[i].Not()
+			}
+		}
+		if got := s.Solve(assumptions...); got != sat.Sat {
+			t.Fatalf("mask %b: %v", mask, got)
+		}
+		if got := litVal(s, out); got != want(bits) {
+			t.Errorf("mask %b: out = %v, want %v", mask, got, want(bits))
+		}
+	}
+}
+
+func TestAndGate(t *testing.T) {
+	enumerate(t, 3, func(b *Builder, ins []sat.Lit) sat.Lit { return b.And(ins...) },
+		func(bits []bool) bool { return bits[0] && bits[1] && bits[2] })
+}
+
+func TestOrGate(t *testing.T) {
+	enumerate(t, 3, func(b *Builder, ins []sat.Lit) sat.Lit { return b.Or(ins...) },
+		func(bits []bool) bool { return bits[0] || bits[1] || bits[2] })
+}
+
+func TestXorGate(t *testing.T) {
+	enumerate(t, 2, func(b *Builder, ins []sat.Lit) sat.Lit { return b.Xor(ins[0], ins[1]) },
+		func(bits []bool) bool { return bits[0] != bits[1] })
+}
+
+func TestIffGate(t *testing.T) {
+	enumerate(t, 2, func(b *Builder, ins []sat.Lit) sat.Lit { return b.Iff(ins[0], ins[1]) },
+		func(bits []bool) bool { return bits[0] == bits[1] })
+}
+
+func TestMajorityGate(t *testing.T) {
+	enumerate(t, 3, func(b *Builder, ins []sat.Lit) sat.Lit { return b.Majority(ins[0], ins[1], ins[2]) },
+		func(bits []bool) bool {
+			n := 0
+			for _, x := range bits {
+				if x {
+					n++
+				}
+			}
+			return n >= 2
+		})
+}
+
+func TestXor3Gate(t *testing.T) {
+	enumerate(t, 3, func(b *Builder, ins []sat.Lit) sat.Lit { return b.Xor3(ins[0], ins[1], ins[2]) },
+		func(bits []bool) bool { return bits[0] != bits[1] != bits[2] })
+}
+
+func TestGateConstantSimplification(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := b.NewLit()
+	if got := b.And(x, b.True()); got != x {
+		t.Error("And(x, true) should simplify to x")
+	}
+	if got := b.And(x, b.False()); !b.IsFalse(got) {
+		t.Error("And(x, false) should be false")
+	}
+	if got := b.Or(x, b.False()); got != x {
+		t.Error("Or(x, false) should simplify to x")
+	}
+	if got := b.Or(x, b.True()); !b.IsTrue(got) {
+		t.Error("Or(x, true) should be true")
+	}
+	if got := b.Xor(x, b.False()); got != x {
+		t.Error("Xor(x, false) should be x")
+	}
+	if got := b.Xor(x, b.True()); got != x.Not() {
+		t.Error("Xor(x, true) should be ¬x")
+	}
+	if got := b.Xor(x, x); !b.IsFalse(got) {
+		t.Error("Xor(x, x) should be false")
+	}
+	if got := b.Xor(x, x.Not()); !b.IsTrue(got) {
+		t.Error("Xor(x, ¬x) should be true")
+	}
+	if got := b.And(); !b.IsTrue(got) {
+		t.Error("empty And should be true")
+	}
+	if got := b.Or(); !b.IsFalse(got) {
+		t.Error("empty Or should be false")
+	}
+}
+
+func TestImpliesEquiv(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x, y := b.NewLit(), b.NewLit()
+	b.Implies(x, y)
+	if got := s.Solve(x, y.Not()); got != sat.Unsat {
+		t.Error("x ∧ ¬y should violate x→y")
+	}
+	if got := s.Solve(x.Not(), y.Not()); got != sat.Sat {
+		t.Error("¬x ∧ ¬y should satisfy x→y")
+	}
+	z, w := b.NewLit(), b.NewLit()
+	b.Equiv(z, w)
+	if got := s.Solve(z, w.Not()); got != sat.Unsat {
+		t.Error("z ∧ ¬w should violate z↔w")
+	}
+	if got := s.Solve(z.Not(), w.Not()); got != sat.Sat {
+		t.Error("¬z ∧ ¬w should satisfy z↔w")
+	}
+}
+
+// countSolutions counts models over the given literals by blocking clauses.
+func countSolutions(s *sat.Solver, lits []sat.Lit) int {
+	count := 0
+	for s.Solve() == sat.Sat {
+		count++
+		if count > 1000 {
+			panic("too many solutions")
+		}
+		block := make([]sat.Lit, len(lits))
+		for i, l := range lits {
+			if litVal(s, l) {
+				block[i] = l.Not()
+			} else {
+				block[i] = l
+			}
+		}
+		s.AddClause(block...)
+	}
+	return count
+}
+
+func TestAtMostOneCounts(t *testing.T) {
+	// For n literals, at-most-one has exactly n+1 models.
+	for _, n := range []int{2, 4, 5, 6, 9} { // spans pairwise and sequential
+		s := sat.NewSolver()
+		b := NewBuilder(s)
+		lits := make([]sat.Lit, n)
+		for i := range lits {
+			lits[i] = b.NewLit()
+		}
+		b.AtMostOne(lits...)
+		if got := countSolutions(s, lits); got != n+1 {
+			t.Errorf("n=%d: %d models, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestExactlyOneCounts(t *testing.T) {
+	for _, n := range []int{1, 3, 5, 8} {
+		s := sat.NewSolver()
+		b := NewBuilder(s)
+		lits := make([]sat.Lit, n)
+		for i := range lits {
+			lits[i] = b.NewLit()
+		}
+		b.ExactlyOne(lits...)
+		if got := countSolutions(s, lits); got != n {
+			t.Errorf("n=%d: %d models, want %d", n, got, n)
+		}
+	}
+}
+
+func TestAtMostOneTrivial(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	b.AtMostOne()           // no literals: no constraint
+	b.AtMostOne(b.NewLit()) // single literal: no constraint
+	assertSat(t, s, sat.Sat, "trivial AMO")
+}
+
+// Property: AtMostOne never admits two true literals (sequential encoding).
+func TestAtMostOnePairProperty(t *testing.T) {
+	f := func(nRaw, iRaw, jRaw uint) bool {
+		n := 6 + int(nRaw%6) // 6..11: sequential encoding
+		i := int(iRaw % uint(n))
+		j := int(jRaw % uint(n))
+		if i == j {
+			return true
+		}
+		s := sat.NewSolver()
+		b := NewBuilder(s)
+		lits := make([]sat.Lit, n)
+		for k := range lits {
+			lits[k] = b.NewLit()
+		}
+		b.AtMostOne(lits...)
+		return s.Solve(lits[i], lits[j]) == sat.Unsat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package encoder
+
+import (
+	"fmt"
+
+	"repro/internal/perm"
+	"repro/internal/sat"
+)
+
+// Solution is the decoded content of a satisfying assignment: everything
+// needed to materialize the mapped circuit (paper Fig. 5).
+type Solution struct {
+	// Cost is F: the total number of elementary operations added.
+	Cost int
+	// FrameMappings[f] is the logical→physical mapping active during
+	// frame f; FrameMappings[0] is the initial mapping.
+	FrameMappings []perm.Mapping
+	// GateFrame[k] is the frame of skeleton gate k.
+	GateFrame []int
+	// Perms[t] is the physical-state permutation applied between frames t
+	// and t+1, with PermSwaps[t] = swaps(π) its minimal SWAP count.
+	Perms     []perm.Perm
+	PermSwaps []int
+	// Switched[k] reports whether skeleton gate k is executed with
+	// reversed direction (4 inserted H gates).
+	Switched []bool
+}
+
+// MappingBeforeGate returns the active mapping just before skeleton gate k.
+func (s *Solution) MappingBeforeGate(k int) perm.Mapping {
+	return s.FrameMappings[s.GateFrame[k]]
+}
+
+// FinalMapping returns the mapping after the last gate.
+func (s *Solution) FinalMapping() perm.Mapping {
+	return s.FrameMappings[len(s.FrameMappings)-1]
+}
+
+// SwapCount returns the total number of SWAP operations inserted.
+func (s *Solution) SwapCount() int {
+	total := 0
+	for _, sw := range s.PermSwaps {
+		total += sw
+	}
+	return total
+}
+
+// SwitchCount returns the number of direction-switched CNOTs.
+func (s *Solution) SwitchCount() int {
+	total := 0
+	for _, sw := range s.Switched {
+		if sw {
+			total++
+		}
+	}
+	return total
+}
+
+// Decode reads the solver model into a Solution, validating internal
+// consistency (well-formed mappings, permutation links, recomputed cost).
+// It must only be called after the underlying solver returned Sat.
+func (e *Encoding) Decode() (*Solution, error) {
+	n := e.prob.Skeleton.NumQubits
+	m := e.prob.Arch.NumQubits()
+	sol := &Solution{GateFrame: append([]int(nil), e.gateFrame...)}
+
+	for f := range e.X {
+		mp := make(perm.Mapping, n)
+		for j := 0; j < n; j++ {
+			mp[j] = -1
+			for i := 0; i < m; i++ {
+				if e.litTrue(e.X[f][i][j]) {
+					if mp[j] != -1 {
+						return nil, fmt.Errorf("encoder: frame %d maps q%d twice", f, j)
+					}
+					mp[j] = i
+				}
+			}
+			if mp[j] == -1 {
+				return nil, fmt.Errorf("encoder: frame %d leaves q%d unmapped", f, j)
+			}
+		}
+		if !mp.Valid(m) {
+			return nil, fmt.Errorf("encoder: frame %d mapping %v not injective", f, mp)
+		}
+		sol.FrameMappings = append(sol.FrameMappings, mp)
+	}
+
+	cost := 0
+	for t, ys := range e.Y {
+		chosen := -1
+		for pi, y := range ys {
+			if e.litTrue(y) {
+				if chosen != -1 {
+					return nil, fmt.Errorf("encoder: perm point %d selects two permutations", t)
+				}
+				chosen = pi
+			}
+		}
+		if chosen == -1 {
+			return nil, fmt.Errorf("encoder: perm point %d selects no permutation", t)
+		}
+		pp := e.perms[chosen]
+		// The selected permutation must transform frame t into frame t+1.
+		if got := sol.FrameMappings[t].ApplyPerm(pp); !got.Equal(sol.FrameMappings[t+1]) {
+			return nil, fmt.Errorf("encoder: perm point %d: π%v maps %v to %v, frame has %v",
+				t, pp, sol.FrameMappings[t], got, sol.FrameMappings[t+1])
+		}
+		sol.Perms = append(sol.Perms, pp.Copy())
+		sol.PermSwaps = append(sol.PermSwaps, e.permSw[chosen])
+		cost += SwapCost * e.permSw[chosen]
+	}
+
+	for k := range e.Z {
+		sw := e.litTrue(e.Z[k])
+		sol.Switched = append(sol.Switched, sw)
+		if sw {
+			cost += HCost
+		}
+		// Verify executability against the coupling map.
+		g := e.prob.Skeleton.Gates[k]
+		mp := sol.MappingBeforeGate(k)
+		pc, pt := mp[g.Control], mp[g.Target]
+		if sw {
+			if !e.prob.Arch.Allows(pt, pc) {
+				return nil, fmt.Errorf("encoder: gate %d switched but (%d,%d) not in CM", k, pt, pc)
+			}
+		} else if !e.prob.Arch.Allows(pc, pt) {
+			return nil, fmt.Errorf("encoder: gate %d forward but (%d,%d) not in CM", k, pc, pt)
+		}
+	}
+
+	sol.Cost = cost
+	if fromBits := e.B.Value(e.CostBits); fromBits != cost {
+		return nil, fmt.Errorf("encoder: cost bits say %d, recomputed %d", fromBits, cost)
+	}
+	return sol, nil
+}
+
+func (e *Encoding) litTrue(l sat.Lit) bool {
+	v := e.B.S.Value(l.Var())
+	if !l.IsPos() {
+		v = !v
+	}
+	return v
+}

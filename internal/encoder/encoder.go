@@ -1,0 +1,288 @@
+// Package encoder builds the paper's symbolic formulation of the mapping
+// problem (§3.2, Definitions 4–5, Equations 1–5) as a CNF instance.
+//
+// Mapping variables x^k_ij state that, before CNOT gate k, logical qubit j
+// is mapped to physical qubit i. Permutation variables y^k_π select which
+// permutation of physical-qubit states is applied before gate k, and
+// switching variables z^k record whether gate k's CNOT direction must be
+// reversed (at a cost of 4 H gates). The cost function
+//
+//	F = Σ_k Σ_π 7·swaps(π)·y^k_π + Σ_k 4·z^k          (Eq. 5)
+//
+// is materialized as a binary adder tree; minimality is obtained by the
+// driver in internal/exact via iterative bound tightening.
+//
+// Consecutive gates between which no permutation is allowed share one
+// x-variable frame, so restricting the permutation points G' (paper §4.2)
+// directly shrinks the encoding.
+package encoder
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/perm"
+	"repro/internal/sat"
+)
+
+// SwapCost and HCost are the paper's cost-model constants: a SWAP
+// decomposes into 7 elementary gates, a direction switch into 4 H gates
+// (paper §2.2, Fig. 3).
+const (
+	SwapCost = 7
+	HCost    = 4
+)
+
+// Problem is one mapping instance to encode.
+type Problem struct {
+	Skeleton *circuit.Skeleton
+	Arch     *arch.Arch
+	// PermBefore[k] reports whether the mapping may change (a permutation
+	// may be inserted) immediately before skeleton gate k. Index 0 is
+	// ignored: the initial mapping is free (paper §3.2). A nil slice means
+	// permutations are allowed before every gate — the minimality-
+	// guaranteeing configuration of §3.
+	PermBefore []bool
+	// InitialMapping, when non-nil, pins the layout at the very start of
+	// the circuit (before any inserted SWAPs) instead of leaving it to the
+	// solver — an extension for mapping circuit fragments whose
+	// predecessor already placed the qubits. A permutation point is then
+	// allowed before the first gate, so the solver may route away from the
+	// pin at the usual SWAP cost.
+	InitialMapping perm.Mapping
+}
+
+// Encoding is the CNF materialization of a Problem.
+type Encoding struct {
+	B *cnf.Builder
+
+	prob   Problem
+	space  *perm.Space     // full permutation space (n = m) for swaps(π)
+	swaps  *perm.SwapTable // swap-distance table on the coupling graph
+	perms  []perm.Perm     // Π, indexed as in Y
+	permSw []int           // swaps(π) per permutation
+
+	// frames[f] = index of the first skeleton gate of frame f; gates of
+	// frame f are [frames[f], frames[f+1]) (last frame ends at |G|).
+	frames []int
+	// gateFrame[k] = frame index of skeleton gate k.
+	gateFrame []int
+
+	// X[f][i][j]: in frame f, logical qubit j sits on physical qubit i.
+	X [][][]sat.Lit
+	// Y[t][p]: permutation p (index into perms) is applied at permutation
+	// point t, which sits between frames t and t+1.
+	Y [][]sat.Lit
+	// Z[k]: skeleton gate k is executed with switched direction.
+	Z []sat.Lit
+
+	// CostBits is the binary value of F.
+	CostBits cnf.BitVec
+	// MaxCost is the largest value F can take in this encoding.
+	MaxCost int
+}
+
+// Encode builds the CNF instance for the problem on the given builder.
+func Encode(p Problem, b *cnf.Builder) (*Encoding, error) {
+	n := p.Skeleton.NumQubits
+	m := p.Arch.NumQubits()
+	if n > m {
+		return nil, fmt.Errorf("encoder: circuit has %d logical qubits but %s has only %d physical", n, p.Arch, m)
+	}
+	if n == 0 || p.Skeleton.Len() == 0 {
+		return nil, fmt.Errorf("encoder: empty problem (n=%d, gates=%d)", n, p.Skeleton.Len())
+	}
+	if p.PermBefore != nil && len(p.PermBefore) != p.Skeleton.Len() {
+		return nil, fmt.Errorf("encoder: PermBefore has %d entries for %d gates", len(p.PermBefore), p.Skeleton.Len())
+	}
+	if m > 6 {
+		return nil, fmt.Errorf("encoder: exhaustive permutation enumeration infeasible for m=%d physical qubits; restrict to a subset first (paper §4.1)", m)
+	}
+	if p.InitialMapping != nil && (len(p.InitialMapping) != n || !p.InitialMapping.Valid(m)) {
+		return nil, fmt.Errorf("encoder: invalid initial mapping %v for n=%d, m=%d", p.InitialMapping, n, m)
+	}
+
+	e := &Encoding{B: b, prob: p}
+	e.space = perm.NewSpace(m, m)
+	e.swaps = perm.NewSwapTable(e.space, p.Arch.UndirectedEdges())
+	for _, pp := range perm.All(m) {
+		e.perms = append(e.perms, pp)
+		e.permSw = append(e.permSw, e.swaps.PermSwaps(pp))
+	}
+
+	e.buildFrames()
+	e.buildMappingVars()
+	e.pinInitialMapping()
+	e.buildGateConstraints()
+	e.buildPermutationLinks()
+	e.buildCost()
+	return e, nil
+}
+
+// PermAllowed reports whether a permutation may occur before gate k.
+// Index 0 always reports false: the initial mapping is free rather than
+// produced by a permutation.
+func (p Problem) PermAllowed(k int) bool {
+	if k == 0 {
+		return false // initial mapping is free; no permutation "before" g1
+	}
+	if p.PermBefore == nil {
+		return true
+	}
+	return p.PermBefore[k]
+}
+
+func (e *Encoding) buildFrames() {
+	e.gateFrame = make([]int, e.prob.Skeleton.Len())
+	if e.prob.InitialMapping != nil {
+		// Virtual gate-free frame holding the pinned layout, separated
+		// from the first gate's frame by a permutation point.
+		e.frames = append(e.frames, -1)
+	}
+	for k := 0; k < e.prob.Skeleton.Len(); k++ {
+		if k == 0 || e.prob.PermAllowed(k) {
+			e.frames = append(e.frames, k)
+		}
+		e.gateFrame[k] = len(e.frames) - 1
+	}
+}
+
+// NumFrames returns the number of distinct x-variable frames.
+func (e *Encoding) NumFrames() int { return len(e.frames) }
+
+// NumPermPoints returns |G'| + 0: the number of places a permutation may be
+// inserted (paper column |G'|; one per frame boundary).
+func (e *Encoding) NumPermPoints() int { return len(e.frames) - 1 }
+
+func (e *Encoding) buildMappingVars() {
+	n := e.prob.Skeleton.NumQubits
+	m := e.prob.Arch.NumQubits()
+	e.X = make([][][]sat.Lit, len(e.frames))
+	for f := range e.X {
+		e.X[f] = make([][]sat.Lit, m)
+		for i := 0; i < m; i++ {
+			e.X[f][i] = make([]sat.Lit, n)
+			for j := 0; j < n; j++ {
+				e.X[f][i][j] = e.B.NewLit()
+			}
+		}
+		// Eq. (1): each logical qubit on exactly one physical qubit...
+		for j := 0; j < n; j++ {
+			col := make([]sat.Lit, m)
+			for i := 0; i < m; i++ {
+				col[i] = e.X[f][i][j]
+			}
+			e.B.ExactlyOne(col...)
+		}
+		// ...and each physical qubit holds at most one logical qubit.
+		for i := 0; i < m; i++ {
+			e.B.AtMostOne(e.X[f][i]...)
+		}
+	}
+}
+
+// pinInitialMapping adds unit clauses fixing frame 0 when the problem
+// specifies a fixed initial mapping.
+func (e *Encoding) pinInitialMapping() {
+	if e.prob.InitialMapping == nil {
+		return
+	}
+	for j, i := range e.prob.InitialMapping {
+		e.B.AddClause(e.X[0][i][j])
+	}
+}
+
+// buildGateConstraints adds Eq. (2) (executability) and Eq. (4) (direction
+// switching) for every skeleton gate.
+func (e *Encoding) buildGateConstraints() {
+	e.Z = make([]sat.Lit, e.prob.Skeleton.Len())
+	for k, g := range e.prob.Skeleton.Gates {
+		x := e.X[e.gateFrame[k]]
+		var fwds, revs []sat.Lit
+		for _, pr := range e.prob.Arch.Pairs() {
+			// Forward: control on pr.Control, target on pr.Target.
+			fwds = append(fwds, e.B.And(x[pr.Control][g.Control], x[pr.Target][g.Target]))
+			// Reversed: control/target switched relative to the coupling
+			// entry — executable after inserting 4 H gates.
+			revs = append(revs, e.B.And(x[pr.Control][g.Target], x[pr.Target][g.Control]))
+		}
+		fwd := e.B.Or(fwds...)
+		rev := e.B.Or(revs...)
+		// Eq. (2): some orientation must be executable.
+		e.B.AddClause(fwd, rev)
+		// Eq. (4): the direction is switched exactly when the forward
+		// orientation is not available. (On the antisymmetric IBM coupling
+		// maps this is equivalent to the paper's z ↔ rev; for architectures
+		// with bidirectional couplings it correctly avoids charging 4 H
+		// when the forward direction works.)
+		z := e.B.And(rev, fwd.Not())
+		e.Z[k] = z
+	}
+}
+
+// buildPermutationLinks adds Eq. (3): the y^k_π selectors and their
+// consistency with adjacent x frames. Following footnote 5, the implication
+// is left-handed (y → consistency) combined with an exactly-one constraint,
+// which also handles n < m, where the permutation on unoccupied physical
+// qubits is not determined by the mappings.
+func (e *Encoding) buildPermutationLinks() {
+	n := e.prob.Skeleton.NumQubits
+	m := e.prob.Arch.NumQubits()
+	e.Y = make([][]sat.Lit, e.NumPermPoints())
+	for t := 0; t < e.NumPermPoints(); t++ {
+		before, after := e.X[t], e.X[t+1]
+		ys := make([]sat.Lit, len(e.perms))
+		for pi, pp := range e.perms {
+			y := e.B.NewLit()
+			ys[pi] = y
+			if e.permSw[pi] < 0 {
+				// Unrealizable permutation (disconnected graph).
+				e.B.AddClause(y.Not())
+				continue
+			}
+			// y → (x^{k-1}_ij ↔ x^k_{π(i)j}) for all i, j.
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					e.B.AddClause(y.Not(), before[i][j].Not(), after[pp[i]][j])
+					e.B.AddClause(y.Not(), before[i][j], after[pp[i]][j].Not())
+				}
+			}
+		}
+		e.B.ExactlyOne(ys...)
+		e.Y[t] = ys
+	}
+}
+
+// buildCost assembles Eq. (5) as a bit vector.
+func (e *Encoding) buildCost() {
+	maxSwap := 0
+	costs := make([]int, len(e.perms))
+	for pi, sw := range e.permSw {
+		if sw > 0 {
+			costs[pi] = SwapCost * sw
+			if costs[pi] > maxSwap {
+				maxSwap = costs[pi]
+			}
+		}
+	}
+	e.MaxCost = e.NumPermPoints()*maxSwap + len(e.Z)*HCost
+	width := cnf.Width(e.MaxCost)
+
+	var vecs []cnf.BitVec
+	for _, ys := range e.Y {
+		vecs = append(vecs, e.B.SelectConst(ys, costs, width))
+	}
+	for _, z := range e.Z {
+		vecs = append(vecs, e.B.ScaleByLit(z, HCost, width))
+	}
+	e.CostBits = e.B.SumVecs(vecs)
+}
+
+// AssertCostAtMost permanently adds the constraint F ≤ bound. Successive
+// calls must use non-increasing bounds (the minimization driver tightens
+// monotonically).
+func (e *Encoding) AssertCostAtMost(bound int) {
+	e.B.AssertLessEqConst(e.CostBits, bound)
+}

@@ -1,0 +1,300 @@
+package encoder
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// mkSkeleton builds a skeleton from (control, target) pairs.
+func mkSkeleton(n int, pairs ...[2]int) *circuit.Skeleton {
+	sk := &circuit.Skeleton{NumQubits: n}
+	for i, p := range pairs {
+		sk.Gates = append(sk.Gates, circuit.CNOTGate{Control: p[0], Target: p[1], Index: i})
+	}
+	return sk
+}
+
+// encode is a test helper building a fresh solver + encoding.
+func encode(t *testing.T, p Problem) (*sat.Solver, *Encoding) {
+	t.Helper()
+	s := sat.NewSolver()
+	b := cnf.NewBuilder(s)
+	e, err := Encode(p, b)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return s, e
+}
+
+// minimize drives the bound-tightening loop and returns the minimal cost.
+func minimize(t *testing.T, s *sat.Solver, e *Encoding) (*Solution, int) {
+	t.Helper()
+	if s.Solve() != sat.Sat {
+		return nil, -1
+	}
+	best, err := e.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for best.Cost > 0 {
+		e.AssertCostAtMost(best.Cost - 1)
+		if s.Solve() != sat.Sat {
+			break
+		}
+		sol, err := e.Decode()
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if sol.Cost >= best.Cost {
+			t.Fatalf("cost did not decrease: %d → %d", best.Cost, sol.Cost)
+		}
+		best = sol
+	}
+	return best, best.Cost
+}
+
+func TestEncodeErrors(t *testing.T) {
+	b := cnf.NewBuilder(sat.NewSolver())
+	qx4 := arch.QX4()
+	if _, err := Encode(Problem{Skeleton: mkSkeleton(6, [2]int{0, 1}), Arch: qx4}, b); err == nil {
+		t.Error("n > m should fail")
+	}
+	if _, err := Encode(Problem{Skeleton: mkSkeleton(2), Arch: qx4}, b); err == nil {
+		t.Error("empty skeleton should fail")
+	}
+	if _, err := Encode(Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: arch.QX5()}, b); err == nil {
+		t.Error("m=16 should be rejected (needs subset restriction)")
+	}
+	bad := Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: qx4, PermBefore: []bool{true, true}}
+	if _, err := Encode(bad, b); err == nil {
+		t.Error("wrong PermBefore length should fail")
+	}
+}
+
+func TestFigure4VariableCounts(t *testing.T) {
+	// Paper Fig. 4 / Example 8: mapping the 4-qubit, 5-CNOT example to QX4
+	// uses n·m·|G| = 4·5·5 = 100 mapping variables (5 frames of 20).
+	_, e := encode(t, Problem{Skeleton: circuit.Figure1b(), Arch: arch.QX4()})
+	if e.NumFrames() != 5 {
+		t.Errorf("frames = %d, want 5", e.NumFrames())
+	}
+	if e.NumPermPoints() != 4 {
+		t.Errorf("perm points = %d, want 4", e.NumPermPoints())
+	}
+	xVars := 0
+	for _, frame := range e.X {
+		for _, row := range frame {
+			xVars += len(row)
+		}
+	}
+	if xVars != 100 {
+		t.Errorf("x variables = %d, want 100", xVars)
+	}
+	if len(e.Z) != 5 {
+		t.Errorf("z variables = %d, want 5", len(e.Z))
+	}
+	for _, ys := range e.Y {
+		if len(ys) != 120 {
+			t.Errorf("y variables per point = %d, want 120 (5!)", len(ys))
+		}
+	}
+}
+
+func TestSingleCNOTZeroCost(t *testing.T) {
+	// One CNOT: the initial mapping can always place control/target on a
+	// coupled pair in forward orientation → cost 0.
+	s, e := encode(t, Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: arch.QX4()})
+	sol, cost := minimize(t, s, e)
+	if cost != 0 {
+		t.Fatalf("cost = %d, want 0", cost)
+	}
+	if sol.SwapCount() != 0 || sol.SwitchCount() != 0 {
+		t.Errorf("swaps=%d switches=%d", sol.SwapCount(), sol.SwitchCount())
+	}
+	// The initial mapping must place the pair on an allowed coupling.
+	mp := sol.FrameMappings[0]
+	if !arch.QX4().Allows(mp[0], mp[1]) {
+		t.Errorf("initial mapping %v not forward-executable", mp)
+	}
+}
+
+func TestOppositeCNOTsNeedFourH(t *testing.T) {
+	// CNOT(a,b) then CNOT(b,a): one of them must be direction-switched on
+	// an antisymmetric coupling map; switching costs 4, a SWAP would cost 7.
+	sk := mkSkeleton(2, [2]int{0, 1}, [2]int{1, 0})
+	s, e := encode(t, Problem{Skeleton: sk, Arch: arch.QX4()})
+	sol, cost := minimize(t, s, e)
+	if cost != HCost {
+		t.Fatalf("cost = %d, want %d", cost, HCost)
+	}
+	if sol.SwitchCount() != 1 || sol.SwapCount() != 0 {
+		t.Errorf("swaps=%d switches=%d, want 0,1", sol.SwapCount(), sol.SwitchCount())
+	}
+}
+
+func TestFigure5MinimalCostIsFour(t *testing.T) {
+	// Paper Example 7 / Fig. 5: the running example maps to QX4 with
+	// minimal cost F = 4.
+	s, e := encode(t, Problem{Skeleton: circuit.Figure1b(), Arch: arch.QX4()})
+	_, cost := minimize(t, s, e)
+	if cost != 4 {
+		t.Fatalf("minimal cost = %d, want 4 (paper Example 7)", cost)
+	}
+}
+
+func TestThreeQubitOnFiveQubitArch(t *testing.T) {
+	// n < m exercises footnote 5 (left-handed implication + exactly-one).
+	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 0})
+	s, e := encode(t, Problem{Skeleton: sk, Arch: arch.QX4()})
+	sol, cost := minimize(t, s, e)
+	if cost < 0 {
+		t.Fatal("unsatisfiable")
+	}
+	// A 3-cycle of CNOTs fits on a QX4 triangle; at most direction fixes.
+	if sol.SwapCount() != 0 {
+		t.Errorf("swaps = %d, want 0 (triangle placement exists)", sol.SwapCount())
+	}
+	if cost > 3*HCost {
+		t.Errorf("cost = %d, want ≤ %d", cost, 3*HCost)
+	}
+}
+
+func TestNoPermutationsMayBeUnsat(t *testing.T) {
+	// K4 interaction graph cannot be hosted by any fixed mapping on QX4
+	// (no 4 physical qubits are pairwise coupled), so with all permutation
+	// points disabled the instance is unsatisfiable.
+	sk := mkSkeleton(4,
+		[2]int{0, 1}, [2]int{2, 3}, [2]int{0, 2},
+		[2]int{1, 3}, [2]int{0, 3}, [2]int{1, 2})
+	noPerms := make([]bool, sk.Len())
+	s, _ := encode(t, Problem{Skeleton: sk, Arch: arch.QX4(), PermBefore: noPerms})
+	if got := s.Solve(); got != sat.Unsat {
+		t.Fatalf("fixed-mapping K4 = %v, want UNSAT", got)
+	}
+	// With permutations allowed the same instance is satisfiable.
+	s2, e2 := encode(t, Problem{Skeleton: sk, Arch: arch.QX4()})
+	_, cost := minimize(t, s2, e2)
+	if cost < 0 {
+		t.Fatal("K4 with permutations should be satisfiable")
+	}
+	if cost == 0 {
+		t.Error("K4 cannot be free")
+	}
+}
+
+func TestPermBeforeReducesFrames(t *testing.T) {
+	sk := circuit.Figure1b()
+	// Permutations only before gate 2 (paper Example 10, qubit triangle
+	// G' = {g2} — 0-based gate index 1).
+	pb := make([]bool, sk.Len())
+	pb[1] = true
+	_, e := encode(t, Problem{Skeleton: sk, Arch: arch.QX4(), PermBefore: pb})
+	if e.NumFrames() != 2 {
+		t.Errorf("frames = %d, want 2", e.NumFrames())
+	}
+	if e.NumPermPoints() != 1 {
+		t.Errorf("perm points = %d, want 1", e.NumPermPoints())
+	}
+}
+
+func TestRestrictedStrategiesStillFindFour(t *testing.T) {
+	// Paper Example 10: all three G' strategies still achieve F = 4 on the
+	// running example.
+	sk := circuit.Figure1b()
+	cases := map[string][]int{
+		"disjoint": {2, 3, 4}, // G' = {g3, g4, g5}
+		"odd":      {2, 4},    // G' = {g3, g5}
+		"triangle": {1},       // G' = {g2}
+	}
+	for name, gprime := range cases {
+		pb := make([]bool, sk.Len())
+		for _, k := range gprime {
+			pb[k] = true
+		}
+		s, e := encode(t, Problem{Skeleton: sk, Arch: arch.QX4(), PermBefore: pb})
+		_, cost := minimize(t, s, e)
+		if cost != 4 {
+			t.Errorf("%s strategy: cost = %d, want 4", name, cost)
+		}
+	}
+}
+
+func TestDecodedSolutionInternallyConsistent(t *testing.T) {
+	sk := mkSkeleton(4,
+		[2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3}, [2]int{3, 0}, [2]int{0, 2})
+	s, e := encode(t, Problem{Skeleton: sk, Arch: arch.QX4()})
+	sol, cost := minimize(t, s, e)
+	if cost < 0 {
+		t.Fatal("unsat")
+	}
+	// Decode already validates perm links and coupling compliance; check
+	// the cost bookkeeping identity.
+	if sol.Cost != SwapCost*sol.SwapCount()+HCost*sol.SwitchCount() {
+		t.Errorf("cost identity violated: %d vs 7·%d+4·%d", sol.Cost, sol.SwapCount(), sol.SwitchCount())
+	}
+	if len(sol.Switched) != sk.Len() {
+		t.Errorf("Switched length %d", len(sol.Switched))
+	}
+	if !sol.FinalMapping().Valid(5) {
+		t.Error("final mapping invalid")
+	}
+}
+
+func TestMaxCostBoundIsSat(t *testing.T) {
+	// Asserting F ≤ MaxCost must not change satisfiability, and the
+	// decoded cost always fits the advertised bound.
+	s, e := encode(t, Problem{Skeleton: circuit.Figure1b(), Arch: arch.QX4()})
+	e.AssertCostAtMost(e.MaxCost)
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("bounded by MaxCost: %v", got)
+	}
+	sol, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost > e.MaxCost {
+		t.Errorf("cost %d exceeds MaxCost %d", sol.Cost, e.MaxCost)
+	}
+}
+
+func TestPinnedInitialMappingEncoding(t *testing.T) {
+	// Pinning creates a leading frame and permutation point.
+	pin := []int{4, 2, 0, 3}
+	_, e := encode(t, Problem{
+		Skeleton:       circuit.Figure1b(),
+		Arch:           arch.QX4(),
+		InitialMapping: pin,
+	})
+	if e.NumFrames() != 6 {
+		t.Errorf("frames = %d, want 6 (5 + leading pinned frame)", e.NumFrames())
+	}
+	s := e.B.S
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("pinned instance: %v", got)
+	}
+	sol, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range pin {
+		if sol.FrameMappings[0][j] != want {
+			t.Fatalf("frame 0 = %v, want pin %v", sol.FrameMappings[0], pin)
+		}
+	}
+}
+
+func TestEncodeRejectsBadPin(t *testing.T) {
+	b := cnf.NewBuilder(sat.NewSolver())
+	_, err := Encode(Problem{
+		Skeleton:       circuit.Figure1b(),
+		Arch:           arch.QX4(),
+		InitialMapping: []int{0, 0, 1, 2},
+	}, b)
+	if err == nil {
+		t.Error("non-injective pin should be rejected")
+	}
+}

@@ -1,0 +1,143 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/encoder"
+	"repro/internal/perm"
+)
+
+// SolveBrute computes the minimal cost by plain recursive enumeration of
+// every frame-mapping sequence, with swap distances recomputed by a local
+// breadth-first search that shares no code with perm.SwapTable. It is a
+// third, fully independent oracle used only in tests (its complexity is
+// |mappings|^frames), guarding against correlated bugs between the SAT and
+// DP engines. Only the cost is returned.
+func SolveBrute(p encoder.Problem) (int, error) {
+	n := p.Skeleton.NumQubits
+	m := p.Arch.NumQubits()
+	if n > m || n == 0 || p.Skeleton.Len() == 0 {
+		return 0, fmt.Errorf("exact: brute force rejects this instance shape")
+	}
+
+	// Enumerate injective mappings locally.
+	var mappings []perm.Mapping
+	cur := make(perm.Mapping, n)
+	used := make([]bool, m)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			mappings = append(mappings, cur.Copy())
+			return
+		}
+		for i := 0; i < m; i++ {
+			if !used[i] {
+				used[i] = true
+				cur[j] = i
+				rec(j + 1)
+				used[i] = false
+			}
+		}
+	}
+	rec(0)
+	if len(mappings) > 200 {
+		return 0, fmt.Errorf("exact: brute force limited to tiny mapping spaces (%d)", len(mappings))
+	}
+
+	// Frames.
+	var frames [][]int
+	for k := 0; k < p.Skeleton.Len(); k++ {
+		if k == 0 || p.PermAllowed(k) {
+			frames = append(frames, nil)
+		}
+		frames[len(frames)-1] = append(frames[len(frames)-1], k)
+	}
+	if len(frames) > 4 {
+		return 0, fmt.Errorf("exact: brute force limited to ≤4 frames, have %d", len(frames))
+	}
+
+	const inf = 1 << 30
+	frameCost := func(gates []int, mp perm.Mapping) int {
+		cost := 0
+		for _, k := range gates {
+			g := p.Skeleton.Gates[k]
+			pc, pt := mp[g.Control], mp[g.Target]
+			switch {
+			case p.Arch.Allows(pc, pt):
+			case p.Arch.Allows(pt, pc):
+				cost += encoder.HCost
+			default:
+				return inf
+			}
+		}
+		return cost
+	}
+
+	// Local BFS swap distance (independent of perm.SwapTable).
+	swapDist := func(from, to perm.Mapping) int {
+		type state struct {
+			mp perm.Mapping
+			d  int
+		}
+		key := func(mp perm.Mapping) string {
+			b := make([]byte, len(mp))
+			for i, v := range mp {
+				b[i] = byte(v)
+			}
+			return string(b)
+		}
+		if from.Equal(to) {
+			return 0
+		}
+		seen := map[string]bool{key(from): true}
+		queue := []state{{from, 0}}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			for _, e := range p.Arch.UndirectedEdges() {
+				next := s.mp.ApplySwap(e.A, e.B)
+				if next.Equal(to) {
+					return s.d + 1
+				}
+				k := key(next)
+				if !seen[k] {
+					seen[k] = true
+					queue = append(queue, state{next, s.d + 1})
+				}
+			}
+		}
+		return -1
+	}
+
+	best := inf
+	var walk func(f int, prev perm.Mapping, acc int)
+	walk = func(f int, prev perm.Mapping, acc int) {
+		if acc >= best {
+			return
+		}
+		if f == len(frames) {
+			best = acc
+			return
+		}
+		for _, mp := range mappings {
+			cost := acc
+			if f > 0 {
+				d := swapDist(prev, mp)
+				if d < 0 {
+					continue
+				}
+				cost += encoder.SwapCost * d
+			}
+			fc := frameCost(frames[f], mp)
+			if fc >= inf {
+				continue
+			}
+			walk(f+1, mp, cost+fc)
+		}
+	}
+	walk(0, nil, 0)
+	if best >= inf {
+		return 0, fmt.Errorf("exact: no valid mapping exists (brute force)")
+	}
+	return best, nil
+}

@@ -1,0 +1,189 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/encoder"
+	"repro/internal/perm"
+)
+
+// maxDPStates bounds the mapping-space size the DP engine will enumerate.
+// QX-class devices (m ≤ 5) have at most 120 injective mappings; larger
+// architectures must be restricted to subsets first (paper §4.1).
+const maxDPStates = 4096
+
+// SolveDP finds the minimal-cost mapping by dynamic programming over
+// (frame, mapping) states: within a frame the mapping is fixed and each
+// gate contributes 0 (forward-executable) or 4 (direction switch, 4 H
+// gates); between frames the transition cost is 7 times the token-swap
+// distance between the mappings. This is an independent exact oracle for
+// the paper's cost function (Eq. 5) — tractable because the IBM QX mapping
+// spaces are tiny — and is used to cross-check the SAT engine.
+func SolveDP(p encoder.Problem) (*Result, error) {
+	start := time.Now()
+	n := p.Skeleton.NumQubits
+	m := p.Arch.NumQubits()
+	if n > m {
+		return nil, fmt.Errorf("exact: circuit has %d logical qubits but architecture only %d", n, m)
+	}
+	if n == 0 || p.Skeleton.Len() == 0 {
+		return nil, fmt.Errorf("exact: empty problem")
+	}
+	if p.PermBefore != nil && len(p.PermBefore) != p.Skeleton.Len() {
+		return nil, fmt.Errorf("exact: PermBefore has %d entries for %d gates", len(p.PermBefore), p.Skeleton.Len())
+	}
+
+	states := 1
+	for i := 0; i < n; i++ {
+		states *= m - i
+		if states > maxDPStates {
+			return nil, fmt.Errorf("exact: DP mapping space exceeds %d states; restrict to a subset first", maxDPStates)
+		}
+	}
+	space := perm.NewSpace(m, n)
+	table := perm.NewSwapTable(space, p.Arch.UndirectedEdges())
+
+	// Frames: segment the gate sequence at permutation points. A pinned
+	// initial layout gets its own gate-free leading frame so the solver
+	// may route away from the pin before the first gate.
+	var frames [][]int // frame → skeleton gate indices
+	gateFrame := make([]int, p.Skeleton.Len())
+	if p.InitialMapping != nil {
+		frames = append(frames, nil)
+	}
+	for k := 0; k < p.Skeleton.Len(); k++ {
+		if k == 0 || p.PermAllowed(k) {
+			frames = append(frames, nil)
+		}
+		f := len(frames) - 1
+		frames[f] = append(frames[f], k)
+		gateFrame[k] = f
+	}
+
+	const inf = math.MaxInt32
+	size := space.Size()
+
+	// frameCost[s] = H-cost of executing the frame's gates under mapping s,
+	// or inf if some gate is not executable in either direction.
+	frameCost := func(gates []int, s int) int {
+		mp := space.Mapping(s)
+		cost := 0
+		for _, k := range gates {
+			g := p.Skeleton.Gates[k]
+			pc, pt := mp[g.Control], mp[g.Target]
+			switch {
+			case p.Arch.Allows(pc, pt):
+				// forward: free
+			case p.Arch.Allows(pt, pc):
+				cost += encoder.HCost
+			default:
+				return inf
+			}
+		}
+		return cost
+	}
+
+	// DP forward pass with parent pointers for reconstruction.
+	cur := make([]int, size)
+	parent := make([][]int32, len(frames))
+	pinned := -1
+	if p.InitialMapping != nil {
+		if len(p.InitialMapping) != n || !p.InitialMapping.Valid(m) {
+			return nil, fmt.Errorf("exact: invalid initial mapping %v", p.InitialMapping)
+		}
+		pinned = space.Index(p.InitialMapping)
+	}
+	for s := 0; s < size; s++ {
+		if pinned >= 0 && s != pinned {
+			cur[s] = inf
+			continue
+		}
+		cur[s] = frameCost(frames[0], s)
+	}
+	for f := 1; f < len(frames); f++ {
+		next := make([]int, size)
+		par := make([]int32, size)
+		for s := range next {
+			next[s] = inf
+			par[s] = -1
+		}
+		for sPrev := 0; sPrev < size; sPrev++ {
+			if cur[sPrev] >= inf {
+				continue
+			}
+			for s := 0; s < size; s++ {
+				d := table.MinSwapsIdx(sPrev, s)
+				if d < 0 {
+					continue
+				}
+				c := cur[sPrev] + encoder.SwapCost*d
+				if c >= next[s] {
+					continue
+				}
+				next[s] = c
+				par[s] = int32(sPrev)
+			}
+		}
+		for s := 0; s < size; s++ {
+			if next[s] >= inf {
+				continue
+			}
+			fc := frameCost(frames[f], s)
+			if fc >= inf {
+				next[s] = inf
+				par[s] = -1
+			} else {
+				next[s] += fc
+			}
+		}
+		cur = next
+		parent[f] = par
+	}
+
+	bestState, bestCost := -1, inf
+	for s := 0; s < size; s++ {
+		if cur[s] < bestCost {
+			bestCost = cur[s]
+			bestState = s
+		}
+	}
+	if bestState < 0 {
+		return nil, fmt.Errorf("exact: no valid mapping exists (unsatisfiable instance)")
+	}
+
+	// Reconstruct frame mappings.
+	stateSeq := make([]int, len(frames))
+	stateSeq[len(frames)-1] = bestState
+	for f := len(frames) - 1; f > 0; f-- {
+		stateSeq[f-1] = int(parent[f][stateSeq[f]])
+	}
+
+	sol := &encoder.Solution{GateFrame: gateFrame}
+	for _, s := range stateSeq {
+		sol.FrameMappings = append(sol.FrameMappings, space.Mapping(s).Copy())
+	}
+	for f := 1; f < len(frames); f++ {
+		sol.PermSwaps = append(sol.PermSwaps, table.MinSwapsIdx(stateSeq[f-1], stateSeq[f]))
+	}
+	for k, g := range p.Skeleton.Gates {
+		mp := sol.FrameMappings[gateFrame[k]]
+		pc, pt := mp[g.Control], mp[g.Target]
+		switched := !p.Arch.Allows(pc, pt)
+		if switched && !p.Arch.Allows(pt, pc) {
+			return nil, fmt.Errorf("exact: internal error: gate %d not executable in reconstruction", k)
+		}
+		sol.Switched = append(sol.Switched, switched)
+	}
+	sol.Cost = bestCost
+
+	return &Result{
+		Cost:       bestCost,
+		Solution:   sol,
+		WorkArch:   p.Arch,
+		PermPoints: len(frames) - 1,
+		Engine:     "dp",
+		Runtime:    time.Since(start),
+	}, nil
+}

@@ -1,0 +1,500 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/encoder"
+)
+
+func mkSkeleton(n int, pairs ...[2]int) *circuit.Skeleton {
+	sk := &circuit.Skeleton{NumQubits: n}
+	for i, p := range pairs {
+		sk.Gates = append(sk.Gates, circuit.CNOTGate{Control: p[0], Target: p[1], Index: i})
+	}
+	return sk
+}
+
+// randomSkeleton generates a deterministic pseudo-random skeleton.
+func randomSkeleton(seed int64, n, gates int) *circuit.Skeleton {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(mod))
+	}
+	sk := &circuit.Skeleton{NumQubits: n}
+	for i := 0; i < gates; i++ {
+		c := next(n)
+		t := next(n)
+		if c == t {
+			t = (t + 1) % n
+		}
+		sk.Gates = append(sk.Gates, circuit.CNOTGate{Control: c, Target: t, Index: i})
+	}
+	return sk
+}
+
+func TestStrategyPermBeforeExample10(t *testing.T) {
+	sk := circuit.Figure1b()
+	cases := []struct {
+		s    Strategy
+		want []int // 0-based gate indices in G'
+	}{
+		{StrategyAll, []int{1, 2, 3, 4}},
+		{StrategyDisjoint, []int{2, 3, 4}}, // paper: G' = {g3, g4, g5}
+		{StrategyOdd, []int{2, 4}},         // paper: G' = {g3, g5}
+		{StrategyTriangle, []int{1}},       // paper: G' = {g2}
+	}
+	for _, tc := range cases {
+		pb := PermBefore(sk, tc.s)
+		if pb[0] {
+			t.Errorf("%v: index 0 must never be a perm point", tc.s)
+		}
+		var got []int
+		for k, b := range pb {
+			if b {
+				got = append(got, k)
+			}
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%v: G' = %v, want %v", tc.s, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v: G' = %v, want %v", tc.s, got, tc.want)
+				break
+			}
+		}
+		if CountPermPoints(pb) != len(tc.want) {
+			t.Errorf("%v: CountPermPoints = %d", tc.s, CountPermPoints(pb))
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for s, name := range strategyNames {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+		parsed, err := ParseStrategy(name)
+		if err != nil || parsed != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", name, parsed, err)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Error("bogus strategy should fail")
+	}
+}
+
+func TestDPFigure5MinimalCost(t *testing.T) {
+	r, err := Solve(circuit.Figure1b(), arch.QX4(), Options{Engine: EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 4 {
+		t.Fatalf("DP minimal cost = %d, want 4 (paper Example 7)", r.Cost)
+	}
+	if r.Engine != "dp" {
+		t.Errorf("engine = %q", r.Engine)
+	}
+}
+
+func TestSATFigure5MinimalCost(t *testing.T) {
+	r, err := Solve(circuit.Figure1b(), arch.QX4(), Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 4 {
+		t.Fatalf("SAT minimal cost = %d, want 4 (paper Example 7)", r.Cost)
+	}
+	if r.Solves < 2 {
+		t.Errorf("solves = %d, expected at least SAT+UNSAT round", r.Solves)
+	}
+}
+
+// TestEnginesAgree is the central cross-check: the SAT engine (the paper's
+// methodology) and the DP oracle must compute identical minimal costs on
+// random circuits, for every strategy, with and without subsets.
+func TestEnginesAgree(t *testing.T) {
+	a := arch.QX4()
+	f := func(seed int64, nRaw, gRaw, sRaw uint) bool {
+		n := 2 + int(nRaw%3)     // 2..4 logical qubits
+		gates := 2 + int(gRaw%6) // 2..7 CNOTs
+		strategy := Strategy(sRaw % 4)
+		sk := randomSkeleton(seed, n, gates)
+		dp, errDP := Solve(sk, a, Options{Engine: EngineDP, Strategy: strategy})
+		st, errSAT := Solve(sk, a, Options{Engine: EngineSAT, Strategy: strategy})
+		if (errDP == nil) != (errSAT == nil) {
+			return false
+		}
+		if errDP != nil {
+			return true
+		}
+		return dp.Cost == st.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetsPreserveMinimality(t *testing.T) {
+	// Paper §4.1/Table 1: for the evaluated benchmarks the subset
+	// optimization preserved minimal cost. Verify on random 3- and 4-qubit
+	// circuits against the full-architecture DP engine.
+	a := arch.QX4()
+	f := func(seed int64, nRaw uint) bool {
+		n := 3 + int(nRaw%2)
+		sk := randomSkeleton(seed, n, 6)
+		full, err1 := Solve(sk, a, Options{Engine: EngineDP})
+		sub, err2 := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		if err1 != nil || err2 != nil {
+			return err1 != nil && err2 != nil
+		}
+		// The subset-restricted cost can never beat the full instance, and
+		// on QX4 it matches (hub-centered subsets cover optimal routes).
+		return sub.Cost >= full.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsetSATAgreesWithDP(t *testing.T) {
+	a := arch.QX4()
+	sk := randomSkeleton(42, 3, 5)
+	dp, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Solve(sk, a, Options{Engine: EngineSAT, UseSubsets: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Cost != st.Cost {
+		t.Fatalf("subset DP=%d SAT=%d", dp.Cost, st.Cost)
+	}
+	if dp.SubsetBack == nil || st.SubsetBack == nil {
+		t.Error("subset results should carry back-mapping")
+	}
+}
+
+func TestRestrictedStrategiesOrdering(t *testing.T) {
+	// Restricting G' can only increase (never decrease) minimal cost.
+	a := arch.QX4()
+	f := func(seed int64) bool {
+		sk := randomSkeleton(seed, 4, 8)
+		all, err := Solve(sk, a, Options{Engine: EngineDP, Strategy: StrategyAll})
+		if err != nil {
+			return true
+		}
+		for _, s := range []Strategy{StrategyDisjoint, StrategyOdd, StrategyTriangle} {
+			r, err := Solve(sk, a, Options{Engine: EngineDP, Strategy: s})
+			if err != nil {
+				continue // restricted instance may be unsatisfiable
+			}
+			if r.Cost < all.Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// applyOps replays an op stream, checking coupling-map compliance and that
+// the op stream realizes the skeleton's CNOTs in order under the evolving
+// mapping.
+func applyOps(t *testing.T, sk *circuit.Skeleton, a *arch.Arch, r *Result) {
+	t.Helper()
+	ops, err := r.Ops(sk)
+	if err != nil {
+		t.Fatalf("Ops: %v", err)
+	}
+	mp := r.InitialMapping()
+	swaps, switches := 0, 0
+	next := 0
+	for _, op := range ops {
+		if op.Swap {
+			if !a.AllowsEitherDirection(op.A, op.B) {
+				t.Fatalf("SWAP on uncoupled pair (%d,%d)", op.A, op.B)
+			}
+			mp = mp.ApplySwap(op.A, op.B)
+			swaps++
+			continue
+		}
+		g := sk.Gates[next]
+		if op.GateIndex != next {
+			t.Fatalf("gate order: got %d, want %d", op.GateIndex, next)
+		}
+		next++
+		// The executed CNOT must be natively allowed.
+		if !a.Allows(op.Control, op.Target) {
+			t.Fatalf("gate %d: CNOT(%d→%d) not in coupling map", op.GateIndex, op.Control, op.Target)
+		}
+		// And must implement the logical gate under the current mapping.
+		pc, pt := mp[g.Control], mp[g.Target]
+		if op.Switched {
+			if op.Control != pt || op.Target != pc {
+				t.Fatalf("gate %d: switched op (%d,%d) does not match mapping (%d,%d)",
+					op.GateIndex, op.Control, op.Target, pc, pt)
+			}
+			switches++
+		} else if op.Control != pc || op.Target != pt {
+			t.Fatalf("gate %d: op (%d,%d) does not match mapping (%d,%d)",
+				op.GateIndex, op.Control, op.Target, pc, pt)
+		}
+	}
+	if next != sk.Len() {
+		t.Fatalf("only %d of %d gates emitted", next, sk.Len())
+	}
+	if got := encoder.SwapCost*swaps + encoder.HCost*switches; got != r.Cost {
+		t.Fatalf("op-stream cost %d ≠ result cost %d", got, r.Cost)
+	}
+	if !mp.Equal(r.FinalMapping()) {
+		t.Fatalf("final mapping %v ≠ %v", mp, r.FinalMapping())
+	}
+}
+
+func TestOpsRealizeSolutionDP(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 20; seed++ {
+		sk := randomSkeleton(seed, 4, 7)
+		r, err := Solve(sk, a, Options{Engine: EngineDP})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		applyOps(t, sk, a, r)
+	}
+}
+
+func TestOpsRealizeSolutionSubsets(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 10; seed++ {
+		sk := randomSkeleton(seed, 3, 6)
+		r, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		applyOps(t, sk, a, r)
+	}
+}
+
+func TestOpsRealizeSolutionSAT(t *testing.T) {
+	a := arch.QX4()
+	sk := circuit.Figure1b()
+	r, err := Solve(sk, a, Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, sk, a, r)
+}
+
+func TestBinaryDescentMatchesLinear(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 8; seed++ {
+		sk := randomSkeleton(seed, 3, 5)
+		lin, err := Solve(sk, a, Options{Engine: EngineSAT})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := Solve(sk, a, Options{Engine: EngineSAT, SAT: SATOptions{BinaryDescent: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lin.Cost != bin.Cost {
+			t.Fatalf("seed %d: linear=%d binary=%d", seed, lin.Cost, bin.Cost)
+		}
+	}
+}
+
+func TestStartBoundSpeedsDescent(t *testing.T) {
+	a := arch.QX4()
+	sk := circuit.Figure1b()
+	dp, err := Solve(sk, a, Options{Engine: EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := Solve(sk, a, Options{Engine: EngineSAT, SAT: SATOptions{StartBound: dp.Cost}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Cost != dp.Cost {
+		t.Fatalf("seeded SAT cost %d ≠ DP cost %d", seeded.Cost, dp.Cost)
+	}
+	if seeded.Solves > 3 {
+		t.Errorf("seeded descent used %d solves, expected ≤ 3", seeded.Solves)
+	}
+}
+
+func TestUnsatisfiableInstance(t *testing.T) {
+	// Two qubits on a disconnected architecture: no mapping can execute a
+	// CNOT between components.
+	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}})
+	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
+	if _, err := Solve(sk, disc, Options{Engine: EngineDP}); err == nil {
+		t.Error("DP should report unsatisfiable")
+	}
+	if _, err := Solve(sk, disc, Options{Engine: EngineSAT}); err == nil {
+		t.Error("SAT should report unsatisfiable")
+	}
+}
+
+func TestEmptySkeleton(t *testing.T) {
+	if _, err := Solve(mkSkeleton(2), arch.QX4(), Options{}); err == nil {
+		t.Error("empty skeleton should error")
+	}
+}
+
+func TestDPRejectsHugeSpace(t *testing.T) {
+	sk := mkSkeleton(8, [2]int{0, 1})
+	if _, err := Solve(sk, arch.QX5(), Options{Engine: EngineDP}); err == nil {
+		t.Error("DP on 16-qubit arch without subsets should be rejected")
+	}
+	// With subsets it becomes feasible for small n.
+	sk3 := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
+	r, err := Solve(sk3, arch.QX5(), Options{Engine: EngineDP, UseSubsets: true})
+	if err != nil {
+		t.Fatalf("subset DP on QX5: %v", err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("path of 2 CNOTs on QX5 should cost 0, got %d", r.Cost)
+	}
+}
+
+func TestFixedInitialMapping(t *testing.T) {
+	a := arch.QX4()
+	// One CNOT(q0→q1). Free mapping costs 0. Pinning q0→p0, q1→p1 forces
+	// a direction switch (only (1,0) ∈ CM): cost 4.
+	sk := mkSkeleton(2, [2]int{0, 1})
+	free, err := Solve(sk, a, Options{Engine: EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Cost != 0 {
+		t.Fatalf("free cost = %d", free.Cost)
+	}
+	for _, eng := range []Engine{EngineDP, EngineSAT} {
+		pinned, err := Solve(sk, a, Options{Engine: eng, InitialMapping: []int{0, 1}})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if pinned.Cost != 4 {
+			t.Errorf("engine %v: pinned cost = %d, want 4", eng, pinned.Cost)
+		}
+		if got := pinned.InitialMapping(); got[0] != 0 || got[1] != 1 {
+			t.Errorf("engine %v: initial mapping %v not pinned", eng, got)
+		}
+	}
+	// Pinning to an uncoupled pair forces routing before the first gate:
+	// one SWAP plus a direction switch (7 + 4 = 11) is optimal on QX4.
+	for _, eng := range []Engine{EngineDP, EngineSAT} {
+		far, err := Solve(sk, a, Options{Engine: eng, InitialMapping: []int{0, 4}})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if far.Cost != 11 {
+			t.Errorf("engine %v: distant pin cost = %d, want 11", eng, far.Cost)
+		}
+		applyOps(t, sk, a, far)
+	}
+}
+
+func TestFixedInitialMappingEnginesAgree(t *testing.T) {
+	a := arch.QX4()
+	f := func(seed int64, pinRaw uint) bool {
+		sk := randomSkeleton(seed, 3, 5)
+		space := []([]int){{0, 1, 2}, {2, 1, 0}, {4, 3, 2}, {1, 2, 3}}
+		pin := space[int(pinRaw%uint(len(space)))]
+		dp, err1 := Solve(sk, a, Options{Engine: EngineDP, InitialMapping: pin})
+		st, err2 := Solve(sk, a, Options{Engine: EngineSAT, InitialMapping: pin})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return dp.Cost == st.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedInitialMappingErrors(t *testing.T) {
+	a := arch.QX4()
+	sk := mkSkeleton(2, [2]int{0, 1})
+	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 0}}); err == nil {
+		t.Error("non-injective pin should fail")
+	}
+	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 9}}); err == nil {
+		t.Error("out-of-range pin should fail")
+	}
+	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 1}, UseSubsets: true}); err == nil {
+		t.Error("pin + subsets should fail")
+	}
+}
+
+func TestParallelSubsetsMatchSequential(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 10; seed++ {
+		sk := randomSkeleton(seed, 3, 6)
+		seq, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true, Parallel: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Cost != par.Cost {
+			t.Fatalf("seed %d: sequential %d vs parallel %d", seed, seq.Cost, par.Cost)
+		}
+		// Tie-breaking keeps the result deterministic.
+		if !seq.InitialMapping().Equal(par.InitialMapping()) {
+			t.Fatalf("seed %d: parallel picked a different subset result", seed)
+		}
+		applyOps(t, sk, a, par)
+	}
+}
+
+// TestTripleOracleAgreement cross-checks all three engines — SAT, DP and
+// the independent brute-force enumerator — on tiny random instances.
+func TestTripleOracleAgreement(t *testing.T) {
+	a := arch.QX4()
+	f := func(seed int64, nRaw, gRaw uint) bool {
+		n := 2 + int(nRaw%2)     // 2..3 qubits
+		gates := 2 + int(gRaw%3) // 2..4 CNOTs (≤ 4 frames for brute force)
+		sk := randomSkeleton(seed, n, gates)
+		brute, errB := SolveBrute(encoder.Problem{Skeleton: sk, Arch: a})
+		dp, errD := Solve(sk, a, Options{Engine: EngineDP})
+		st, errS := Solve(sk, a, Options{Engine: EngineSAT})
+		if (errB == nil) != (errD == nil) || (errD == nil) != (errS == nil) {
+			return false
+		}
+		if errB != nil {
+			return true
+		}
+		return brute == dp.Cost && dp.Cost == st.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruteForceGuards(t *testing.T) {
+	a := arch.QX4()
+	// Too many frames.
+	sk := randomSkeleton(1, 3, 9)
+	if _, err := SolveBrute(encoder.Problem{Skeleton: sk, Arch: a}); err == nil {
+		t.Error("brute force should reject many frames")
+	}
+	// Empty skeleton.
+	if _, err := SolveBrute(encoder.Problem{Skeleton: mkSkeleton(2), Arch: a}); err == nil {
+		t.Error("brute force should reject empty skeleton")
+	}
+}

@@ -1,0 +1,107 @@
+package exact
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/encoder"
+	"repro/internal/perm"
+)
+
+// Result is the outcome of an exact (or strategy-restricted) mapping run.
+type Result struct {
+	// Cost is the minimal F found: 7·(SWAPs) + 4·(direction switches).
+	Cost int
+	// Solution holds the frame mappings, permutations and switch flags.
+	// Its physical-qubit indices refer to WorkArch.
+	Solution *encoder.Solution
+	// WorkArch is the architecture the instance was solved on — either the
+	// original or a restricted subset (paper §4.1).
+	WorkArch *arch.Arch
+	// SubsetBack maps WorkArch physical indices back to the original
+	// architecture's indices; nil when no restriction was applied.
+	SubsetBack []int
+	// PermPoints is |G'| (free initial mapping not counted).
+	PermPoints int
+	// Engine names the solving engine ("sat" or "dp").
+	Engine string
+	// Solves counts reasoning-engine invocations (SAT engine only).
+	Solves int
+	// Runtime is the wall-clock solving time.
+	Runtime time.Duration
+}
+
+// translate maps a WorkArch physical index to the original architecture.
+func (r *Result) translate(i int) int {
+	if r.SubsetBack == nil {
+		return i
+	}
+	return r.SubsetBack[i]
+}
+
+// InitialMapping returns the initial logical→physical mapping in original
+// architecture indices.
+func (r *Result) InitialMapping() perm.Mapping {
+	mp := r.Solution.FrameMappings[0].Copy()
+	for j, i := range mp {
+		mp[j] = r.translate(i)
+	}
+	return mp
+}
+
+// FinalMapping returns the mapping after the last gate in original indices.
+func (r *Result) FinalMapping() perm.Mapping {
+	mp := r.Solution.FinalMapping().Copy()
+	for j, i := range mp {
+		mp[j] = r.translate(i)
+	}
+	return mp
+}
+
+// Ops materializes the mapped skeleton as a stream of SWAP and CNOT
+// operations on the original architecture's physical qubits. The SWAP
+// sequences realizing each inter-frame permutation are recovered from the
+// swap-distance table of the working architecture, so their count equals
+// the solution's SwapCount (preserving the optimal cost).
+func (r *Result) Ops(sk *circuit.Skeleton) ([]circuit.MappedOp, error) {
+	sol := r.Solution
+	n := sk.NumQubits
+	space := perm.NewSpace(r.WorkArch.NumQubits(), n)
+	table := perm.NewSwapTable(space, r.WorkArch.UndirectedEdges())
+
+	var ops []circuit.MappedOp
+	frame := 0
+	for k, g := range sk.Gates {
+		// Emit the permutation's swaps when entering a new frame.
+		for frame < sol.GateFrame[k] {
+			path, ok := table.SwapPath(sol.FrameMappings[frame], sol.FrameMappings[frame+1])
+			if !ok {
+				return nil, fmt.Errorf("exact: frames %d→%d unreachable by swaps", frame, frame+1)
+			}
+			if len(path) != sol.PermSwaps[frame] {
+				return nil, fmt.Errorf("exact: frame %d swap path length %d, solution says %d",
+					frame, len(path), sol.PermSwaps[frame])
+			}
+			for _, e := range path {
+				ops = append(ops, circuit.MappedOp{Swap: true, A: r.translate(e.A), B: r.translate(e.B)})
+			}
+			frame++
+		}
+		mp := sol.FrameMappings[sol.GateFrame[k]]
+		pc, pt := mp[g.Control], mp[g.Target]
+		op := circuit.MappedOp{GateIndex: k, Control: r.translate(pc), Target: r.translate(pt), Switched: sol.Switched[k]}
+		if sol.Switched[k] {
+			op.Control, op.Target = op.Target, op.Control
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("cost=%d (swaps=%d, switches=%d) engine=%s |G'|=%d t=%v",
+		r.Cost, r.Solution.SwapCount(), r.Solution.SwitchCount(), r.Engine, r.PermPoints, r.Runtime)
+}

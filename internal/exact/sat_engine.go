@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/encoder"
+	"repro/internal/sat"
+)
+
+// SATOptions tunes the SAT-based engine.
+type SATOptions struct {
+	// StartBound, when positive, asserts F ≤ StartBound before the first
+	// solve (e.g. a known upper bound from the DP engine or a heuristic).
+	// Zero or negative disables it; a genuine zero bound is unnecessary
+	// because the descent reaches it anyway.
+	StartBound int
+	// BinaryDescent switches the minimization loop from linear descent
+	// (assert cost−1 after each model) to binary search on the bound.
+	BinaryDescent bool
+	// MaxConflicts bounds each individual solver call; 0 means unlimited.
+	// When the budget is exhausted the best model so far is returned with
+	// minimality not guaranteed.
+	MaxConflicts int64
+}
+
+// SolveSAT finds the minimal-cost mapping for the problem using the paper's
+// symbolic formulation and the CDCL solver: solve, decode the model's cost
+// C, assert F ≤ C−1, and repeat until UNSAT — the last model is minimal
+// (§3.3, realized by bound tightening instead of a native optimizer).
+func SolveSAT(p encoder.Problem, opts SATOptions) (*Result, error) {
+	start := time.Now()
+	solver := sat.NewSolver()
+	solver.MaxConflicts = opts.MaxConflicts
+	b := cnf.NewBuilder(solver)
+	enc, err := encoder.Encode(p, b)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		WorkArch:   p.Arch,
+		PermPoints: enc.NumPermPoints(),
+		Engine:     "sat",
+	}
+	if opts.StartBound > 0 {
+		enc.AssertCostAtMost(opts.StartBound)
+	}
+
+	var best *encoder.Solution
+	if opts.BinaryDescent {
+		best, err = minimizeBinary(p, solver, enc, res, opts)
+	} else {
+		best, err = minimizeLinear(solver, enc, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, fmt.Errorf("exact: no valid mapping exists (unsatisfiable instance)")
+	}
+	res.Solution = best
+	res.Cost = best.Cost
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// minimizeLinear performs linear bound descent: each satisfying model's
+// cost C is followed by the constraint F ≤ C−1 until UNSAT.
+func minimizeLinear(solver *sat.Solver, enc *encoder.Encoding, res *Result) (*encoder.Solution, error) {
+	var best *encoder.Solution
+	for {
+		res.Solves++
+		status := solver.Solve()
+		if status == sat.Unknown {
+			if best == nil {
+				return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
+			}
+			return best, nil // budget exhausted: best-effort result
+		}
+		if status == sat.Unsat {
+			return best, nil
+		}
+		sol, err := enc.Decode()
+		if err != nil {
+			return nil, err
+		}
+		best = sol
+		if sol.Cost == 0 {
+			return best, nil
+		}
+		enc.AssertCostAtMost(sol.Cost - 1)
+	}
+}
+
+// minimizeBinary performs binary search on the cost bound (the "binary
+// search" alternative mentioned in paper §3.3). Because AssertCostAtMost
+// adds permanent clauses, an UNSAT probe would poison the incremental
+// instance for the still-unexplored bounds above it, so each probe encodes
+// a fresh instance with F ≤ mid asserted up front. SAT probes lower the
+// upper end to the model's cost; UNSAT probes raise the lower end.
+func minimizeBinary(p encoder.Problem, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+	res.Solves++
+	status := solver.Solve()
+	if status == sat.Unknown {
+		return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
+	}
+	if status != sat.Sat {
+		return nil, nil
+	}
+	best, err := enc.Decode()
+	if err != nil {
+		return nil, err
+	}
+	lo := -1 // largest bound proven UNSAT
+	for best.Cost > lo+1 {
+		mid := lo + (best.Cost-lo)/2
+		probeSolver := sat.NewSolver()
+		probeSolver.MaxConflicts = opts.MaxConflicts
+		probeEnc, err := encoder.Encode(p, cnf.NewBuilder(probeSolver))
+		if err != nil {
+			return nil, err
+		}
+		probeEnc.AssertCostAtMost(mid)
+		res.Solves++
+		switch probeSolver.Solve() {
+		case sat.Unknown:
+			return best, nil // budget exhausted: best-effort result
+		case sat.Unsat:
+			lo = mid
+		case sat.Sat:
+			sol, err := probeEnc.Decode()
+			if err != nil {
+				return nil, err
+			}
+			best = sol
+		}
+	}
+	return best, nil
+}

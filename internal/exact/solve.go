@@ -1,0 +1,131 @@
+package exact
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/encoder"
+)
+
+// Engine selects the reasoning backend.
+type Engine int
+
+const (
+	// EngineSAT uses the paper's symbolic formulation with the CDCL solver.
+	EngineSAT Engine = iota
+	// EngineDP uses the dynamic-programming oracle.
+	EngineDP
+)
+
+// String returns "sat" or "dp".
+func (e Engine) String() string {
+	if e == EngineDP {
+		return "dp"
+	}
+	return "sat"
+}
+
+// Options configures a Solve run.
+type Options struct {
+	// Engine selects the backend (default EngineSAT).
+	Engine Engine
+	// Strategy selects the permutation-point restriction (default
+	// StrategyAll, which guarantees minimality).
+	Strategy Strategy
+	// UseSubsets enables the physical-qubit subset optimization (paper
+	// §4.1): all connected n-subsets of the architecture are tried
+	// separately and the best result returned.
+	UseSubsets bool
+	// SAT carries SAT-engine tuning; ignored by the DP engine.
+	SAT SATOptions
+	// InitialMapping, when non-nil, pins the layout before the first gate
+	// (extension; incompatible with UseSubsets since the pin refers to the
+	// full architecture's physical indices).
+	InitialMapping []int
+	// Parallel solves the §4.1 subset instances concurrently, one
+	// goroutine per connected subset. The result is identical to the
+	// sequential run (ties broken by subset enumeration order).
+	Parallel bool
+}
+
+// DefaultOptions returns the minimality-guaranteeing configuration of §3.
+func DefaultOptions() Options {
+	return Options{Engine: EngineSAT, Strategy: StrategyAll}
+}
+
+// Solve maps the skeleton to the architecture under the given options and
+// returns the best result found. An error is returned for malformed inputs
+// or when no valid mapping exists.
+func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
+	if sk.Len() == 0 {
+		return nil, fmt.Errorf("exact: circuit has no CNOT gates; nothing to map")
+	}
+	pb := PermBefore(sk, opts.Strategy)
+	if opts.InitialMapping != nil && opts.UseSubsets {
+		return nil, fmt.Errorf("exact: InitialMapping cannot be combined with UseSubsets")
+	}
+	if !opts.UseSubsets || sk.NumQubits >= a.NumQubits() {
+		return solveOne(sk, a, pb, opts)
+	}
+
+	start := time.Now()
+	subsets := a.ConnectedSubsets(sk.NumQubits)
+	if len(subsets) == 0 {
+		return nil, fmt.Errorf("exact: no connected subset of %d qubits in %s", sk.NumQubits, a)
+	}
+	results := make([]*Result, len(subsets))
+	if opts.Parallel {
+		var wg sync.WaitGroup
+		for i, subset := range subsets {
+			wg.Add(1)
+			go func(i int, subset []int) {
+				defer wg.Done()
+				sub, back := a.Restrict(subset)
+				r, err := solveOne(sk, sub, pb, opts)
+				if err != nil {
+					return // subset admits no valid mapping
+				}
+				r.SubsetBack = back
+				results[i] = r
+			}(i, subset)
+		}
+		wg.Wait()
+	} else {
+		for i, subset := range subsets {
+			sub, back := a.Restrict(subset)
+			r, err := solveOne(sk, sub, pb, opts)
+			if err != nil {
+				// This subset admits no valid mapping (e.g. the interaction
+				// graph does not embed); other subsets may still work.
+				continue
+			}
+			r.SubsetBack = back
+			results[i] = r
+		}
+	}
+	var best *Result
+	for _, r := range results {
+		if r != nil && (best == nil || r.Cost < best.Cost) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("exact: no valid mapping exists on any connected %d-subset of %s", sk.NumQubits, a)
+	}
+	best.Runtime = time.Since(start)
+	return best, nil
+}
+
+func solveOne(sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
+	p := encoder.Problem{Skeleton: sk, Arch: a, PermBefore: pb, InitialMapping: opts.InitialMapping}
+	switch opts.Engine {
+	case EngineDP:
+		return SolveDP(p)
+	case EngineSAT:
+		return SolveSAT(p, opts.SAT)
+	}
+	return nil, fmt.Errorf("exact: unknown engine %d", int(opts.Engine))
+}

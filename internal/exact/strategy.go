@@ -1,0 +1,112 @@
+// Package exact determines minimal (or close-to-minimal) mappings of
+// quantum circuits to IBM QX architectures, implementing the paper's
+// methodology (§3) and its performance improvements (§4):
+//
+//   - A SAT engine that hands the symbolic formulation of internal/encoder
+//     to the CDCL solver and tightens a cost bound until unsatisfiability
+//     proves minimality.
+//   - An independent dynamic-programming engine over (frame × mapping)
+//     states, exact for the small mapping spaces of the 5-qubit IBM
+//     devices, used both standalone and as a cross-check of the SAT engine.
+//   - The physical-qubit subset optimization (§4.1).
+//   - The permutation-restriction strategies (§4.2): disjoint qubits, odd
+//     gates, and qubit triangle.
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Strategy selects the set G' of gates before which the mapping may change
+// (paper §4.2). StrategyAll guarantees minimality; the others trade
+// optimality guarantees for smaller search spaces.
+type Strategy int
+
+const (
+	// StrategyAll allows permutations before every gate (paper §3):
+	// minimality is guaranteed.
+	StrategyAll Strategy = iota
+	// StrategyDisjoint allows permutations only before each cluster of
+	// consecutive gates acting on disjoint qubit sets.
+	StrategyDisjoint
+	// StrategyOdd allows permutations only before gates with an odd
+	// 1-based index (except g1).
+	StrategyOdd
+	// StrategyTriangle clusters the circuit into sequences acting on at
+	// most three qubits, which fit a coupling triangle; permutations occur
+	// only between clusters.
+	StrategyTriangle
+)
+
+var strategyNames = map[Strategy]string{
+	StrategyAll:      "all",
+	StrategyDisjoint: "disjoint",
+	StrategyOdd:      "odd",
+	StrategyTriangle: "triangle",
+}
+
+// String returns the strategy's short name.
+func (s Strategy) String() string {
+	if n, ok := strategyNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// ParseStrategy converts a short name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for s, n := range strategyNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("exact: unknown strategy %q", name)
+}
+
+// PermBefore computes the permutation-point vector for a skeleton under the
+// strategy: PermBefore[k] is true iff gate k ∈ G'. Index 0 is always false
+// (the initial mapping is free).
+func PermBefore(sk *circuit.Skeleton, s Strategy) []bool {
+	pb := make([]bool, sk.Len())
+	switch s {
+	case StrategyAll:
+		for k := 1; k < len(pb); k++ {
+			pb[k] = true
+		}
+	case StrategyDisjoint:
+		for _, layer := range sk.DisjointLayers() {
+			if first := layer[0]; first > 0 {
+				pb[first] = true
+			}
+		}
+	case StrategyOdd:
+		// 1-based odd gate indices except g1: g3, g5, … → 0-based 2, 4, …
+		for k := 2; k < len(pb); k += 2 {
+			pb[k] = true
+		}
+	case StrategyTriangle:
+		for _, cluster := range sk.QubitClusters(3) {
+			if first := cluster[0]; first > 0 {
+				pb[first] = true
+			}
+		}
+	default:
+		panic("exact: unknown strategy")
+	}
+	return pb
+}
+
+// CountPermPoints returns |G'|: the number of gates before which a
+// permutation is allowed. (The paper's |G'| table column additionally
+// counts the free initial mapping, i.e. reports this value plus one.)
+func CountPermPoints(pb []bool) int {
+	n := 0
+	for k := 1; k < len(pb); k++ {
+		if pb[k] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package heuristic
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/perm"
+)
+
+// SabreOptions tunes the reversal-pass mapper.
+type SabreOptions struct {
+	// Passes is the number of forward/backward refinement rounds
+	// (default 2). Each round maps the reversed circuit starting from the
+	// previous pass's final layout, then maps forward again from that
+	// result — the initial-mapping refinement idea of SABRE (the paper's
+	// reference [13], Li, Ding, Xie).
+	Passes int
+	// Lookahead is forwarded to the inner A* mapper.
+	Lookahead float64
+}
+
+func (o SabreOptions) withDefaults() SabreOptions {
+	if o.Passes <= 0 {
+		o.Passes = 2
+	}
+	if o.Lookahead == 0 {
+		o.Lookahead = 0.5
+	}
+	return o
+}
+
+// reverseSkeleton returns the skeleton with gate order reversed (the
+// adjoint circuit's CNOT structure; CNOTs are self-inverse).
+func reverseSkeleton(sk *circuit.Skeleton) *circuit.Skeleton {
+	rev := &circuit.Skeleton{NumQubits: sk.NumQubits}
+	for i := sk.Len() - 1; i >= 0; i-- {
+		g := sk.Gates[i]
+		rev.Gates = append(rev.Gates, circuit.CNOTGate{
+			Control: g.Control, Target: g.Target, Index: sk.Len() - 1 - i})
+	}
+	return rev
+}
+
+// MapSabre maps the skeleton with SABRE-style bidirectional passes: the
+// circuit is mapped forward, then its reversal is mapped starting from the
+// forward pass's final layout (whose final layout is therefore a good
+// *initial* layout for the forward circuit), and so on. The best forward
+// result across passes is returned. The inner mapper is the per-layer A*
+// search.
+func MapSabre(sk *circuit.Skeleton, a *arch.Arch, opts SabreOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	rev := reverseSkeleton(sk)
+
+	var best *Result
+	initial := perm.Mapping(nil) // trivial on the first pass
+	for pass := 0; pass < opts.Passes; pass++ {
+		fwd, err := MapAStar(sk, a, AStarOptions{Lookahead: opts.Lookahead, Initial: initial})
+		if err != nil {
+			return nil, fmt.Errorf("heuristic: sabre forward pass %d: %w", pass, err)
+		}
+		if best == nil || fwd.Cost < best.Cost {
+			best = fwd
+		}
+		if pass == opts.Passes-1 {
+			break
+		}
+		back, err := MapAStar(rev, a, AStarOptions{Lookahead: opts.Lookahead, Initial: fwd.FinalMapping})
+		if err != nil {
+			return nil, fmt.Errorf("heuristic: sabre backward pass %d: %w", pass, err)
+		}
+		initial = back.FinalMapping
+	}
+	return best, nil
+}

@@ -1,0 +1,97 @@
+package heuristic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+)
+
+func TestReverseSkeleton(t *testing.T) {
+	sk := circuit.Figure1b()
+	rev := reverseSkeleton(sk)
+	if rev.Len() != sk.Len() {
+		t.Fatal("length changed")
+	}
+	for i := 0; i < sk.Len(); i++ {
+		g := sk.Gates[i]
+		r := rev.Gates[sk.Len()-1-i]
+		if g.Control != r.Control || g.Target != r.Target {
+			t.Errorf("gate %d not mirrored", i)
+		}
+	}
+	// Double reversal restores the original order.
+	dd := reverseSkeleton(rev)
+	for i := range sk.Gates {
+		if dd.Gates[i].Control != sk.Gates[i].Control || dd.Gates[i].Target != sk.Gates[i].Target {
+			t.Fatal("double reversal differs")
+		}
+	}
+}
+
+func TestSabreValidity(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 10; seed++ {
+		sk := randomSkeleton(seed, 5, 18)
+		r, err := MapSabre(sk, a, SabreOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		verify(t, sk, a, r)
+	}
+}
+
+func TestSabreNeverBelowExact(t *testing.T) {
+	a := arch.QX4()
+	f := func(seed int64, gRaw uint) bool {
+		sk := randomSkeleton(seed, 4, 2+int(gRaw%8))
+		r, err := MapSabre(sk, a, SabreOptions{})
+		if err != nil {
+			return false
+		}
+		ex, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP})
+		if err != nil {
+			return false
+		}
+		return r.Cost >= ex.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSabreRefinementHelps: across a batch, reversal passes should never
+// hurt the aggregate (the best pass is kept per instance) and usually help
+// versus a single trivial-layout A* run.
+func TestSabreRefinementHelps(t *testing.T) {
+	a := arch.QX4()
+	totalSabre, totalPlain := 0, 0
+	for seed := int64(0); seed < 25; seed++ {
+		sk := randomSkeleton(seed, 5, 20)
+		sr, err := MapSabre(sk, a, SabreOptions{Passes: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := MapAStar(sk, a, AStarOptions{Lookahead: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalSabre += sr.Cost
+		totalPlain += pr.Cost
+		// Per instance, pass 0 IS the plain run, so Sabre can never be
+		// worse than plain.
+		if sr.Cost > pr.Cost {
+			t.Errorf("seed %d: sabre %d worse than plain %d", seed, sr.Cost, pr.Cost)
+		}
+	}
+	t.Logf("aggregate cost: sabre %d vs plain A* %d", totalSabre, totalPlain)
+}
+
+func TestSabreDefaults(t *testing.T) {
+	o := SabreOptions{}.withDefaults()
+	if o.Passes != 2 || o.Lookahead != 0.5 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

@@ -1,0 +1,189 @@
+package heuristic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+)
+
+func randomSkeleton(seed int64, n, gates int) *circuit.Skeleton {
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*2862933555777941757 + 3037000493
+		return int((state >> 33) % uint64(mod))
+	}
+	sk := &circuit.Skeleton{NumQubits: n}
+	for i := 0; i < gates; i++ {
+		c := next(n)
+		t := next(n)
+		if c == t {
+			t = (t + 1) % n
+		}
+		sk.Gates = append(sk.Gates, circuit.CNOTGate{Control: c, Target: t, Index: i})
+	}
+	return sk
+}
+
+// verify replays the op stream checking coupling compliance, gate order,
+// final mapping and the cost identity.
+func verify(t *testing.T, sk *circuit.Skeleton, a *arch.Arch, r *Result) {
+	t.Helper()
+	mp := r.InitialMapping.Copy()
+	next := 0
+	swaps, switches := 0, 0
+	for _, op := range r.Ops {
+		if op.Swap {
+			if !a.AllowsEitherDirection(op.A, op.B) {
+				t.Fatalf("SWAP on uncoupled (%d,%d)", op.A, op.B)
+			}
+			mp = mp.ApplySwap(op.A, op.B)
+			swaps++
+			continue
+		}
+		g := sk.Gates[next]
+		if op.GateIndex != next {
+			t.Fatalf("gate order %d, want %d", op.GateIndex, next)
+		}
+		next++
+		if !a.Allows(op.Control, op.Target) {
+			t.Fatalf("gate %d: CNOT(%d→%d) not allowed", op.GateIndex, op.Control, op.Target)
+		}
+		pc, pt := mp[g.Control], mp[g.Target]
+		if op.Switched {
+			switches++
+			if op.Control != pt || op.Target != pc {
+				t.Fatalf("gate %d: switched op mismatch", op.GateIndex)
+			}
+		} else if op.Control != pc || op.Target != pt {
+			t.Fatalf("gate %d: op mismatch", op.GateIndex)
+		}
+	}
+	if next != sk.Len() {
+		t.Fatalf("emitted %d of %d gates", next, sk.Len())
+	}
+	if swaps != r.Swaps || switches != r.Switches {
+		t.Fatalf("counts: got %d/%d, reported %d/%d", swaps, switches, r.Swaps, r.Switches)
+	}
+	if r.Cost != 7*swaps+4*switches {
+		t.Fatalf("cost %d ≠ 7·%d+4·%d", r.Cost, swaps, switches)
+	}
+	if got := circuit.OpStreamCost(r.Ops); got != r.Cost {
+		t.Fatalf("OpStreamCost %d ≠ %d", got, r.Cost)
+	}
+	if !mp.Equal(r.FinalMapping) {
+		t.Fatalf("final mapping %v ≠ %v", mp, r.FinalMapping)
+	}
+}
+
+func TestMapFigure1(t *testing.T) {
+	r, err := Map(circuit.Figure1b(), arch.QX4(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, circuit.Figure1b(), arch.QX4(), r)
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	sk := randomSkeleton(7, 5, 20)
+	a := arch.QX4()
+	r1, err := Map(sk, a, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Map(sk, a, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cost != r2.Cost || len(r1.Ops) != len(r2.Ops) {
+		t.Fatal("same seed should reproduce identical results")
+	}
+	for i := range r1.Ops {
+		if r1.Ops[i] != r2.Ops[i] {
+			t.Fatal("op streams differ")
+		}
+	}
+}
+
+func TestValidityOnRandomCircuits(t *testing.T) {
+	archs := []*arch.Arch{arch.QX4(), arch.QX2(), arch.Linear(5), arch.QX5()}
+	for _, a := range archs {
+		for seed := int64(0); seed < 10; seed++ {
+			n := 4
+			if a.NumQubits() < 4 {
+				n = a.NumQubits()
+			}
+			sk := randomSkeleton(seed, n, 15)
+			r, err := Map(sk, a, Options{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", a.Name(), seed, err)
+			}
+			verify(t, sk, a, r)
+		}
+	}
+}
+
+// TestNeverBeatsExact is the paper's core premise: a heuristic can never
+// produce a cheaper mapping than the proven minimum.
+func TestNeverBeatsExact(t *testing.T) {
+	a := arch.QX4()
+	f := func(seed int64, nRaw, gRaw uint) bool {
+		n := 2 + int(nRaw%4)
+		gates := 2 + int(gRaw%8)
+		sk := randomSkeleton(seed, n, gates)
+		h, err := MapBest(sk, a, 5, Options{Seed: seed})
+		if err != nil {
+			return false
+		}
+		ex, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP})
+		if err != nil {
+			return false
+		}
+		return h.Cost >= ex.Cost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapBestNotWorseThanSingle(t *testing.T) {
+	sk := randomSkeleton(3, 5, 25)
+	a := arch.QX4()
+	single, err := Map(sk, a, Options{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := MapBest(sk, a, 5, Options{Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Cost > single.Cost {
+		t.Errorf("MapBest %d worse than first run %d", best.Cost, single.Cost)
+	}
+	verify(t, sk, a, best)
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Map(randomSkeleton(0, 6, 3), arch.QX4(), Options{}); err == nil {
+		t.Error("n > m should fail")
+	}
+	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}, {Control: 2, Target: 3}})
+	if _, err := Map(randomSkeleton(0, 4, 3), disc, Options{}); err == nil {
+		t.Error("disconnected arch should fail")
+	}
+}
+
+func TestZeroCostWhenLayoutFits(t *testing.T) {
+	// A single CNOT already on a coupled pair in forward direction under
+	// the trivial layout: q1→q0 matches QX4's (1,0) coupling.
+	sk := &circuit.Skeleton{NumQubits: 2, Gates: []circuit.CNOTGate{{Control: 1, Target: 0}}}
+	r, err := Map(sk, arch.QX4(), Options{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost != 0 {
+		t.Errorf("cost = %d, want 0", r.Cost)
+	}
+}

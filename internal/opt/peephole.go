@@ -1,0 +1,207 @@
+// Package opt provides post-mapping peephole optimization — the gate-level
+// cleanup step the paper's cost model deliberately factors out (§3,
+// footnote 2) but which completes the practical pipeline of its references
+// [12, 23]: cancellation of adjacent self-inverse gate pairs, merging of
+// consecutive z-rotations, and removal of identity rotations.
+//
+// All rewrites strictly remove or merge gates on identical qubit sets, so
+// a coupling-compliant circuit stays compliant, and equivalence is exact
+// (verified by simulation in tests).
+package opt
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Stats reports what Simplify removed.
+type Stats struct {
+	CancelledPairs  int
+	MergedRotations int
+	DroppedIdentity int
+	// Passes is the number of fixpoint iterations performed.
+	Passes int
+}
+
+// GatesRemoved returns the total reduction in gate count.
+func (s Stats) GatesRemoved() int {
+	return 2*s.CancelledPairs + s.MergedRotations + s.DroppedIdentity
+}
+
+// Simplify applies peephole rules until a fixpoint and returns the
+// simplified circuit (the input is not modified).
+func Simplify(c *circuit.Circuit) (*circuit.Circuit, Stats) {
+	gates := make([]circuit.Gate, 0, c.Len())
+	for _, g := range c.Gates() {
+		gates = append(gates, g.Copy())
+	}
+	var stats Stats
+	for {
+		stats.Passes++
+		changed := false
+		gates, changed = pass(gates, &stats)
+		if !changed {
+			break
+		}
+	}
+	out := circuit.New(c.NumQubits())
+	out.SetName(c.Name())
+	out.MustAppend(gates...)
+	return out, stats
+}
+
+// pass performs one left-to-right sweep.
+func pass(gates []circuit.Gate, stats *Stats) ([]circuit.Gate, bool) {
+	alive := make([]bool, len(gates))
+	for i := range alive {
+		alive[i] = true
+	}
+	changed := false
+
+	// nextTouching returns the next live gate after i that shares a qubit
+	// with gates[i], or -1.
+	nextTouching := func(i int) int {
+		for j := i + 1; j < len(gates); j++ {
+			if !alive[j] {
+				continue
+			}
+			if sharesQubit(gates[i], gates[j]) {
+				return j
+			}
+		}
+		return -1
+	}
+
+	for i := 0; i < len(gates); i++ {
+		if !alive[i] {
+			continue
+		}
+		g := gates[i]
+		// Drop identity rotations outright.
+		if isIdentityRotation(g) {
+			alive[i] = false
+			stats.DroppedIdentity++
+			changed = true
+			continue
+		}
+		j := nextTouching(i)
+		if j < 0 {
+			continue
+		}
+		h := gates[j]
+		switch {
+		case inversePair(g, h) && sameQubits(g, h):
+			alive[i], alive[j] = false, false
+			stats.CancelledPairs++
+			changed = true
+		case isZRotation(g) && isZRotation(h) && g.Qubits[0] == h.Qubits[0]:
+			// Merge into a single rotation at position j.
+			gates[j] = circuit.U(g.Qubits[0], 0, 0, zAngle(g)+zAngle(h))
+			alive[i] = false
+			stats.MergedRotations++
+			changed = true
+		}
+	}
+	if !changed {
+		return gates, false
+	}
+	out := gates[:0:0]
+	for i, g := range gates {
+		if alive[i] {
+			out = append(out, g)
+		}
+	}
+	return out, true
+}
+
+func sharesQubit(a, b circuit.Gate) bool {
+	for _, qa := range a.Qubits {
+		for _, qb := range b.Qubits {
+			if qa == qb {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sameQubits(a, b circuit.Gate) bool {
+	if len(a.Qubits) != len(b.Qubits) {
+		return false
+	}
+	for i := range a.Qubits {
+		if a.Qubits[i] != b.Qubits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// isZRotation recognizes diagonal single-qubit gates expressible as
+// U(0,0,λ): Z, S, S†, T, T†, Rz and U with θ = φ = 0.
+func isZRotation(g circuit.Gate) bool {
+	switch g.Kind {
+	case circuit.KindZ, circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg, circuit.KindRz:
+		return true
+	case circuit.KindU:
+		return g.Theta == 0 && g.Phi == 0
+	}
+	return false
+}
+
+// zAngle returns the rotation angle of a z-rotation gate.
+func zAngle(g circuit.Gate) float64 {
+	switch g.Kind {
+	case circuit.KindZ:
+		return math.Pi
+	case circuit.KindS:
+		return math.Pi / 2
+	case circuit.KindSdg:
+		return -math.Pi / 2
+	case circuit.KindT:
+		return math.Pi / 4
+	case circuit.KindTdg:
+		return -math.Pi / 4
+	case circuit.KindRz, circuit.KindU:
+		return g.Lambda
+	}
+	panic("opt: not a z rotation")
+}
+
+// isIdentityRotation recognizes rotations by multiples of 2π (up to phase)
+// and U(0,0,0).
+func isIdentityRotation(g circuit.Gate) bool {
+	if !isZRotation(g) {
+		return false
+	}
+	a := math.Mod(zAngle(g), 2*math.Pi)
+	return math.Abs(a) < 1e-12 || math.Abs(math.Abs(a)-2*math.Pi) < 1e-12
+}
+
+// inversePair reports whether two gates of equal qubit sets cancel.
+func inversePair(a, b circuit.Gate) bool {
+	selfInverse := map[circuit.Kind]bool{
+		circuit.KindH: true, circuit.KindX: true, circuit.KindY: true,
+		circuit.KindZ: true, circuit.KindCNOT: true, circuit.KindSWAP: true,
+	}
+	if a.Kind == b.Kind && selfInverse[a.Kind] {
+		return true
+	}
+	inv := map[circuit.Kind]circuit.Kind{
+		circuit.KindS: circuit.KindSdg, circuit.KindSdg: circuit.KindS,
+		circuit.KindT: circuit.KindTdg, circuit.KindTdg: circuit.KindT,
+	}
+	if k, ok := inv[a.Kind]; ok && k == b.Kind {
+		return true
+	}
+	// Opposite z-rotations.
+	if isZRotation(a) && isZRotation(b) {
+		return math.Abs(zAngle(a)+zAngle(b)) < 1e-12
+	}
+	// MCT gates are self-inverse on identical control/target sets.
+	if a.Kind == circuit.KindMCT && b.Kind == circuit.KindMCT {
+		return true // qubit equality is checked by the caller
+	}
+	return false
+}

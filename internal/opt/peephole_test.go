@@ -1,0 +1,192 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// equivalent checks unitary equality by basis-state simulation.
+func equivalent(t *testing.T, a, b *circuit.Circuit) {
+	t.Helper()
+	n := a.NumQubits()
+	for basis := 0; basis < 1<<uint(n); basis++ {
+		sa := sim.NewBasisState(n, basis)
+		if err := sa.Run(a); err != nil {
+			t.Fatal(err)
+		}
+		sb := sim.NewBasisState(n, basis)
+		if err := sb.Run(b); err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := sa.EqualUpToPhase(sb, 1e-9); !ok {
+			t.Fatalf("basis %d: simplification changed semantics", basis)
+		}
+	}
+}
+
+func TestCancelAdjacentPairs(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *circuit.Circuit
+		want int // remaining gates
+	}{
+		{"HH", circuit.New(1).AddH(0).AddH(0), 0},
+		{"XX", circuit.New(1).AddX(0).AddX(0), 0},
+		{"TTdg", circuit.New(1).AddT(0).AddTdg(0), 0},
+		{"SdgS", circuit.New(1).AddSdg(0).AddS(0), 0},
+		{"CNOTCNOT", circuit.New(2).AddCNOT(0, 1).AddCNOT(0, 1), 0},
+		{"SWAPSWAP", circuit.New(2).AddSWAP(0, 1).AddSWAP(0, 1), 0},
+		{"reversed CNOTs stay", circuit.New(2).AddCNOT(0, 1).AddCNOT(1, 0), 2},
+		{"different qubits stay", circuit.New(2).AddH(0).AddH(1), 2},
+		{"chain collapses", circuit.New(1).AddH(0).AddT(0).AddTdg(0).AddH(0), 0},
+	}
+	for _, tc := range cases {
+		out, _ := Simplify(tc.c)
+		if out.Len() != tc.want {
+			t.Errorf("%s: %d gates remain, want %d", tc.name, out.Len(), tc.want)
+		}
+		equivalent(t, tc.c, out)
+	}
+}
+
+func TestBlockingGatePreventsCancellation(t *testing.T) {
+	// H q0 · CNOT(0,1) · H q0: the CNOT touches q0, so the H's must stay.
+	c := circuit.New(2).AddH(0).AddCNOT(0, 1).AddH(0)
+	out, _ := Simplify(c)
+	if out.Len() != 3 {
+		t.Errorf("gates = %d, want 3", out.Len())
+	}
+	// A gate on an unrelated qubit does not block.
+	c2 := circuit.New(2).AddH(0).AddT(1).AddH(0)
+	out2, _ := Simplify(c2)
+	if out2.Len() != 1 {
+		t.Errorf("gates = %d, want 1 (just the T)", out2.Len())
+	}
+	equivalent(t, c2, out2)
+}
+
+func TestMergeRotations(t *testing.T) {
+	c := circuit.New(1).AddT(0).AddT(0) // T·T = S
+	out, st := Simplify(c)
+	if out.Len() != 1 {
+		t.Fatalf("gates = %d, want 1", out.Len())
+	}
+	if st.MergedRotations != 1 {
+		t.Errorf("merged = %d", st.MergedRotations)
+	}
+	g := out.Gate(0)
+	if g.Kind != circuit.KindU || math.Abs(g.Lambda-math.Pi/2) > 1e-12 {
+		t.Errorf("merged gate = %v", g)
+	}
+	equivalent(t, c, out)
+
+	// Four T gates collapse into Z (via successive merges).
+	c4 := circuit.New(1).AddT(0).AddT(0).AddT(0).AddT(0)
+	out4, _ := Simplify(c4)
+	if out4.Len() != 1 {
+		t.Fatalf("4T: %d gates", out4.Len())
+	}
+	equivalent(t, c4, out4)
+}
+
+func TestDropIdentityRotation(t *testing.T) {
+	c := circuit.New(1).AddRz(0, 0).AddU(0, 0, 0, 2*math.Pi).AddH(0)
+	out, st := Simplify(c)
+	if out.Len() != 1 {
+		t.Errorf("gates = %d, want 1", out.Len())
+	}
+	if st.DroppedIdentity != 2 {
+		t.Errorf("dropped = %d, want 2", st.DroppedIdentity)
+	}
+}
+
+func TestOppositeRzCancel(t *testing.T) {
+	c := circuit.New(1).AddRz(0, 0.7).AddRz(0, -0.7)
+	out, _ := Simplify(c)
+	if out.Len() != 0 {
+		t.Errorf("gates = %d, want 0", out.Len())
+	}
+}
+
+func TestUGateNotFalselyCancelled(t *testing.T) {
+	// Regression: a U gate following a named gate must not be treated as
+	// its inverse via map zero values.
+	c := circuit.New(1).AddH(0).AddU(0, 0.5, 0.5, 0.5)
+	out, _ := Simplify(c)
+	if out.Len() != 2 {
+		t.Errorf("gates = %d, want 2", out.Len())
+	}
+	equivalent(t, c, out)
+}
+
+func TestMCTSelfInverse(t *testing.T) {
+	c := circuit.New(3).AddMCT([]int{0, 1}, 2).AddMCT([]int{0, 1}, 2)
+	out, _ := Simplify(c)
+	if out.Len() != 0 {
+		t.Errorf("gates = %d, want 0", out.Len())
+	}
+	// Different target: stays.
+	c2 := circuit.New(3).AddMCT([]int{0, 1}, 2).AddMCT([]int{0, 2}, 1)
+	out2, _ := Simplify(c2)
+	if out2.Len() != 2 {
+		t.Errorf("gates = %d, want 2", out2.Len())
+	}
+}
+
+func TestStatsGatesRemoved(t *testing.T) {
+	c := circuit.New(1).AddH(0).AddH(0).AddT(0).AddT(0).AddRz(0, 0)
+	out, st := Simplify(c)
+	if got := c.Len() - out.Len(); got != st.GatesRemoved() {
+		t.Errorf("GatesRemoved = %d, actual shrink %d", st.GatesRemoved(), got)
+	}
+}
+
+// Property: Simplify preserves semantics and never grows circuits, on
+// random elementary circuits.
+func TestSimplifyProperty(t *testing.T) {
+	f := func(seed int64, count uint) bool {
+		state := uint64(seed)
+		next := func(mod int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(mod))
+		}
+		const n = 3
+		c := circuit.New(n)
+		for i := 0; i < int(count%30)+1; i++ {
+			switch next(5) {
+			case 0:
+				c.AddH(next(n))
+			case 1:
+				c.AddT(next(n))
+			case 2:
+				c.AddTdg(next(n))
+			case 3:
+				a := next(n)
+				c.AddCNOT(a, (a+1+next(n-1))%n)
+			case 4:
+				c.AddRz(next(n), float64(next(8))*math.Pi/4)
+			}
+		}
+		out, _ := Simplify(c)
+		if out.Len() > c.Len() {
+			return false
+		}
+		for basis := 0; basis < 1<<n; basis++ {
+			sa := sim.NewBasisState(n, basis)
+			sa.Run(c)
+			sb := sim.NewBasisState(n, basis)
+			sb.Run(out)
+			if ok, _ := sa.EqualUpToPhase(sb, 1e-9); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingBasics(t *testing.T) {
+	mp := IdentityMapping(3)
+	if !mp.Valid(5) {
+		t.Error("identity mapping should be valid")
+	}
+	if !mp.Valid(3) {
+		t.Error("identity mapping should be valid with m=n")
+	}
+	if (Mapping{0, 0}).Valid(3) {
+		t.Error("non-injective mapping should be invalid")
+	}
+	if (Mapping{0, 5}).Valid(3) {
+		t.Error("out-of-range mapping should be invalid")
+	}
+}
+
+func TestPhysToLogical(t *testing.T) {
+	mp := Mapping{2, 0} // q0→p2, q1→p0
+	r := mp.PhysToLogical(4)
+	want := []int{1, -1, 0, -1}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("PhysToLogical = %v, want %v", r, want)
+			break
+		}
+	}
+}
+
+func TestApplySwap(t *testing.T) {
+	mp := Mapping{2, 0}
+	got := mp.ApplySwap(2, 3) // logical 0 moves from p2 to p3
+	if !got.Equal(Mapping{3, 0}) {
+		t.Errorf("ApplySwap = %v", got)
+	}
+	// Swapping two occupied qubits exchanges them.
+	got = mp.ApplySwap(0, 2)
+	if !got.Equal(Mapping{0, 2}) {
+		t.Errorf("ApplySwap = %v", got)
+	}
+	// Swapping two unoccupied qubits is a no-op.
+	got = mp.ApplySwap(1, 3)
+	if !got.Equal(mp) {
+		t.Errorf("ApplySwap = %v", got)
+	}
+	// Original must be unchanged.
+	if !mp.Equal(Mapping{2, 0}) {
+		t.Error("ApplySwap mutated receiver")
+	}
+}
+
+func TestApplyPerm(t *testing.T) {
+	mp := Mapping{2, 0}
+	p := Perm{1, 2, 0} // p0→p1, p1→p2, p2→p0
+	got := mp.ApplyPerm(p)
+	if !got.Equal(Mapping{0, 1}) {
+		t.Errorf("ApplyPerm = %v, want [0 1]", got)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	if s := (Mapping{2, 0}).String(); s != "q0→p2 q1→p0" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSpaceSizes(t *testing.T) {
+	cases := []struct{ m, n, want int }{
+		{5, 5, 120},
+		{5, 4, 120},
+		{5, 3, 60},
+		{5, 2, 20},
+		{4, 4, 24},
+		{3, 0, 1},
+	}
+	for _, tc := range cases {
+		s := NewSpace(tc.m, tc.n)
+		if s.Size() != tc.want {
+			t.Errorf("Space(%d,%d).Size = %d, want %d", tc.m, tc.n, s.Size(), tc.want)
+		}
+	}
+}
+
+func TestSpaceIndexRoundTrip(t *testing.T) {
+	s := NewSpace(5, 3)
+	for idx := 0; idx < s.Size(); idx++ {
+		mp := s.Mapping(idx)
+		if got := s.Index(mp); got != idx {
+			t.Fatalf("Index(Mapping(%d)) = %d", idx, got)
+		}
+	}
+	if s.Index(Mapping{0, 1}) != -1 {
+		t.Error("wrong-length mapping should have index -1")
+	}
+	if s.Index(Mapping{0, 0, 1}) != -1 {
+		t.Error("non-injective mapping should have index -1")
+	}
+}
+
+func TestSpacePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSpace(2, 3) },
+		func() { NewSpace(16, 12) }, // > 10M mappings
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: ApplySwap is an involution and preserves validity.
+func TestApplySwapProperties(t *testing.T) {
+	s := NewSpace(5, 3)
+	f := func(idx, a, b uint) bool {
+		mp := s.Mapping(int(idx % uint(s.Size())))
+		pa, pb := int(a%5), int(b%5)
+		if pa == pb {
+			return true
+		}
+		swapped := mp.ApplySwap(pa, pb)
+		return swapped.Valid(5) && swapped.ApplySwap(pa, pb).Equal(mp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

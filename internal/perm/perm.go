@@ -1,0 +1,143 @@
+// Package perm provides permutations, injective logical→physical qubit
+// mappings, and minimal token-swap distances over coupling graphs.
+//
+// The mapping of a circuit's n logical qubits onto an architecture's m ≥ n
+// physical qubits is an injective function σ with σ(j) = the physical qubit
+// holding logical qubit j. Inserting a SWAP on a coupling-graph edge (a, b)
+// exchanges the states of physical qubits a and b, transforming σ into σ'
+// with the roles of a and b exchanged. The paper's swaps(π) function
+// (§3.2, Eq. 5) — the minimal number of SWAP operations realizing a
+// permutation π of physical-qubit states — is computed here once per
+// architecture by breadth-first search (the paper's "exhaustive search ...
+// conducted only once").
+package perm
+
+import "fmt"
+
+// Perm is a permutation of {0, …, m−1}. p[i] = j means the state of
+// physical qubit i moves to physical qubit j (paper Definition 5).
+type Perm []int
+
+// Identity returns the identity permutation on m elements.
+func Identity(m int) Perm {
+	p := make(Perm, m)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Valid reports whether p is a bijection on {0, …, len(p)−1}.
+func (p Perm) Valid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// IsIdentity reports whether p fixes every element.
+func (p Perm) IsIdentity() bool {
+	for i, v := range p {
+		if v != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Compose returns the permutation q∘p: first apply p, then q.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("perm: composing permutations of different sizes")
+	}
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[i] = q[v]
+	}
+	return r
+}
+
+// Inverse returns p⁻¹.
+func (p Perm) Inverse() Perm {
+	r := make(Perm, len(p))
+	for i, v := range p {
+		r[v] = i
+	}
+	return r
+}
+
+// Equal reports whether two permutations are identical.
+func (p Perm) Equal(q Perm) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i, v := range p {
+		if q[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns a copy of p.
+func (p Perm) Copy() Perm { return append(Perm(nil), p...) }
+
+// String renders the permutation in one-line notation, e.g. "(2 0 1)".
+func (p Perm) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprint(v)
+	}
+	return s + ")"
+}
+
+// All enumerates every permutation of m elements in lexicographic order.
+// It panics for m > 8 to guard against accidental factorial blow-ups; the
+// architectures whose permutation groups are enumerated exhaustively in this
+// library have m ≤ 5 relevant qubits (paper evaluates on IBM QX4).
+func All(m int) []Perm {
+	if m < 0 || m > 8 {
+		panic(fmt.Sprintf("perm: refusing to enumerate %d! permutations", m))
+	}
+	var out []Perm
+	cur := Identity(m)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == m {
+			out = append(out, cur.Copy())
+			return
+		}
+		for i := k; i < m; i++ {
+			cur[k], cur[i] = cur[i], cur[k]
+			rec(k + 1)
+			cur[k], cur[i] = cur[i], cur[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// MinTranspositions returns the minimal number of arbitrary (unrestricted)
+// transpositions whose product is p: len(p) minus the number of cycles.
+// This lower-bounds the coupling-restricted swap count.
+func (p Perm) MinTranspositions() int {
+	seen := make([]bool, len(p))
+	cycles := 0
+	for i := range p {
+		if seen[i] {
+			continue
+		}
+		cycles++
+		for j := i; !seen[j]; j = p[j] {
+			seen[j] = true
+		}
+	}
+	return len(p) - cycles
+}

@@ -1,0 +1,138 @@
+package perm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	p := Identity(4)
+	if !p.IsIdentity() || !p.Valid() {
+		t.Errorf("Identity(4) = %v", p)
+	}
+	if Identity(0).String() != "()" {
+		t.Errorf("empty perm string = %q", Identity(0).String())
+	}
+}
+
+func TestValid(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want bool
+	}{
+		{Perm{0, 1, 2}, true},
+		{Perm{2, 0, 1}, true},
+		{Perm{0, 0, 1}, false},
+		{Perm{0, 3, 1}, false},
+		{Perm{-1, 0, 1}, false},
+		{Perm{}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Valid(); got != tc.want {
+			t.Errorf("%v.Valid() = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	p := Perm{1, 2, 0, 4, 3}
+	inv := p.Inverse()
+	if !p.Compose(inv).IsIdentity() {
+		t.Errorf("p∘p⁻¹ = %v", p.Compose(inv))
+	}
+	if !inv.Compose(p).IsIdentity() {
+		t.Errorf("p⁻¹∘p = %v", inv.Compose(p))
+	}
+	// Compose order: (p.Compose(q))[i] = q[p[i]].
+	q := Perm{2, 1, 0, 3, 4}
+	r := p.Compose(q)
+	for i := range p {
+		if r[i] != q[p[i]] {
+			t.Errorf("compose[%d] = %d, want %d", i, r[i], q[p[i]])
+		}
+	}
+}
+
+func TestComposePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Perm{0, 1}.Compose(Perm{0})
+}
+
+func TestAll(t *testing.T) {
+	for m, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24, 5: 120} {
+		perms := All(m)
+		if len(perms) != want {
+			t.Errorf("All(%d) has %d perms, want %d", m, len(perms), want)
+		}
+		seen := map[string]bool{}
+		for _, p := range perms {
+			if !p.Valid() {
+				t.Errorf("All(%d) produced invalid %v", m, p)
+			}
+			if seen[p.String()] {
+				t.Errorf("All(%d) produced duplicate %v", m, p)
+			}
+			seen[p.String()] = true
+		}
+	}
+}
+
+func TestAllPanicsOnLargeM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m=9")
+		}
+	}()
+	All(9)
+}
+
+func TestMinTranspositions(t *testing.T) {
+	cases := []struct {
+		p    Perm
+		want int
+	}{
+		{Identity(5), 0},
+		{Perm{1, 0, 2}, 1},       // one 2-cycle
+		{Perm{1, 2, 0}, 2},       // one 3-cycle
+		{Perm{1, 0, 3, 2}, 2},    // two 2-cycles
+		{Perm{4, 0, 1, 2, 3}, 4}, // one 5-cycle
+	}
+	for _, tc := range cases {
+		if got := tc.p.MinTranspositions(); got != tc.want {
+			t.Errorf("%v.MinTranspositions() = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+// Property: inverse of inverse is the original; compose with inverse is id.
+func TestPermProperties(t *testing.T) {
+	perms := All(5)
+	f := func(i, j uint) bool {
+		p := perms[int(i%uint(len(perms)))]
+		q := perms[int(j%uint(len(perms)))]
+		if !p.Inverse().Inverse().Equal(p) {
+			return false
+		}
+		// (p∘q)⁻¹ = q⁻¹∘p⁻¹ under our Compose convention: p.Compose(q)
+		// applies p first, so its inverse applies q⁻¹ first.
+		lhs := p.Compose(q).Inverse()
+		rhs := q.Inverse().Compose(p.Inverse())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	p := Perm{1, 0}
+	c := p.Copy()
+	c[0] = 0
+	if p[0] != 1 {
+		t.Error("Copy shares storage")
+	}
+}

@@ -1,0 +1,40 @@
+package qasm
+
+import "testing"
+
+// FuzzParse exercises the QASM parser with arbitrary inputs: it must never
+// panic, and anything it accepts must re-serialize and re-parse cleanly
+// (when the circuit is expressible, i.e. contains no >2-control MCTs —
+// ccx is the largest gate the parser produces, so that always holds).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\nh q[0];\ncx q[0],q[1];",
+		"qreg q[2]; u3(pi/2,0,pi) q[0]; ccx q[0],q[1],q[0];",
+		"qreg a[1]; qreg b[2]; cx a[0],b[1]; measure a[0] -> c[0];",
+		"qreg q[1]; u1(-(pi+1)/2*3) q[0]; barrier q[0];",
+		"p cnf // not qasm at all",
+		"qreg q[9999];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out, err := Write(c)
+		if err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, out)
+		}
+		if back.Len() != c.Len() || back.NumQubits() != c.NumQubits() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				back.NumQubits(), back.Len(), c.NumQubits(), c.Len())
+		}
+	})
+}

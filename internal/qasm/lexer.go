@@ -1,0 +1,144 @@
+// Package qasm reads and writes the OpenQASM 2.0 subset used by the RevLib
+// and IBM QX benchmark circuits: qreg/creg declarations, the standard
+// qelib1 single-qubit gates (u1/u2/u3, h, x, y, z, s, sdg, t, tdg, rz), cx,
+// swap and ccx, with constant angle expressions over pi. Barriers, measures
+// and comments are accepted and ignored.
+package qasm
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // single-char punctuation: ; , ( ) [ ] { } + - * / ->
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+// next returns the next token, skipping whitespace and // comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+scan:
+	start := l.line
+	r := l.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			r := l.peekRune()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			b.WriteRune(l.advance())
+		}
+		return token{kind: tokIdent, text: b.String(), line: start}, nil
+	case unicode.IsDigit(r) || r == '.':
+		var b strings.Builder
+		seenE := false
+		for l.pos < len(l.src) {
+			r := l.peekRune()
+			if unicode.IsDigit(r) || r == '.' {
+				b.WriteRune(l.advance())
+				continue
+			}
+			if (r == 'e' || r == 'E') && !seenE {
+				seenE = true
+				b.WriteRune(l.advance())
+				if l.peekRune() == '+' || l.peekRune() == '-' {
+					b.WriteRune(l.advance())
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: b.String(), line: start}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) && l.peekRune() != '"' {
+			b.WriteRune(l.advance())
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("qasm: line %d: unterminated string", start)
+		}
+		l.advance()
+		return token{kind: tokString, text: b.String(), line: start}, nil
+	case strings.ContainsRune(";,()[]{}+-*/", r):
+		l.advance()
+		// Recognize "->" used by measure statements.
+		if r == '-' && l.peekRune() == '>' {
+			l.advance()
+			return token{kind: tokSymbol, text: "->", line: start}, nil
+		}
+		return token{kind: tokSymbol, text: string(r), line: start}, nil
+	}
+	return token{}, fmt.Errorf("qasm: line %d: unexpected character %q", start, r)
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package qasm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+func TestGateDefinitionExpansion(t *testing.T) {
+	src := `
+OPENQASM 2.0;
+gate mycx c,t { cx c,t; }
+gate bell a,b { h a; mycx a,b; }
+qreg q[2];
+bell q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("gates = %d, want 2 (h + cx)", c.Len())
+	}
+	if c.Gate(0).Kind != circuit.KindH || c.Gate(1).Kind != circuit.KindCNOT {
+		t.Errorf("expanded gates: %v, %v", c.Gate(0), c.Gate(1))
+	}
+	// Semantics: Bell state.
+	s := sim.NewState(2)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	a0, a3 := s.Amplitude(0), s.Amplitude(3)
+	if real(a0) < 0.7 || real(a3) < 0.7 {
+		t.Errorf("not a Bell state: %v %v", a0, a3)
+	}
+}
+
+func TestGateDefinitionWithParams(t *testing.T) {
+	// qelib1-style definitions with parameter arithmetic.
+	src := `
+gate rzz(theta) a,b { cx a,b; u1(theta) b; cx a,b; }
+gate halfrzz(theta) a,b { rzz(theta/2) a,b; }
+qreg q[2];
+rzz(pi/2) q[0],q[1];
+halfrzz(pi) q[0],q[1];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 6 {
+		t.Fatalf("gates = %d, want 6", c.Len())
+	}
+	// Both applications produce u1(pi/4 * 2 = pi/2)... rzz(pi/2) → u1(pi/2);
+	// halfrzz(pi) → rzz(pi/2) → u1(pi/2).
+	for _, idx := range []int{1, 4} {
+		g := c.Gate(idx)
+		if g.Kind != circuit.KindU || math.Abs(g.Lambda-math.Pi/2) > 1e-12 {
+			t.Errorf("gate %d = %v, want u1(pi/2)", idx, g)
+		}
+	}
+}
+
+func TestGateDefinitionErrors(t *testing.T) {
+	cases := map[string]string{
+		"unterminated body": "gate foo a { h a;",
+		"unknown qubit":     "gate foo a { h b; }\nqreg q[1];\nfoo q[0];",
+		"wrong arity":       "gate foo a { h a; }\nqreg q[2];\nfoo q[0],q[1];",
+		"wrong params":      "gate foo(x) a { u1(x) a; }\nqreg q[1];\nfoo q[0];",
+		"unknown param":     "gate foo a { u1(y) a; }\nqreg q[1];\nfoo q[0];",
+		"unknown inner":     "gate foo a { zzz a; }\nqreg q[1];\nfoo q[0];",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestOpaqueIgnored(t *testing.T) {
+	c, err := Parse("opaque magic a,b;\nqreg q[2];\nh q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("gates = %d", c.Len())
+	}
+}
+
+func TestQelib1StyleHeader(t *testing.T) {
+	// A realistic file carrying its own qelib1-subset definitions (as
+	// files exported with inlined headers do).
+	src := `
+OPENQASM 2.0;
+gate u2(phi,lambda) q { u3(pi/2,phi,lambda) q; }
+gate cz a,b { h b; cx a,b; h b; }
+qreg q[3];
+u2(0,pi) q[0];
+cz q[0],q[2];
+`
+	c, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// u2 → 1 gate; cz → 3 gates.
+	if c.Len() != 4 {
+		t.Fatalf("gates = %d, want 4", c.Len())
+	}
+	// User definitions shadow nothing built-in here; u2 resolves to the
+	// user macro (equivalent semantics).
+	g := c.Gate(0)
+	if g.Kind != circuit.KindU || math.Abs(g.Theta-math.Pi/2) > 1e-12 {
+		t.Errorf("u2 expansion = %v", g)
+	}
+}

@@ -1,0 +1,59 @@
+package qasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Write renders the circuit as an OpenQASM 2.0 program over a single
+// register q. MCT gates with more than two controls are rejected: they must
+// be decomposed (internal/revlib) before export.
+func Write(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\n")
+	b.WriteString("include \"qelib1.inc\";\n")
+	if name := c.Name(); name != "" {
+		fmt.Fprintf(&b, "// circuit: %s\n", name)
+	}
+	fmt.Fprintf(&b, "qreg q[%d];\n", c.NumQubits())
+
+	for i, g := range c.Gates() {
+		switch g.Kind {
+		case circuit.KindU:
+			fmt.Fprintf(&b, "u3(%s,%s,%s) q[%d];\n",
+				angle(g.Theta), angle(g.Phi), angle(g.Lambda), g.Qubits[0])
+		case circuit.KindRz:
+			fmt.Fprintf(&b, "rz(%s) q[%d];\n", angle(g.Lambda), g.Qubits[0])
+		case circuit.KindH, circuit.KindX, circuit.KindY, circuit.KindZ,
+			circuit.KindS, circuit.KindSdg, circuit.KindT, circuit.KindTdg:
+			fmt.Fprintf(&b, "%s q[%d];\n", g.Kind, g.Qubits[0])
+		case circuit.KindCNOT:
+			fmt.Fprintf(&b, "cx q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1])
+		case circuit.KindSWAP:
+			fmt.Fprintf(&b, "swap q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1])
+		case circuit.KindMCT:
+			switch len(g.Qubits) {
+			case 1:
+				fmt.Fprintf(&b, "x q[%d];\n", g.Qubits[0])
+			case 2:
+				fmt.Fprintf(&b, "cx q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1])
+			case 3:
+				fmt.Fprintf(&b, "ccx q[%d],q[%d],q[%d];\n", g.Qubits[0], g.Qubits[1], g.Qubits[2])
+			default:
+				return "", fmt.Errorf("qasm: gate %d: MCT with %d controls has no QASM form; decompose first",
+					i, len(g.Qubits)-1)
+			}
+		default:
+			return "", fmt.Errorf("qasm: gate %d: unsupported kind %s", i, g.Kind)
+		}
+	}
+	return b.String(), nil
+}
+
+// angle renders a float with the shortest representation that round-trips.
+func angle(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,154 @@
+// Package render draws circuits and coupling maps as ASCII diagrams,
+// regenerating the paper's illustrative figures (Figs. 1, 2, 3, 5) in
+// textual form for documentation, examples and the benchmark harness.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+// Circuit renders a circuit as one row per qubit with one column per gate,
+// in the paper's visual conventions: single-qubit gates as letter boxes,
+// CNOT controls as '*', targets as '@', with '|' connecting them.
+func Circuit(c *circuit.Circuit) string {
+	n := c.NumQubits()
+	if n == 0 {
+		return "(empty circuit)\n"
+	}
+	const colWidth = 4
+	rows := make([][]byte, 2*n-1) // gate rows interleaved with link rows
+	label := func(q int) string { return fmt.Sprintf("q%-2d ", q) }
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", len(label(0))))
+		if i%2 == 0 {
+			copy(rows[i], label(i/2))
+		}
+	}
+	appendCol := func(cells map[int]string, links map[int]bool) {
+		for i := range rows {
+			var cell string
+			if i%2 == 0 {
+				q := i / 2
+				if s, ok := cells[q]; ok {
+					cell = s
+				} else {
+					cell = "-"
+				}
+				cell = padCenter(cell, colWidth, '-')
+			} else {
+				if links[i/2] { // link between qubit i/2 and i/2+1
+					cell = padCenter("|", colWidth, ' ')
+				} else {
+					cell = strings.Repeat(" ", colWidth)
+				}
+			}
+			rows[i] = append(rows[i], cell...)
+		}
+	}
+	for _, g := range c.Gates() {
+		cells := map[int]string{}
+		links := map[int]bool{}
+		mark := func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				links[k] = true
+			}
+		}
+		switch {
+		case g.Kind.IsSingleQubit():
+			name := strings.ToUpper(g.Kind.String())
+			if g.Kind == circuit.KindU {
+				name = "U"
+			}
+			cells[g.Qubits[0]] = name
+		case g.Kind == circuit.KindCNOT:
+			cells[g.Qubits[0]] = "*"
+			cells[g.Qubits[1]] = "@"
+			lo, hi := minMax(g.Qubits[0], g.Qubits[1])
+			mark(lo, hi)
+		case g.Kind == circuit.KindSWAP:
+			cells[g.Qubits[0]] = "x"
+			cells[g.Qubits[1]] = "x"
+			lo, hi := minMax(g.Qubits[0], g.Qubits[1])
+			mark(lo, hi)
+		case g.Kind == circuit.KindMCT:
+			for _, q := range g.Controls() {
+				cells[q] = "*"
+			}
+			cells[g.Target()] = "@"
+			lo, hi := g.Qubits[0], g.Qubits[0]
+			for _, q := range g.Qubits {
+				if q < lo {
+					lo = q
+				}
+				if q > hi {
+					hi = q
+				}
+			}
+			mark(lo, hi)
+		}
+		appendCol(cells, links)
+	}
+	var b strings.Builder
+	if c.Name() != "" {
+		fmt.Fprintf(&b, "circuit %s:\n", c.Name())
+	}
+	for _, r := range rows {
+		b.Write(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func minMax(a, b int) (int, int) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+func padCenter(s string, width int, fill byte) string {
+	pad := width - len(s)
+	if pad <= 0 {
+		return s[:width]
+	}
+	left := pad / 2
+	return strings.Repeat(string(fill), left) + s + strings.Repeat(string(fill), pad-left)
+}
+
+// Coupling renders an architecture's directed coupling map (paper Fig. 2)
+// as an arrow list plus degree summary.
+func Coupling(a *arch.Arch) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s coupling map (control -> target):\n", a.Name())
+	for _, p := range a.Pairs() {
+		fmt.Fprintf(&b, "  p%d -> p%d\n", p.Control, p.Target)
+	}
+	fmt.Fprintf(&b, "%d physical qubits, %d directed couplings\n", a.NumQubits(), len(a.Pairs()))
+	return b.String()
+}
+
+// Mapping renders a logical→physical assignment.
+func Mapping(mp []int) string {
+	parts := make([]string, len(mp))
+	for j, i := range mp {
+		parts[j] = fmt.Sprintf("q%d->p%d", j, i)
+	}
+	return strings.Join(parts, " ")
+}
+
+// CouplingDOT renders the coupling map in Graphviz DOT format, for users
+// who want a visual rendition of paper Fig. 2 (dot -Tpng …).
+func CouplingDOT(a *arch.Arch) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name())
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for _, p := range a.Pairs() {
+		fmt.Fprintf(&b, "  p%d -> p%d;\n", p.Control, p.Target)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+)
+
+func TestCircuitFigure1a(t *testing.T) {
+	out := Circuit(circuit.Figure1a())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 4 qubit rows + 3 link rows.
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "q0") || !strings.Contains(out, "q3") {
+		t.Errorf("missing qubit labels:\n%s", out)
+	}
+	if !strings.Contains(out, "H") || !strings.Contains(out, "T") {
+		t.Errorf("missing single-qubit boxes:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "@") {
+		t.Errorf("missing CNOT marks:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Errorf("missing link marks:\n%s", out)
+	}
+}
+
+func TestCircuitAllKinds(t *testing.T) {
+	c := circuit.New(3).
+		AddU(0, 1, 2, 3).AddSWAP(0, 2).AddMCT([]int{0, 1}, 2)
+	out := Circuit(c)
+	if !strings.Contains(out, "U") || !strings.Contains(out, "x") {
+		t.Errorf("missing U/swap marks:\n%s", out)
+	}
+	// Rows must all have equal width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != len(lines[0]) {
+			t.Fatalf("ragged row %d:\n%s", i, out)
+		}
+	}
+}
+
+func TestCircuitEmpty(t *testing.T) {
+	if out := Circuit(circuit.New(0)); !strings.Contains(out, "empty") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestCoupling(t *testing.T) {
+	out := Coupling(arch.QX4())
+	for _, want := range []string{"ibmqx4", "p1 -> p0", "p3 -> p4", "5 physical qubits", "6 directed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMapping(t *testing.T) {
+	if got := Mapping([]int{2, 0}); got != "q0->p2 q1->p0" {
+		t.Errorf("Mapping = %q", got)
+	}
+}
+
+func TestCouplingDOT(t *testing.T) {
+	out := CouplingDOT(arch.QX4())
+	for _, want := range []string{"digraph", "p1 -> p0", "p4 -> p2", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package revlib
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// Decompose rewrites every non-elementary gate of the circuit (SWAP, MCT)
+// into the IBM QX native set of single-qubit gates and CNOTs, leaving
+// elementary gates untouched. The result is simulation-verified equivalent
+// to the input (see tests).
+func Decompose(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.NumQubits())
+	out.SetName(c.Name())
+	for i, g := range c.Gates() {
+		switch {
+		case g.Kind.IsSingleQubit() || g.Kind == circuit.KindCNOT:
+			out.MustAppend(g.Copy())
+		case g.Kind == circuit.KindSWAP:
+			a, b := g.Qubits[0], g.Qubits[1]
+			out.AddCNOT(a, b).AddCNOT(b, a).AddCNOT(a, b)
+		case g.Kind == circuit.KindMCT:
+			if err := decomposeMCT(out, g.Controls(), g.Target()); err != nil {
+				return nil, fmt.Errorf("revlib: gate %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("revlib: gate %d: cannot decompose kind %s", i, g.Kind)
+		}
+	}
+	return out, nil
+}
+
+// decomposeMCT appends an MCT realization over {1q, CNOT} to out.
+func decomposeMCT(out *circuit.Circuit, controls []int, target int) error {
+	switch len(controls) {
+	case 0:
+		out.AddX(target)
+		return nil
+	case 1:
+		out.AddCNOT(controls[0], target)
+		return nil
+	case 2:
+		toffoli(out, controls[0], controls[1], target)
+		return nil
+	}
+	// Barenco recursion: C^k(X^α) for α = 1 with
+	// C^k(X^α) = C(X^(α/2))(c_k,t) · C^{k-1}X(c₁..c_{k-1}, c_k) ·
+	//            C(X^(−α/2))(c_k,t) · C^{k-1}X(c₁..c_{k-1}, c_k) ·
+	//            C^{k-1}(X^(α/2))(c₁..c_{k-1}, t).
+	return controlledXPow(out, controls, target, 1)
+}
+
+// controlledXPow appends a multi-controlled X^alpha.
+func controlledXPow(out *circuit.Circuit, controls []int, target int, alpha float64) error {
+	switch len(controls) {
+	case 0:
+		// X^α = H · P(πα) · H up to the global phase e^{-iπα/2}, which is
+		// harmless only when uncontrolled... keep phase exact instead:
+		// X^α = e^{iπα/2} · H·Rz(πα)·H; realize via u3/u1 with explicit
+		// phase: use H · u1(πα) · H then compensate the global phase
+		// e^{-iπα/2}? An uncontrolled global phase is unobservable, so
+		// H·P(πα)·H·(phase) is fine here — but this branch is only ever
+		// reached for uncontrolled calls, which do not occur from
+		// decomposeMCT.
+		out.AddH(target)
+		out.AddU(target, 0, 0, math.Pi*alpha)
+		out.AddH(target)
+		return nil
+	case 1:
+		controlledXPow1(out, controls[0], target, alpha)
+		return nil
+	}
+	k := len(controls)
+	rest, last := controls[:k-1], controls[k-1]
+	controlledXPow1(out, last, target, alpha/2)
+	if err := decomposeMCT(out, rest, last); err != nil {
+		return err
+	}
+	controlledXPow1(out, last, target, -alpha/2)
+	if err := decomposeMCT(out, rest, last); err != nil {
+		return err
+	}
+	return controlledXPow(out, rest, target, alpha/2)
+}
+
+// controlledXPow1 appends a singly-controlled X^alpha:
+// C(X^α) = H(t) · CP(πα)(c,t) · H(t), with the controlled phase
+// CP(θ) = P(θ/2)(c) · P(θ/2)(t) · CNOT(c,t) · P(−θ/2)(t) · CNOT(c,t)
+// (exact, including phases; P(θ) = u1(θ) = diag(1, e^{iθ})).
+func controlledXPow1(out *circuit.Circuit, control, target int, alpha float64) {
+	theta := math.Pi * alpha
+	out.AddH(target)
+	out.AddU(control, 0, 0, theta/2)
+	out.AddU(target, 0, 0, theta/2)
+	out.AddCNOT(control, target)
+	out.AddU(target, 0, 0, -theta/2)
+	out.AddCNOT(control, target)
+	out.AddH(target)
+}
+
+// toffoli appends the standard 15-gate Clifford+T realization of the
+// two-control Toffoli (6 CNOT + 2 H + 7 T/T†).
+func toffoli(out *circuit.Circuit, a, b, t int) {
+	out.AddH(t)
+	out.AddCNOT(b, t)
+	out.AddTdg(t)
+	out.AddCNOT(a, t)
+	out.AddT(t)
+	out.AddCNOT(b, t)
+	out.AddTdg(t)
+	out.AddCNOT(a, t)
+	out.AddT(b)
+	out.AddT(t)
+	out.AddH(t)
+	out.AddCNOT(a, b)
+	out.AddT(a)
+	out.AddTdg(b)
+	out.AddCNOT(a, b)
+}

@@ -1,0 +1,76 @@
+package revlib
+
+import "testing"
+
+// FuzzParseReal exercises the .real parser: no panics, and accepted
+// netlists must round-trip through WriteReal with identical classical
+// semantics (when small enough to tabulate).
+func FuzzParseReal(f *testing.F) {
+	seeds := []string{
+		"",
+		".version 2.0\n.numvars 3\n.variables a b c\n.begin\nt1 a\nt2 a b\nt3 a b c\n.end\n",
+		".numvars 2\n.begin\nf2 x0 x1\n.end\n",
+		".numvars 1\n.begin\n.end\n",
+		"# comment only\n",
+		".numvars 4\n.begin\nt4 x0 x1 x2 x3\nf3 x0 x1 x2\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseReal(src)
+		if err != nil {
+			return
+		}
+		out, err := WriteReal(c)
+		if err != nil {
+			t.Fatalf("accepted netlist failed to serialize: %v", err)
+		}
+		back, err := ParseReal(out)
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, out)
+		}
+		if c.NumQubits() <= 10 {
+			t1, err1 := CircuitTable(c)
+			t2, err2 := CircuitTable(back)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("tabulation failed: %v %v", err1, err2)
+			}
+			if !t1.Equal(t2) {
+				t.Fatal("round trip changed the function")
+			}
+		}
+	})
+}
+
+// FuzzSynthesize checks the MMD synthesizer against random permutations
+// supplied as byte strings: whatever valid permutation the bytes encode
+// must synthesize into a circuit computing exactly that permutation.
+func FuzzSynthesize(f *testing.F) {
+	f.Add([]byte{1, 0, 3, 2})
+	f.Add([]byte{7, 1, 4, 3, 0, 2, 6, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := 0
+		for 1<<uint(n) < len(data) {
+			n++
+		}
+		if n < 1 || n > 4 || 1<<uint(n) != len(data) {
+			return
+		}
+		out := make([]int, len(data))
+		for i, b := range data {
+			out[i] = int(b)
+		}
+		tt, err := NewTable(n, out)
+		if err != nil {
+			return // not a permutation
+		}
+		got, err := CircuitTable(Synthesize(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(tt) {
+			t.Fatal("synthesis computes wrong function")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package revlib
+
+import "repro/internal/circuit"
+
+// Synthesize produces a multiple-controlled-Toffoli netlist computing the
+// truth table, using the basic transformation-based algorithm of Miller,
+// Maslov and Dueck (DAC 2003): walk the inputs in increasing order and
+// apply output-side MCT gates making f(x) = x without disturbing already-
+// fixed smaller inputs; the collected gates in reverse order realize f.
+//
+// Gate choices follow the classic invariant argument: "set" gates (turning
+// a 0 of f(x) into 1 where x has 1) are controlled by the current 1-bits of
+// f(x), "clear" gates by the 1-bits of x — either control set can never be
+// a subset of a smaller already-fixed input's bits.
+func Synthesize(t *TruthTable) *circuit.Circuit {
+	n := t.N
+	f := append([]int(nil), t.Out...)
+	var gates []circuit.Gate
+
+	// applyOut composes an MCT on the output side: f ← G∘f.
+	applyOut := func(controls []int, target int) {
+		var cmask int
+		for _, c := range controls {
+			cmask |= 1 << uint(c)
+		}
+		tb := 1 << uint(target)
+		for x := range f {
+			if f[x]&cmask == cmask {
+				f[x] ^= tb
+			}
+		}
+		gates = append(gates, circuit.MCT(append([]int(nil), controls...), target))
+	}
+
+	// Step 0: fix f(0) = 0 with unconditional NOTs.
+	for j := 0; j < n; j++ {
+		if f[0]>>uint(j)&1 == 1 {
+			applyOut(nil, j)
+		}
+	}
+	for x := 1; x < len(f); x++ {
+		y := f[x]
+		if y == x {
+			continue
+		}
+		// Phase (a): set bits where x has 1 but y has 0, controlled by the
+		// 1-bits of the evolving y.
+		for j := 0; j < n; j++ {
+			if x>>uint(j)&1 == 1 && f[x]>>uint(j)&1 == 0 {
+				var controls []int
+				for k := 0; k < n; k++ {
+					if k != j && f[x]>>uint(k)&1 == 1 {
+						controls = append(controls, k)
+					}
+				}
+				applyOut(controls, j)
+			}
+		}
+		// Phase (b): clear bits where y has 1 but x has 0, controlled by
+		// the 1-bits of x.
+		for j := 0; j < n; j++ {
+			if x>>uint(j)&1 == 0 && f[x]>>uint(j)&1 == 1 {
+				var controls []int
+				for k := 0; k < n; k++ {
+					if k != j && x>>uint(k)&1 == 1 {
+						controls = append(controls, k)
+					}
+				}
+				applyOut(controls, j)
+			}
+		}
+	}
+
+	// The output-side gates in reverse order realize f as a circuit.
+	c := circuit.New(n)
+	for i := len(gates) - 1; i >= 0; i-- {
+		c.MustAppend(gates[i])
+	}
+	return c
+}

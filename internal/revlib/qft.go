@@ -1,0 +1,33 @@
+package revlib
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+)
+
+// BuildQFT returns the quantum Fourier transform on n qubits, decomposed
+// into the IBM-native gate set: H gates and controlled-phase rotations
+// CP(π/2^k), each realized exactly as 2 CNOTs and 3 u1 rotations. The
+// customary trailing qubit-reversal SWAPs are omitted (as in the QFT
+// benchmark circuits of the paper's suite, where reversal is a relabeling).
+func BuildQFT(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	for j := 0; j < n; j++ {
+		c.AddH(j)
+		for k := j + 1; k < n; k++ {
+			appendCP(c, k, j, math.Pi/math.Pow(2, float64(k-j)))
+		}
+	}
+	return c
+}
+
+// appendCP appends an exact controlled-phase CP(θ) between control and
+// target (symmetric in its qubits).
+func appendCP(c *circuit.Circuit, control, target int, theta float64) {
+	c.AddU(control, 0, 0, theta/2)
+	c.AddU(target, 0, 0, theta/2)
+	c.AddCNOT(control, target)
+	c.AddU(target, 0, 0, -theta/2)
+	c.AddCNOT(control, target)
+}

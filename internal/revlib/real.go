@@ -1,0 +1,161 @@
+package revlib
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// ParseReal reads a RevLib .real file: the netlist format the benchmark
+// collection distributes reversible functions in. Supported gate types are
+// tN (multiple-controlled Toffoli, last line is the target) and fN
+// (multiple-controlled Fredkin, last two lines are the swapped pair,
+// expanded into three MCTs). Header directives other than .numvars and
+// .variables are accepted and ignored.
+func ParseReal(src string) (*circuit.Circuit, error) {
+	var vars []string
+	varIndex := map[string]int{}
+	numvars := -1
+	var c *circuit.Circuit
+	inBody := false
+
+	lookup := func(name string) (int, error) {
+		if i, ok := varIndex[name]; ok {
+			return i, nil
+		}
+		return 0, fmt.Errorf("revlib: unknown variable %q", name)
+	}
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		key := fields[0]
+		switch {
+		case key == ".version", key == ".inputs", key == ".outputs",
+			key == ".constants", key == ".garbage", key == ".inputbus",
+			key == ".outputbus", key == ".define", key == ".module":
+			// Metadata; ignored.
+		case key == ".numvars":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("revlib: line %d: malformed .numvars", lineNo+1)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("revlib: line %d: bad variable count %q", lineNo+1, fields[1])
+			}
+			numvars = v
+		case key == ".variables":
+			vars = fields[1:]
+			for i, name := range vars {
+				varIndex[name] = i
+			}
+		case key == ".begin":
+			if numvars < 0 {
+				numvars = len(vars)
+			}
+			if numvars == 0 {
+				return nil, fmt.Errorf("revlib: no variables declared before .begin")
+			}
+			if len(vars) == 0 {
+				// Default variable names x0..x{n-1}.
+				for i := 0; i < numvars; i++ {
+					name := fmt.Sprintf("x%d", i)
+					vars = append(vars, name)
+					varIndex[name] = i
+				}
+			}
+			if len(vars) != numvars {
+				return nil, fmt.Errorf("revlib: .numvars %d but %d variables", numvars, len(vars))
+			}
+			c = circuit.New(numvars)
+			inBody = true
+		case key == ".end":
+			if c == nil {
+				return nil, fmt.Errorf("revlib: .end before .begin")
+			}
+			return c, nil
+		case inBody && (key[0] == 't' || key[0] == 'f'):
+			arity, err := strconv.Atoi(key[1:])
+			if err != nil || arity < 1 {
+				return nil, fmt.Errorf("revlib: line %d: bad gate %q", lineNo+1, key)
+			}
+			if len(fields)-1 != arity {
+				return nil, fmt.Errorf("revlib: line %d: gate %s expects %d lines, has %d",
+					lineNo+1, key, arity, len(fields)-1)
+			}
+			qubits := make([]int, arity)
+			for i, name := range fields[1:] {
+				q, err := lookup(name)
+				if err != nil {
+					return nil, fmt.Errorf("revlib: line %d: %w", lineNo+1, err)
+				}
+				qubits[i] = q
+			}
+			if key[0] == 't' {
+				if err := c.Append(circuit.MCT(qubits[:arity-1], qubits[arity-1])); err != nil {
+					return nil, fmt.Errorf("revlib: line %d: %w", lineNo+1, err)
+				}
+			} else {
+				// Fredkin: controlled swap of the last two lines =
+				// CNOT(b,a)-like triple of MCTs sharing the controls.
+				if arity < 2 {
+					return nil, fmt.Errorf("revlib: line %d: fredkin needs 2 lines", lineNo+1)
+				}
+				ctrls := qubits[:arity-2]
+				a, b := qubits[arity-2], qubits[arity-1]
+				for _, g := range []circuit.Gate{
+					circuit.MCT(append(append([]int{}, ctrls...), a), b),
+					circuit.MCT(append(append([]int{}, ctrls...), b), a),
+					circuit.MCT(append(append([]int{}, ctrls...), a), b),
+				} {
+					if err := c.Append(g); err != nil {
+						return nil, fmt.Errorf("revlib: line %d: %w", lineNo+1, err)
+					}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("revlib: line %d: unexpected %q", lineNo+1, line)
+		}
+	}
+	if c != nil {
+		return nil, fmt.Errorf("revlib: missing .end")
+	}
+	return nil, fmt.Errorf("revlib: no circuit body found")
+}
+
+// WriteReal renders an MCT/X/CNOT/SWAP circuit in .real format.
+func WriteReal(c *circuit.Circuit) (string, error) {
+	var b strings.Builder
+	b.WriteString(".version 2.0\n")
+	fmt.Fprintf(&b, ".numvars %d\n", c.NumQubits())
+	b.WriteString(".variables")
+	for i := 0; i < c.NumQubits(); i++ {
+		fmt.Fprintf(&b, " x%d", i)
+	}
+	b.WriteString("\n.begin\n")
+	for i, g := range c.Gates() {
+		switch g.Kind {
+		case circuit.KindX:
+			fmt.Fprintf(&b, "t1 x%d\n", g.Qubits[0])
+		case circuit.KindCNOT:
+			fmt.Fprintf(&b, "t2 x%d x%d\n", g.Qubits[0], g.Qubits[1])
+		case circuit.KindSWAP:
+			fmt.Fprintf(&b, "f2 x%d x%d\n", g.Qubits[0], g.Qubits[1])
+		case circuit.KindMCT:
+			fmt.Fprintf(&b, "t%d", len(g.Qubits))
+			for _, q := range g.Qubits {
+				fmt.Fprintf(&b, " x%d", q)
+			}
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("revlib: gate %d (%s) has no .real representation", i, g.Kind)
+		}
+	}
+	b.WriteString(".end\n")
+	return b.String(), nil
+}

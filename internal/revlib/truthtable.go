@@ -1,0 +1,163 @@
+// Package revlib is the reversible-logic substrate standing in for the
+// RevLib benchmark collection the paper draws its circuits from: truth
+// tables of reversible functions, transformation-based (MMD) synthesis into
+// multiple-controlled-Toffoli (MCT) netlists, decomposition of MCT gates
+// into the IBM-native {U, CNOT} set, a parser/writer for the RevLib .real
+// format, a QFT builder, and the 25-circuit benchmark suite of the paper's
+// Table 1.
+//
+// The module is offline, so the original RevLib circuit files cannot be
+// downloaded; see DESIGN.md for how the suite substitutes them.
+package revlib
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// TruthTable is a reversible boolean function on n bits: a permutation of
+// {0, …, 2^n−1}. Out[x] is the function value on input x.
+type TruthTable struct {
+	N   int
+	Out []int
+}
+
+// NewIdentityTable returns the identity function on n bits (n ≤ 16).
+func NewIdentityTable(n int) *TruthTable {
+	if n < 1 || n > 16 {
+		panic(fmt.Sprintf("revlib: table size %d outside [1,16]", n))
+	}
+	t := &TruthTable{N: n, Out: make([]int, 1<<uint(n))}
+	for i := range t.Out {
+		t.Out[i] = i
+	}
+	return t
+}
+
+// NewTable builds a truth table from an explicit output list, validating
+// that it is a permutation of the right size.
+func NewTable(n int, out []int) (*TruthTable, error) {
+	size := 1 << uint(n)
+	if len(out) != size {
+		return nil, fmt.Errorf("revlib: table for %d bits needs %d entries, has %d", n, size, len(out))
+	}
+	seen := make([]bool, size)
+	for x, y := range out {
+		if y < 0 || y >= size {
+			return nil, fmt.Errorf("revlib: entry %d: value %d out of range", x, y)
+		}
+		if seen[y] {
+			return nil, fmt.Errorf("revlib: value %d appears twice (not reversible)", y)
+		}
+		seen[y] = true
+	}
+	return &TruthTable{N: n, Out: append([]int(nil), out...)}, nil
+}
+
+// MustTable is NewTable panicking on error, for static benchmark specs.
+func MustTable(n int, out []int) *TruthTable {
+	t, err := NewTable(n, out)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromFunc builds a truth table by evaluating f on every input. The result
+// is validated to be a permutation.
+func FromFunc(n int, f func(x int) int) (*TruthTable, error) {
+	size := 1 << uint(n)
+	out := make([]int, size)
+	for x := range out {
+		out[x] = f(x)
+	}
+	return NewTable(n, out)
+}
+
+// Eval applies the function to x.
+func (t *TruthTable) Eval(x int) int { return t.Out[x] }
+
+// Inverse returns the inverse permutation.
+func (t *TruthTable) Inverse() *TruthTable {
+	inv := &TruthTable{N: t.N, Out: make([]int, len(t.Out))}
+	for x, y := range t.Out {
+		inv.Out[y] = x
+	}
+	return inv
+}
+
+// Compose returns the table computing o(t(x)).
+func (t *TruthTable) Compose(o *TruthTable) (*TruthTable, error) {
+	if t.N != o.N {
+		return nil, fmt.Errorf("revlib: composing %d-bit with %d-bit table", t.N, o.N)
+	}
+	out := make([]int, len(t.Out))
+	for x := range out {
+		out[x] = o.Out[t.Out[x]]
+	}
+	return &TruthTable{N: t.N, Out: out}, nil
+}
+
+// IsIdentity reports whether the table fixes every input.
+func (t *TruthTable) IsIdentity() bool {
+	for x, y := range t.Out {
+		if x != y {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two tables compute the same function.
+func (t *TruthTable) Equal(o *TruthTable) bool {
+	if t.N != o.N {
+		return false
+	}
+	for x, y := range t.Out {
+		if o.Out[x] != y {
+			return false
+		}
+	}
+	return true
+}
+
+// CircuitTable computes the truth table realized by a circuit of X, CNOT,
+// SWAP and MCT gates (the classical reversible subset). Gates with
+// non-classical kinds produce an error.
+func CircuitTable(c *circuit.Circuit) (*TruthTable, error) {
+	t := NewIdentityTable(c.NumQubits())
+	for gi, g := range c.Gates() {
+		for x := range t.Out {
+			y := t.Out[x]
+			switch g.Kind {
+			case circuit.KindX:
+				t.Out[x] = y ^ 1<<uint(g.Qubits[0])
+			case circuit.KindCNOT:
+				if y>>uint(g.Qubits[0])&1 == 1 {
+					t.Out[x] = y ^ 1<<uint(g.Qubits[1])
+				}
+			case circuit.KindSWAP:
+				a, b := uint(g.Qubits[0]), uint(g.Qubits[1])
+				ba, bb := y>>a&1, y>>b&1
+				if ba != bb {
+					t.Out[x] = y ^ 1<<a ^ 1<<b
+				}
+			case circuit.KindMCT:
+				all := true
+				for _, cq := range g.Qubits[:len(g.Qubits)-1] {
+					if y>>uint(cq)&1 == 0 {
+						all = false
+						break
+					}
+				}
+				if all {
+					t.Out[x] = y ^ 1<<uint(g.Target())
+				}
+			default:
+				return nil, fmt.Errorf("revlib: gate %d (%s) is not classical-reversible", gi, g.Kind)
+			}
+		}
+	}
+	return t, nil
+}

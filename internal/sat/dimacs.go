@@ -1,0 +1,141 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Comment lines (c …) are skipped; the problem line (p cnf V C) is
+// validated when present. Literal i > 0 denotes variable i−1 positive,
+// i < 0 its negation; clauses terminate with 0.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	s := NewSolver()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	declaredVars, declaredClauses := -1, -1
+	var clause []Lit
+	clauses := 0
+
+	ensureVar := func(v int) error {
+		if v <= 0 {
+			return fmt.Errorf("sat: dimacs: non-positive variable %d", v)
+		}
+		for s.NumVars() < v {
+			s.NewVar()
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: dimacs: malformed problem line %q", line)
+			}
+			var err1, err2 error
+			declaredVars, err1 = strconv.Atoi(fields[2])
+			declaredClauses, err2 = strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || declaredVars < 0 || declaredClauses < 0 {
+				return nil, fmt.Errorf("sat: dimacs: malformed problem line %q", line)
+			}
+			if err := ensureVar(declaredVars); declaredVars > 0 && err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: dimacs: bad token %q", tok)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				clauses++
+				continue
+			}
+			abs := v
+			if abs < 0 {
+				abs = -abs
+			}
+			if err := ensureVar(abs); err != nil {
+				return nil, err
+			}
+			l := Var(abs - 1).Pos()
+			if v < 0 {
+				l = l.Not()
+			}
+			clause = append(clause, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		return nil, fmt.Errorf("sat: dimacs: last clause not terminated with 0")
+	}
+	if declaredClauses >= 0 && clauses != declaredClauses {
+		return nil, fmt.Errorf("sat: dimacs: declared %d clauses, found %d", declaredClauses, clauses)
+	}
+	return s, nil
+}
+
+// WriteDIMACS renders the solver's problem clauses (not learnt clauses) in
+// DIMACS CNF format, so instances built by the encoder can be exported to
+// external solvers. Level-0 unit assignments are emitted as unit clauses.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if s.unsat {
+		// A contradiction was already derived at level 0; the offending
+		// clause was never stored, so emit an explicit empty clause to
+		// keep the exported instance equisatisfiable.
+		if _, err := fmt.Fprintf(bw, "p cnf %d 1\n0\n", s.NumVars()); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	units := 0
+	if len(s.trailLim) == 0 {
+		units = len(s.trail)
+	} else {
+		units = s.trailLim[0]
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", s.NumVars(), len(s.clauses)+units); err != nil {
+		return err
+	}
+	writeLit := func(l Lit) error {
+		v := int(l.Var()) + 1
+		if !l.IsPos() {
+			v = -v
+		}
+		_, err := fmt.Fprintf(bw, "%d ", v)
+		return err
+	}
+	for i := 0; i < units; i++ {
+		if err := writeLit(s.trail[i]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if err := writeLit(l); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,141 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	src := `c sample instance
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+`
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 3 {
+		t.Errorf("vars = %d", s.NumVars())
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestParseDIMACSUnsat(t *testing.T) {
+	src := "p cnf 1 2\n1 0\n-1 0\n"
+	s, err := ParseDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestParseDIMACSImplicitVars(t *testing.T) {
+	// No problem line: variables are allocated on demand.
+	s, err := ParseDIMACS(strings.NewReader("4 -7 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVars() != 7 {
+		t.Errorf("vars = %d, want 7", s.NumVars())
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad problem line": "p cnf x 3\n1 0\n",
+		"bad token":        "p cnf 1 1\none 0\n",
+		"unterminated":     "p cnf 2 1\n1 2\n",
+		"clause mismatch":  "p cnf 2 5\n1 0\n",
+		"not cnf":          "p sat 2 1\n1 0\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 4)
+	s.AddClause(v[0].Pos(), v[1].Neg(), v[2].Pos())
+	s.AddClause(v[3].Neg())
+	s.AddClause(v[1].Pos(), v[3].Pos(), v[0].Neg())
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if got, want := back.Solve(), s.Solve(); got != want {
+		t.Fatalf("round trip: %v, want %v", got, want)
+	}
+}
+
+// Property: random 3-SAT instances round-trip through DIMACS with the same
+// satisfiability verdict.
+func TestDIMACSRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const nVars = 8
+		cnf := randomCNF(seed, nVars, 25)
+		s := NewSolver()
+		newVars(s, nVars)
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		var buf bytes.Buffer
+		if err := s.WriteDIMACS(&buf); err != nil {
+			return false
+		}
+		back, err := ParseDIMACS(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Solve() == s.Solve()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDIMACSIncludesUnits(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Pos()) // becomes a level-0 assignment, not a clause
+	s.AddClause(v[0].Neg(), v[1].Pos())
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 0") {
+		t.Errorf("unit missing from:\n%s", buf.String())
+	}
+}
+
+func TestWriteDIMACSUnsatSolver(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 1)
+	s.AddClause(v[0].Pos())
+	s.AddClause(v[0].Neg()) // drives the solver UNSAT at level 0
+	var buf bytes.Buffer
+	if err := s.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Solve(); got != Unsat {
+		t.Fatalf("round trip of UNSAT solver = %v", got)
+	}
+}

@@ -1,0 +1,549 @@
+package sat
+
+import "sort"
+
+// clause is a disjunction of literals. The first two literals are the
+// watched ones.
+type clause struct {
+	lits     []Lit
+	learnt   bool
+	activity float64
+}
+
+// watcher pairs a watching clause with a blocker literal: if the blocker is
+// already true the clause is satisfied and need not be inspected.
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Stats accumulates solver statistics across Solve calls.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+}
+
+// Solver is an incremental CDCL SAT solver. Create with NewSolver, allocate
+// variables with NewVar, add clauses with AddClause, and call Solve
+// (optionally under assumptions). After Sat, query the model with Value.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher
+
+	assigns  []lbool
+	polarity []bool // saved phase per variable
+	reason   []*clause
+	level    []int32
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+	seen     []byte
+
+	unsat bool    // empty clause derived at level 0
+	model []lbool // last satisfying assignment
+
+	// MaxConflicts, when positive, bounds the total conflicts per Solve
+	// call; exceeding it returns Unknown.
+	MaxConflicts int64
+
+	Stats Stats
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	s := &Solver{varInc: 1, claInc: 1}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, false)
+	s.reason = append(s.reason, nil)
+	s.level = append(s.level, 0)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil) // one list per literal
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool { return litValue(s.assigns[l.Var()], l) }
+
+// Value returns the model value of v after a Sat result. Variables created
+// after the last Solve report false.
+func (s *Solver) Value(v Var) bool {
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v] == lTrue
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause over the given literals. It returns false if the
+// solver is already in an unsatisfiable state at level 0 (adding is then a
+// no-op). Tautologies are silently dropped; duplicate literals are merged;
+// literals already false at level 0 are removed.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if s.unsat {
+		return false
+	}
+	s.cancelUntil(0)
+	// Normalize: sort, dedupe, drop false literals, detect tautology and
+	// satisfied clauses.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = LitUndef
+	for _, l := range ls {
+		if l.Var() < 0 || int(l.Var()) >= s.NumVars() {
+			panic("sat: literal references unallocated variable")
+		}
+		if l == prev {
+			continue
+		}
+		if l == prev.Not() && prev != LitUndef {
+			return true // tautology
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.clauses = append(s.clauses, c)
+	s.watchClause(c)
+	return true
+}
+
+func (s *Solver) watchClause(c *clause) {
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+}
+
+// enqueue assigns literal l (making it true) with the given reason clause.
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(l.IsPos())
+	s.polarity[v] = l.IsPos()
+	s.reason[v] = from
+	s.level[v] = int32(s.decisionLevel())
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation over the two-watched-literal scheme.
+// It returns a conflicting clause, or nil if no conflict occurred.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p became true; the literal ¬p is now false
+		s.qhead++
+		s.Stats.Propagations++
+		falseLit := p.Not()
+		// Clauses watching a literal w live in watches[w.Not()], so the
+		// clauses watching ¬p are found under watches[p].
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the falsified literal is at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				confl = c
+				// Copy remaining watchers and stop propagating.
+				for wi++; wi < len(ws); wi++ {
+					kept = append(kept, ws[wi])
+				}
+				s.qhead = len(s.trail)
+				break
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+// cancelUntil backtracks to the given decision level, unassigning variables
+// and saving their phases.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	limit := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.push(v)
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// bumpVar increases a variable's VSIDS activity.
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.order.rebuild()
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+const (
+	varDecay    = 1 / 0.95
+	clauseDecay = 1 / 0.999
+)
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{LitUndef} // slot 0 for the asserting literal
+	pathC := 0
+	p := LitUndef
+	index := len(s.trail) - 1
+	for {
+		s.bumpClause(confl)
+		start := 0
+		if p != LitUndef {
+			start = 1 // skip the asserting literal of the reason clause
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.bumpVar(v)
+				s.seen[v] = 1
+				if int(s.level[v]) == s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to expand from the trail.
+		for s.seen[s.trail[index].Var()] == 0 {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: drop literals whose reason is subsumed by the
+	// remaining learnt clause (simple non-recursive check). Keep the full
+	// pre-minimization list so every seen flag is cleared afterwards.
+	toClear := append([]Lit(nil), learnt...)
+	minimized := learnt[:1]
+	for _, q := range learnt[1:] {
+		if !s.litRedundant(q) {
+			minimized = append(minimized, q)
+		}
+	}
+	learnt = minimized
+
+	// Compute backtrack level: the second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, q := range toClear {
+		s.seen[q.Var()] = 0
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether literal q in a learnt clause is implied by
+// the other marked literals (one-step self-subsumption).
+func (s *Solver) litRedundant(q Lit) bool {
+	r := s.reason[q.Var()]
+	if r == nil {
+		return false
+	}
+	for _, l := range r.lits {
+		if l == q.Not() {
+			continue
+		}
+		v := l.Var()
+		if s.seen[v] == 0 && s.level[v] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// recordLearnt installs a learnt clause and enqueues its asserting literal.
+func (s *Solver) recordLearnt(learnt []Lit) {
+	s.Stats.Learnt++
+	if len(learnt) == 1 {
+		s.enqueue(learnt[0], nil)
+		return
+	}
+	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	s.learnts = append(s.learnts, c)
+	s.bumpClause(c)
+	s.watchClause(c)
+	s.enqueue(learnt[0], c)
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping binary
+// clauses, locked (reason) clauses and the most active ones.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool {
+		return s.learnts[i].activity > s.learnts[j].activity
+	})
+	keep := s.learnts[:0]
+	limit := len(s.learnts) / 2
+	for i, c := range s.learnts {
+		locked := s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
+		if len(c.lits) == 2 || locked || i < limit {
+			keep = append(keep, c)
+		} else {
+			s.detachClause(c)
+			s.Stats.Removed++
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detachClause(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// pickBranchVar selects the next decision variable by activity.
+func (s *Solver) pickBranchVar() Var {
+	for !s.order.empty() {
+		v := s.order.pop()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby computes the Luby restart sequence element for 0-based index x:
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+func luby(x int64) int64 {
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return 1 << uint(seq)
+}
+
+// Solve determines satisfiability of the clause set under the given
+// assumption literals. It returns Sat, Unsat, or Unknown (only if
+// MaxConflicts was exceeded). The model after Sat is read with Value.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if s.unsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.propagate() != nil {
+		s.unsat = true
+		return Unsat
+	}
+
+	var totalConflicts int64
+	restart := int64(-1)
+	maxLearnts := len(s.clauses)/3 + 100
+
+	for {
+		restart++
+		budget := 100 * luby(restart)
+		st := s.search(assumptions, budget, &totalConflicts, maxLearnts)
+		switch st {
+		case Sat, Unsat:
+			s.cancelUntilRoot(st)
+			return st
+		}
+		s.Stats.Restarts++
+		if s.MaxConflicts > 0 && totalConflicts >= s.MaxConflicts {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		maxLearnts += maxLearnts / 10
+	}
+}
+
+// cancelUntilRoot backtracks to level 0 after a Solve, preserving the model
+// if the result was Sat.
+func (s *Solver) cancelUntilRoot(st Status) {
+	if st == Sat {
+		if cap(s.model) < len(s.assigns) {
+			s.model = make([]lbool, len(s.assigns))
+		}
+		s.model = s.model[:len(s.assigns)]
+		copy(s.model, s.assigns)
+	}
+	s.cancelUntil(0)
+}
+
+// search runs CDCL until a result, a conflict budget exhaustion (returns
+// Unknown to trigger a restart), or an assumption failure.
+func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, maxLearnts int) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			conflicts++
+			*totalConflicts++
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past the assumption levels' prefix that
+			// remains consistent; cancelUntil handles any level, and the
+			// assumption re-decision logic below re-establishes them.
+			s.cancelUntil(btLevel)
+			s.recordLearnt(learnt)
+			s.varInc *= varDecay
+			s.claInc *= clauseDecay
+			if len(s.learnts) >= maxLearnts+len(s.trail) {
+				s.reduceDB()
+			}
+			if conflicts >= budget || (s.MaxConflicts > 0 && *totalConflicts >= s.MaxConflicts) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+		// Decision: first re-establish assumptions, then branch.
+		var next Lit = LitUndef
+		for s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied; open an empty decision level so
+				// each assumption owns one level.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				// Conflicts with current clauses: unsatisfiable under
+				// assumptions.
+				return Unsat
+			}
+			next = a
+			break
+		}
+		if next == LitUndef {
+			v := s.pickBranchVar()
+			if v < 0 {
+				return Sat // all variables assigned
+			}
+			s.Stats.Decisions++
+			next = v.Lit(s.polarity[v])
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, nil)
+	}
+}

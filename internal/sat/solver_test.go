@@ -1,0 +1,450 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// newVars allocates n variables and returns them.
+func newVars(s *Solver, n int) []Var {
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Pos(), v[1].Pos())
+	s.AddClause(v[0].Neg())
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.Value(v[0]) {
+		t.Error("v0 should be false")
+	}
+	if !s.Value(v[1]) {
+		t.Error("v1 should be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 1)
+	s.AddClause(v[0].Pos())
+	if ok := s.AddClause(v[0].Neg()); ok {
+		t.Error("adding contradicting unit should report false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := NewSolver()
+	newVars(s, 3)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	s := NewSolver()
+	if ok := s.AddClause(); ok {
+		t.Error("empty clause should report false")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 1)
+	s.AddClause(v[0].Pos(), v[0].Neg())
+	if s.NumClauses() != 0 {
+		t.Error("tautology should not be stored")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+}
+
+func TestDuplicateLiteralsMerged(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Pos(), v[0].Pos(), v[1].Pos())
+	if s.NumClauses() != 1 {
+		t.Fatalf("clauses = %d", s.NumClauses())
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	// x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 = x2 forced equal; satisfiable.
+	s := NewSolver()
+	v := newVars(s, 3)
+	xor := func(a, b Var) {
+		s.AddClause(a.Pos(), b.Pos())
+		s.AddClause(a.Neg(), b.Neg())
+	}
+	xor(v[0], v[1])
+	xor(v[1], v[2])
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v", got)
+	}
+	if s.Value(v[0]) != s.Value(v[2]) || s.Value(v[0]) == s.Value(v[1]) {
+		t.Error("xor chain model wrong")
+	}
+}
+
+// pigeonhole adds the classic PHP(n+1, n) instance: n+1 pigeons in n holes,
+// provably UNSAT and a standard CDCL stress test.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = newVars(s, holes)
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = vars[p][h].Pos()
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(vars[p1][h].Neg(), vars[p2][h].Neg())
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := NewSolver()
+		pigeonhole(s, n+1, n)
+		if got := s.Solve(); got != Unsat {
+			t.Errorf("PHP(%d,%d) = %v, want UNSAT", n+1, n, got)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 5, 5)
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5) = %v, want SAT", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 3)
+	s.AddClause(v[0].Neg(), v[1].Pos()) // v0 → v1
+	s.AddClause(v[1].Neg(), v[2].Pos()) // v1 → v2
+
+	if got := s.Solve(v[0].Pos()); got != Sat {
+		t.Fatalf("assume v0: %v", got)
+	}
+	if !s.Value(v[1]) || !s.Value(v[2]) {
+		t.Error("implication chain not propagated under assumption")
+	}
+	if got := s.Solve(v[0].Pos(), v[2].Neg()); got != Unsat {
+		t.Fatalf("assume v0 ∧ ¬v2: %v, want UNSAT", got)
+	}
+	// Solver stays usable after assumption failure.
+	if got := s.Solve(v[2].Neg()); got != Sat {
+		t.Fatalf("assume ¬v2: %v", got)
+	}
+	if s.Value(v[0]) {
+		t.Error("¬v2 forces ¬v0")
+	}
+}
+
+func TestContradictoryAssumptions(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 1)
+	if got := s.Solve(v[0].Pos(), v[0].Neg()); got != Unsat {
+		t.Fatalf("contradictory assumptions = %v", got)
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("solver unusable after contradictory assumptions: %v", got)
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Pos(), v[1].Pos())
+	if s.Solve() != Sat {
+		t.Fatal("initial solve")
+	}
+	s.AddClause(v[0].Neg())
+	s.AddClause(v[1].Neg())
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("after narrowing = %v", got)
+	}
+}
+
+func TestMaxConflictsReturnsUnknown(t *testing.T) {
+	s := NewSolver()
+	s.MaxConflicts = 1
+	pigeonhole(s, 8, 7)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("budgeted solve = %v, want Unknown", got)
+	}
+	// Removing the budget must complete.
+	s.MaxConflicts = 0
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("unbudgeted solve = %v", got)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLitBasics(t *testing.T) {
+	v := Var(3)
+	if v.Pos().Var() != 3 || v.Neg().Var() != 3 {
+		t.Error("Var round trip")
+	}
+	if !v.Pos().IsPos() || v.Neg().IsPos() {
+		t.Error("polarity")
+	}
+	if v.Pos().Not() != v.Neg() || v.Neg().Not() != v.Pos() {
+		t.Error("Not")
+	}
+	if v.Lit(true) != v.Pos() || v.Lit(false) != v.Neg() {
+		t.Error("Lit")
+	}
+	if v.Pos().String() != "v3" || v.Neg().String() != "¬v3" || LitUndef.String() != "undef" {
+		t.Error("String")
+	}
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Error("Status.String")
+	}
+}
+
+// lcg is a small deterministic generator for property tests.
+type lcg uint64
+
+func (r *lcg) next(mod int) int {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return int((uint64(*r) >> 33) % uint64(mod))
+}
+
+// randomCNF generates a random 3-SAT instance.
+func randomCNF(seed int64, nVars, nClauses int) [][]Lit {
+	r := lcg(seed)
+	cnf := make([][]Lit, nClauses)
+	for i := range cnf {
+		cl := make([]Lit, 3)
+		for j := range cl {
+			v := Var(r.next(nVars))
+			cl[j] = v.Lit(r.next(2) == 0)
+		}
+		cnf[i] = cl
+	}
+	return cnf
+}
+
+// bruteForceSat decides satisfiability by enumeration (nVars ≤ 20).
+func bruteForceSat(cnf [][]Lit, nVars int) bool {
+	for mask := 0; mask < 1<<uint(nVars); mask++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				bit := mask>>uint(l.Var())&1 == 1
+				if bit == l.IsPos() {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandom3SATAgainstBruteForce cross-checks the CDCL solver against
+// exhaustive enumeration on hundreds of random instances near the phase
+// transition (clause/var ≈ 4.3).
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		const nVars = 9
+		nClauses := 20 + int(uint(seed)%20) // 20..39
+		cnf := randomCNF(seed, nVars, nClauses)
+		s := NewSolver()
+		newVars(s, nVars)
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := bruteForceSat(cnf, nVars)
+		if want != (got == Sat) {
+			return false
+		}
+		if got == Sat {
+			// The reported model must satisfy every clause.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) == l.IsPos() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomIncrementalAssumptions verifies that solving under unit
+// assumptions matches solving a copy with those units added as clauses.
+func TestRandomIncrementalAssumptions(t *testing.T) {
+	f := func(seed int64) bool {
+		const nVars = 8
+		cnf := randomCNF(seed, nVars, 18)
+		r := lcg(seed ^ 0x5eed)
+		var assumptions []Lit
+		for i := 0; i < 3; i++ {
+			v := Var(r.next(nVars))
+			assumptions = append(assumptions, v.Lit(r.next(2) == 0))
+		}
+
+		s := NewSolver()
+		newVars(s, nVars)
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		gotAssumed := s.Solve(assumptions...)
+
+		ref := NewSolver()
+		newVars(ref, nVars)
+		for _, cl := range cnf {
+			ref.AddClause(cl...)
+		}
+		for _, a := range assumptions {
+			ref.AddClause(a)
+		}
+		want := ref.Solve()
+		if gotAssumed != want {
+			return false
+		}
+		// Assumptions must not pollute later unassumed solves.
+		return s.Solve() == Sat == bruteForceSat(cnf, nVars)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 6, 5)
+	s.Solve()
+	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
+		t.Errorf("stats not accumulated: %+v", s.Stats)
+	}
+}
+
+func TestAddClausePanicsOnUnknownVar(t *testing.T) {
+	s := NewSolver()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unallocated variable")
+		}
+	}()
+	s.AddClause(Var(5).Pos())
+}
+
+// TestHardRandomInstancesStressReduceDB pushes the solver through larger
+// random instances near the phase transition so that clause-database
+// reduction, restarts and rescaling all trigger.
+func TestHardRandomInstancesStressReduceDB(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		s := NewSolver()
+		const nVars = 60
+		nClauses := nVars * 426 / 100 // clause/var ratio ≈ 4.26 (phase transition)
+		newVars(s, nVars)
+		for _, cl := range randomCNF(seed, nVars, nClauses) {
+			s.AddClause(cl...)
+		}
+		st := s.Solve()
+		if st == Unknown {
+			t.Fatalf("seed %d: unexpected Unknown", seed)
+		}
+		if st == Sat {
+			// Verify the model against every stored clause.
+			for _, cl := range randomCNF(seed, nVars, nClauses) {
+				ok := false
+				for _, l := range cl {
+					if s.Value(l.Var()) == l.IsPos() {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("seed %d: model violates a clause", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalAssumptionStress alternates assumption sets on one solver
+// instance, checking consistency with fresh solvers.
+func TestIncrementalAssumptionStress(t *testing.T) {
+	const nVars = 12
+	cnf := randomCNF(99, nVars, 30)
+	shared := NewSolver()
+	newVars(shared, nVars)
+	for _, cl := range cnf {
+		shared.AddClause(cl...)
+	}
+	r := lcg(4242)
+	for round := 0; round < 40; round++ {
+		var assumptions []Lit
+		for i := 0; i < 1+r.next(3); i++ {
+			v := Var(r.next(nVars))
+			assumptions = append(assumptions, v.Lit(r.next(2) == 0))
+		}
+		got := shared.Solve(assumptions...)
+
+		fresh := NewSolver()
+		newVars(fresh, nVars)
+		for _, cl := range cnf {
+			fresh.AddClause(cl...)
+		}
+		for _, a := range assumptions {
+			fresh.AddClause(a)
+		}
+		want := fresh.Solve()
+		if got != want {
+			t.Fatalf("round %d: incremental %v vs fresh %v (assumptions %v)", round, got, want, assumptions)
+		}
+	}
+}

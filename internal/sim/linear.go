@@ -1,0 +1,68 @@
+package sim
+
+import "fmt"
+
+// LinearMap is an invertible linear transformation over GF(2)^n, the exact
+// semantics of a CNOT/SWAP-only circuit: output bit i is the XOR of the
+// input bits j with Rows[i] bit j set.
+type LinearMap struct {
+	N    int
+	Rows []uint64 // Rows[i] = bitmask of input bits feeding output bit i
+}
+
+// NewLinearIdentity returns the identity map on n ≤ 64 bits.
+func NewLinearIdentity(n int) *LinearMap {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("sim: linear map size %d outside [1,64]", n))
+	}
+	m := &LinearMap{N: n, Rows: make([]uint64, n)}
+	for i := range m.Rows {
+		m.Rows[i] = 1 << uint(i)
+	}
+	return m
+}
+
+// ApplyCNOT composes a CNOT(control→target) after the current map:
+// the target's defining row absorbs the control's.
+func (m *LinearMap) ApplyCNOT(control, target int) {
+	m.Rows[target] ^= m.Rows[control]
+}
+
+// ApplySWAP exchanges two wires.
+func (m *LinearMap) ApplySWAP(a, b int) {
+	m.Rows[a], m.Rows[b] = m.Rows[b], m.Rows[a]
+}
+
+// Equal reports whether two maps are identical.
+func (m *LinearMap) Equal(o *LinearMap) bool {
+	if m.N != o.N {
+		return false
+	}
+	for i, r := range m.Rows {
+		if o.Rows[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval applies the map to an input bit vector.
+func (m *LinearMap) Eval(input uint64) uint64 {
+	var out uint64
+	for i, row := range m.Rows {
+		if parity(row&input) == 1 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func parity(x uint64) int {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return int(x & 1)
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+func TestLinearIdentity(t *testing.T) {
+	m := NewLinearIdentity(4)
+	for x := uint64(0); x < 16; x++ {
+		if m.Eval(x) != x {
+			t.Fatalf("identity(%d) = %d", x, m.Eval(x))
+		}
+	}
+}
+
+func TestLinearCNOT(t *testing.T) {
+	m := NewLinearIdentity(3)
+	m.ApplyCNOT(0, 2)
+	// bit2' = bit2 ⊕ bit0.
+	cases := map[uint64]uint64{0b000: 0b000, 0b001: 0b101, 0b100: 0b100, 0b101: 0b001}
+	for in, want := range cases {
+		if got := m.Eval(in); got != want {
+			t.Errorf("Eval(%03b) = %03b, want %03b", in, got, want)
+		}
+	}
+}
+
+func TestLinearSWAPEqualsThreeCNOTs(t *testing.T) {
+	a := NewLinearIdentity(2)
+	a.ApplySWAP(0, 1)
+	b := NewLinearIdentity(2)
+	b.ApplyCNOT(0, 1)
+	b.ApplyCNOT(1, 0)
+	b.ApplyCNOT(0, 1)
+	if !a.Equal(b) {
+		t.Error("SWAP ≠ 3 CNOTs over GF(2)")
+	}
+}
+
+func TestLinearMatchesStateVector(t *testing.T) {
+	// GF(2) semantics must agree with the state-vector simulator on basis
+	// states for random CNOT/SWAP circuits.
+	f := func(seed int64, count uint) bool {
+		const n = 4
+		lin := NewLinearIdentity(n)
+		type gate struct {
+			swap bool
+			a, b int
+		}
+		var gates []gate
+		state := uint64(seed)
+		next := func(mod int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int((state >> 33) % uint64(mod))
+		}
+		for i := 0; i < int(count%15)+1; i++ {
+			a, b := next(n), next(n)
+			if a == b {
+				b = (b + 1) % n
+			}
+			sw := next(2) == 0
+			gates = append(gates, gate{sw, a, b})
+			if sw {
+				lin.ApplySWAP(a, b)
+			} else {
+				lin.ApplyCNOT(a, b)
+			}
+		}
+		for basis := 0; basis < 1<<n; basis++ {
+			s := NewBasisState(n, basis)
+			for _, g := range gates {
+				if g.swap {
+					s.Apply(circuit.SWAP(g.a, g.b))
+				} else {
+					s.Apply(circuit.CNOT(g.a, g.b))
+				}
+			}
+			want := int(lin.Eval(uint64(basis)))
+			if !approx(s.Amplitude(want), 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearPanics(t *testing.T) {
+	for _, n := range []int{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewLinearIdentity(%d) should panic", n)
+				}
+			}()
+			NewLinearIdentity(n)
+		}()
+	}
+}
+
+func TestLinearEqualSizes(t *testing.T) {
+	if NewLinearIdentity(2).Equal(NewLinearIdentity(3)) {
+		t.Error("different sizes should not be equal")
+	}
+}

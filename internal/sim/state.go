@@ -1,0 +1,180 @@
+// Package sim provides two circuit simulators used for verification:
+// a full state-vector simulator over the library's gate set (exact
+// semantics for up to ~12 qubits), and a GF(2) linear-reversible simulator
+// for CNOT/SWAP circuits that scales to any size the mapper handles.
+//
+// The mapped circuits produced by this library are verified against the
+// originals through these simulators (internal/verify), so the paper's
+// minimality results are established over provably equivalent circuits.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+)
+
+// MaxQubits bounds the state-vector simulator's size (2^12 amplitudes).
+const MaxQubits = 12
+
+// State is a quantum state over n qubits. Qubit k corresponds to bit k of
+// the amplitude index (qubit 0 is the least significant bit).
+type State struct {
+	n    int
+	amps []complex128
+}
+
+// NewState returns the all-zeros computational basis state |0…0⟩.
+func NewState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("sim: %d qubits outside [1,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, amps: make([]complex128, 1<<uint(n))}
+	s.amps[0] = 1
+	return s
+}
+
+// NewBasisState returns the computational basis state |index⟩.
+func NewBasisState(n, index int) *State {
+	s := NewState(n)
+	if index < 0 || index >= len(s.amps) {
+		panic("sim: basis index out of range")
+	}
+	s.amps[0] = 0
+	s.amps[index] = 1
+	return s
+}
+
+// NumQubits returns the number of qubits.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state |index⟩.
+func (s *State) Amplitude(index int) complex128 { return s.amps[index] }
+
+// Copy returns a deep copy of the state.
+func (s *State) Copy() *State {
+	c := &State{n: s.n, amps: make([]complex128, len(s.amps))}
+	copy(c.amps, s.amps)
+	return c
+}
+
+// uMatrix returns the 2×2 matrix of U(θ,φ,λ) = Rz(φ)Ry(θ)Rz(λ) in the IBM
+// convention: [[cos(θ/2), −e^{iλ}·sin(θ/2)], [e^{iφ}·sin(θ/2),
+// e^{i(φ+λ)}·cos(θ/2)]].
+func uMatrix(theta, phi, lambda float64) [2][2]complex128 {
+	c, sn := math.Cos(theta/2), math.Sin(theta/2)
+	return [2][2]complex128{
+		{complex(c, 0), -cmplx.Exp(complex(0, lambda)) * complex(sn, 0)},
+		{cmplx.Exp(complex(0, phi)) * complex(sn, 0), cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0)},
+	}
+}
+
+// applySingle applies a 2×2 matrix to qubit q.
+func (s *State) applySingle(q int, m [2][2]complex128) {
+	bit := 1 << uint(q)
+	for i := range s.amps {
+		if i&bit != 0 {
+			continue
+		}
+		a0, a1 := s.amps[i], s.amps[i|bit]
+		s.amps[i] = m[0][0]*a0 + m[0][1]*a1
+		s.amps[i|bit] = m[1][0]*a0 + m[1][1]*a1
+	}
+}
+
+// Apply applies one gate to the state.
+func (s *State) Apply(g circuit.Gate) error {
+	if err := g.Validate(s.n); err != nil {
+		return err
+	}
+	switch g.Kind {
+	case circuit.KindCNOT:
+		s.applyCNOT(g.Qubits[0], g.Qubits[1])
+	case circuit.KindSWAP:
+		s.applySWAP(g.Qubits[0], g.Qubits[1])
+	case circuit.KindMCT:
+		s.applyMCT(g.Qubits[:len(g.Qubits)-1], g.Qubits[len(g.Qubits)-1])
+	default:
+		u, ok := g.AsU()
+		if !ok {
+			return fmt.Errorf("sim: unsupported gate %s", g)
+		}
+		s.applySingle(u.Qubits[0], uMatrix(u.Theta, u.Phi, u.Lambda))
+	}
+	return nil
+}
+
+func (s *State) applyCNOT(control, target int) {
+	cb, tb := 1<<uint(control), 1<<uint(target)
+	for i := range s.amps {
+		if i&cb != 0 && i&tb == 0 {
+			s.amps[i], s.amps[i|tb] = s.amps[i|tb], s.amps[i]
+		}
+	}
+}
+
+func (s *State) applySWAP(a, b int) {
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amps {
+		if i&ab != 0 && i&bb == 0 {
+			j := i&^ab | bb
+			s.amps[i], s.amps[j] = s.amps[j], s.amps[i]
+		}
+	}
+}
+
+func (s *State) applyMCT(controls []int, target int) {
+	var cmask int
+	for _, c := range controls {
+		cmask |= 1 << uint(c)
+	}
+	tb := 1 << uint(target)
+	for i := range s.amps {
+		if i&cmask == cmask && i&tb == 0 {
+			s.amps[i], s.amps[i|tb] = s.amps[i|tb], s.amps[i]
+		}
+	}
+}
+
+// Run applies every gate of the circuit in order.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.NumQubits() > s.n {
+		return fmt.Errorf("sim: circuit needs %d qubits, state has %d", c.NumQubits(), s.n)
+	}
+	for _, g := range c.Gates() {
+		if err := s.Apply(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InnerProduct returns ⟨s|o⟩.
+func (s *State) InnerProduct(o *State) complex128 {
+	if s.n != o.n {
+		panic("sim: inner product of different sizes")
+	}
+	var total complex128
+	for i, a := range s.amps {
+		total += cmplx.Conj(a) * o.amps[i]
+	}
+	return total
+}
+
+// Norm returns the state's 2-norm (should be 1 for valid evolutions).
+func (s *State) Norm() float64 {
+	total := 0.0
+	for _, a := range s.amps {
+		total += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(total)
+}
+
+// EqualUpToPhase reports whether two states are equal up to a global phase
+// within tolerance eps (|⟨s|o⟩| ≥ 1−eps) and returns the phase factor.
+func (s *State) EqualUpToPhase(o *State, eps float64) (bool, complex128) {
+	ip := s.InnerProduct(o)
+	return cmplx.Abs(ip) >= 1-eps, ip
+}

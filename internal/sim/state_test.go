@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+const eps = 1e-12
+
+func approx(a, b complex128) bool { return cmplx.Abs(a-b) < 1e-9 }
+
+func TestNewState(t *testing.T) {
+	s := NewState(3)
+	if s.NumQubits() != 3 || s.Amplitude(0) != 1 {
+		t.Fatal("initial state wrong")
+	}
+	if math.Abs(s.Norm()-1) > eps {
+		t.Fatal("norm != 1")
+	}
+}
+
+func TestNewStatePanics(t *testing.T) {
+	for _, n := range []int{0, MaxQubits + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewState(%d) should panic", n)
+				}
+			}()
+			NewState(n)
+		}()
+	}
+}
+
+func TestXGate(t *testing.T) {
+	s := NewState(2)
+	s.Apply(circuit.X(0))
+	if !approx(s.Amplitude(1), 1) {
+		t.Errorf("X|00⟩: amp(01) = %v", s.Amplitude(1))
+	}
+	s.Apply(circuit.X(1))
+	if !approx(s.Amplitude(3), 1) {
+		t.Errorf("amp(11) = %v", s.Amplitude(3))
+	}
+}
+
+func TestHGate(t *testing.T) {
+	s := NewState(1)
+	s.Apply(circuit.H(0))
+	r := complex(1/math.Sqrt2, 0)
+	if !approx(s.Amplitude(0), r) || !approx(s.Amplitude(1), r) {
+		t.Errorf("H|0⟩ = (%v, %v)", s.Amplitude(0), s.Amplitude(1))
+	}
+	// H is self-inverse.
+	s.Apply(circuit.H(0))
+	if !approx(s.Amplitude(0), 1) {
+		t.Errorf("HH|0⟩ = %v", s.Amplitude(0))
+	}
+}
+
+func TestTGatePhase(t *testing.T) {
+	s := NewState(1)
+	s.Apply(circuit.X(0))
+	s.Apply(circuit.T(0))
+	want := cmplx.Exp(complex(0, math.Pi/4))
+	if !approx(s.Amplitude(1), want) {
+		t.Errorf("T|1⟩ = %v, want %v", s.Amplitude(1), want)
+	}
+	s2 := NewState(1)
+	s2.Apply(circuit.X(0))
+	s2.Apply(circuit.T(0))
+	s2.Apply(circuit.Tdg(0))
+	if !approx(s2.Amplitude(1), 1) {
+		t.Error("T·T† should be identity")
+	}
+}
+
+func TestCNOT(t *testing.T) {
+	// CNOT(0→1): |01⟩ (q0=1) → |11⟩.
+	s := NewState(2)
+	s.Apply(circuit.X(0))
+	s.Apply(circuit.CNOT(0, 1))
+	if !approx(s.Amplitude(3), 1) {
+		t.Errorf("CNOT|01⟩: amp(11) = %v", s.Amplitude(3))
+	}
+	// Control 0: no effect.
+	s2 := NewState(2)
+	s2.Apply(circuit.CNOT(0, 1))
+	if !approx(s2.Amplitude(0), 1) {
+		t.Error("CNOT|00⟩ should stay |00⟩")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := NewState(2)
+	s.Apply(circuit.H(0))
+	s.Apply(circuit.CNOT(0, 1))
+	r := complex(1/math.Sqrt2, 0)
+	if !approx(s.Amplitude(0), r) || !approx(s.Amplitude(3), r) ||
+		!approx(s.Amplitude(1), 0) || !approx(s.Amplitude(2), 0) {
+		t.Errorf("Bell state wrong: %v %v %v %v",
+			s.Amplitude(0), s.Amplitude(1), s.Amplitude(2), s.Amplitude(3))
+	}
+}
+
+func TestSWAPGate(t *testing.T) {
+	s := NewState(3)
+	s.Apply(circuit.X(0))
+	s.Apply(circuit.SWAP(0, 2))
+	if !approx(s.Amplitude(4), 1) {
+		t.Errorf("SWAP moved excitation wrong: amp(100) = %v", s.Amplitude(4))
+	}
+}
+
+func TestSwapDecompositionIdentity(t *testing.T) {
+	// Paper Fig. 3: SWAP = CNOT(a,b)·CNOT(b,a)·CNOT(a,b) — verify on all
+	// basis states of a 2-qubit system.
+	for b := 0; b < 4; b++ {
+		viaSwap := NewBasisState(2, b)
+		viaSwap.Apply(circuit.SWAP(0, 1))
+		viaCNOTs := NewBasisState(2, b)
+		viaCNOTs.Apply(circuit.CNOT(0, 1))
+		viaCNOTs.Apply(circuit.CNOT(1, 0))
+		viaCNOTs.Apply(circuit.CNOT(0, 1))
+		if ok, _ := viaSwap.EqualUpToPhase(viaCNOTs, 1e-9); !ok {
+			t.Errorf("basis %d: 3-CNOT decomposition differs from SWAP", b)
+		}
+	}
+}
+
+func TestHHCNOTHHReversesDirection(t *testing.T) {
+	// Paper Fig. 3 (middle): (H⊗H)·CNOT(a→b)·(H⊗H) = CNOT(b→a), the
+	// 4-H direction switch whose cost is 4.
+	for b := 0; b < 4; b++ {
+		lhs := NewBasisState(2, b)
+		lhs.Apply(circuit.H(0))
+		lhs.Apply(circuit.H(1))
+		lhs.Apply(circuit.CNOT(0, 1))
+		lhs.Apply(circuit.H(0))
+		lhs.Apply(circuit.H(1))
+		rhs := NewBasisState(2, b)
+		rhs.Apply(circuit.CNOT(1, 0))
+		if ok, _ := lhs.EqualUpToPhase(rhs, 1e-9); !ok {
+			t.Errorf("basis %d: HH·CNOT·HH ≠ reversed CNOT", b)
+		}
+	}
+}
+
+func TestMCT(t *testing.T) {
+	// Toffoli: flips target only when both controls are 1.
+	for b := 0; b < 8; b++ {
+		s := NewBasisState(3, b)
+		s.Apply(circuit.MCT([]int{0, 1}, 2))
+		want := b
+		if b&3 == 3 {
+			want = b ^ 4
+		}
+		if !approx(s.Amplitude(want), 1) {
+			t.Errorf("MCT|%03b⟩: amp(%03b) = %v", b, want, s.Amplitude(want))
+		}
+	}
+}
+
+func TestRunCircuitAndErrors(t *testing.T) {
+	c := circuit.New(2).AddH(0).AddCNOT(0, 1)
+	s := NewState(2)
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	big := circuit.New(5).AddH(4)
+	if err := NewState(2).Run(big); err == nil {
+		t.Error("oversized circuit should fail")
+	}
+	if err := NewState(2).Apply(circuit.CNOT(0, 7)); err == nil {
+		t.Error("invalid gate should fail")
+	}
+}
+
+// Property: every gate preserves the norm (unitarity).
+func TestUnitarity(t *testing.T) {
+	gates := []circuit.Gate{
+		circuit.H(0), circuit.X(1), circuit.Y(2), circuit.Z(0),
+		circuit.S(1), circuit.T(2), circuit.Rz(0, 0.777),
+		circuit.U(1, 0.3, 1.1, 2.2), circuit.CNOT(0, 2),
+		circuit.SWAP(1, 2), circuit.MCT([]int{0, 1}, 2),
+	}
+	f := func(seed int64, count uint) bool {
+		s := NewState(3)
+		// Scramble into a generic state first.
+		s.Apply(circuit.H(0))
+		s.Apply(circuit.U(1, 0.5, 0.25, 0.125))
+		s.Apply(circuit.CNOT(0, 1))
+		state := uint64(seed)
+		for i := 0; i < int(count%20); i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			s.Apply(gates[int((state>>33)%uint64(len(gates)))])
+		}
+		return math.Abs(s.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInnerProductPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewState(2).InnerProduct(NewState(3))
+}

@@ -1,0 +1,382 @@
+// Package qxmap maps quantum circuits to IBM QX architectures using the
+// minimal number of SWAP and H operations — a from-scratch Go
+// implementation of Wille, Burgholzer and Zulehner (DAC 2019).
+//
+// The mapping problem: logical qubits of a circuit must be assigned to
+// physical qubits of a device whose directed coupling map restricts which
+// CNOTs are executable. The assignment may change mid-circuit by inserting
+// SWAP operations (7 elementary gates each) and CNOT directions may be
+// reversed with 4 H gates. This package finds assignments minimizing the
+// total number of added operations
+//
+//	F = 7·(#SWAPs) + 4·(#direction switches)
+//
+// by encoding the problem symbolically and solving it with a built-in CDCL
+// SAT solver (the paper's methodology), or with an independent exact
+// dynamic-programming engine. The performance improvements of the paper —
+// connected physical-qubit subsets (§4.1) and the disjoint-qubits /
+// odd-gates / qubit-triangle permutation restrictions (§4.2) — are exposed
+// as Methods, alongside a Qiskit-style stochastic heuristic baseline.
+//
+// Quick start:
+//
+//	c := qxmap.NewCircuit(4)
+//	c.AddH(1)
+//	c.AddCNOT(0, 1)
+//	res, err := qxmap.Map(c, qxmap.QX4(), qxmap.Options{})
+//	// res.Mapped is an equivalent circuit executable on IBM QX4;
+//	// res.Cost is the (minimal) number of added elementary operations.
+package qxmap
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+	"repro/internal/heuristic"
+	"repro/internal/opt"
+	"repro/internal/perm"
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// Circuit is the quantum-circuit IR: a gate sequence over logical qubits.
+type Circuit = circuit.Circuit
+
+// Gate is one quantum operation.
+type Gate = circuit.Gate
+
+// Architecture is a quantum device: physical qubits plus a directed
+// coupling map (paper Definition 2).
+type Architecture = arch.Arch
+
+// Mapping assigns logical qubits to physical qubits: m[j] is the physical
+// qubit holding logical qubit j.
+type Mapping = perm.Mapping
+
+// NewCircuit returns an empty circuit over n logical qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// Figure1a returns the paper's running example circuit (Fig. 1a).
+func Figure1a() *Circuit { return circuit.Figure1a() }
+
+// Method selects the mapping algorithm.
+type Method int
+
+const (
+	// MethodExact is the paper's §3 formulation: permutations allowed
+	// before every gate, guaranteed minimal.
+	MethodExact Method = iota
+	// MethodExactSubsets adds the §4.1 physical-qubit subset optimization
+	// (still minimal on the paper's benchmark set).
+	MethodExactSubsets
+	// MethodDisjoint restricts permutation points to disjoint-qubit
+	// cluster boundaries (§4.2); close to minimal.
+	MethodDisjoint
+	// MethodOdd allows permutations before odd-indexed gates only (§4.2).
+	MethodOdd
+	// MethodTriangle allows permutations only between ≤3-qubit clusters
+	// (§4.2).
+	MethodTriangle
+	// MethodHeuristic is the Qiskit-style stochastic baseline ("IBM [12]"
+	// in Table 1).
+	MethodHeuristic
+	// MethodAStar is a deterministic per-layer A*-search baseline in the
+	// family of the paper's reference [22] (Zulehner, Paler, Wille): each
+	// stuck layer is repaired with a provably SWAP-minimal sequence,
+	// optionally biased by lookahead into the next layer.
+	MethodAStar
+	// MethodSabre runs SABRE-style forward/backward passes (the paper's
+	// reference [13], Li, Ding, Xie) around the A* mapper to refine the
+	// initial layout.
+	MethodSabre
+)
+
+var methodNames = map[Method]string{
+	MethodExact:        "exact",
+	MethodExactSubsets: "exact-subsets",
+	MethodDisjoint:     "disjoint",
+	MethodOdd:          "odd",
+	MethodTriangle:     "triangle",
+	MethodHeuristic:    "heuristic",
+	MethodAStar:        "astar",
+	MethodSabre:        "sabre",
+}
+
+// String returns the method's short name.
+func (m Method) String() string {
+	if s, ok := methodNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// ParseMethod converts a short name into a Method.
+func ParseMethod(name string) (Method, error) {
+	for m, s := range methodNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("qxmap: unknown method %q", name)
+}
+
+// Engine selects the exact solving backend.
+type Engine int
+
+const (
+	// EngineSAT uses the symbolic formulation + CDCL solver (the paper's
+	// methodology; default).
+	EngineSAT Engine = iota
+	// EngineDP uses the dynamic-programming exact oracle (faster on the
+	// small IBM QX devices; same results).
+	EngineDP
+)
+
+// Options configures Map.
+type Options struct {
+	// Method selects the algorithm (default MethodExact).
+	Method Method
+	// Engine selects the exact backend (default EngineSAT); ignored by
+	// MethodHeuristic.
+	Engine Engine
+	// HeuristicRuns is the number of seeds for MethodHeuristic, keeping
+	// the best (default 5, as in the paper's evaluation).
+	HeuristicRuns int
+	// Seed seeds the heuristic's random source.
+	Seed int64
+	// Lookahead weighs the next layer into MethodAStar's search heuristic
+	// (customary value 0.5; 0 disables).
+	Lookahead float64
+	// SkipVerify disables the built-in structural + GF(2) verification of
+	// the mapped circuit (on by default; full unitary verification is
+	// additionally run for small instances).
+	SkipVerify bool
+	// SATStartBound, when positive, seeds the SAT engine's descent with a
+	// known upper bound on F.
+	SATStartBound int
+	// SATBinaryDescent switches the SAT engine to binary bound search.
+	SATBinaryDescent bool
+	// SATMaxConflicts bounds each SAT call; 0 = unlimited. Exhausting the
+	// budget returns the best (possibly non-minimal) mapping found.
+	SATMaxConflicts int64
+	// InitialLayout, when non-nil, pins the logical→physical layout at
+	// the start of the circuit (exact methods route away from it at SWAP
+	// cost if beneficial; the heuristic starts its search from it).
+	// Incompatible with MethodExactSubsets and the §4.2 methods, which
+	// renumber physical qubits internally.
+	InitialLayout []int
+	// Optimize runs the post-mapping peephole optimizer on the mapped
+	// circuit (cancellation of adjacent inverse pairs, rotation merging).
+	// The paper's cost F is reported for the unoptimized circuit — its
+	// cost model deliberately excludes this step (§3, footnote 2) — but
+	// the returned Mapped circuit is the optimized one, still verified.
+	Optimize bool
+}
+
+// Result is the outcome of a Map call.
+type Result struct {
+	// Mapped is the executable circuit over the architecture's physical
+	// qubits: it satisfies all coupling constraints and is equivalent to
+	// the input under InitialLayout/FinalLayout.
+	Mapped *Circuit
+	// Cost is F: the number of elementary operations added (7 per SWAP,
+	// 4 per direction switch). For exact methods this is minimal (or
+	// close-to-minimal under §4.2 restrictions).
+	Cost int
+	// Swaps and Switches break the cost down.
+	Swaps    int
+	Switches int
+	// InitialLayout and FinalLayout give the logical→physical assignment
+	// before the first and after the last gate.
+	InitialLayout Mapping
+	FinalLayout   Mapping
+	// PermPoints is |G'|, the number of in-circuit permutation points the
+	// method considered (exact methods only; paper's |G'| column counts
+	// one more for the free initial mapping).
+	PermPoints int
+	// Minimal reports whether Cost is guaranteed minimal.
+	Minimal bool
+	// GatesOptimizedAway counts gates removed by the peephole optimizer
+	// (only when Options.Optimize was set).
+	GatesOptimizedAway int
+	// Method and Engine echo the configuration; Runtime is wall-clock
+	// solving plus materialization time.
+	Method  Method
+	Engine  Engine
+	Runtime time.Duration
+}
+
+// TotalGates returns the gate count of the mapped circuit.
+func (r *Result) TotalGates() int { return r.Mapped.Len() }
+
+// Map maps the circuit onto the architecture. The input must be
+// elementary (single-qubit gates and CNOTs only — decompose SWAP/MCT gates
+// first, e.g. with the revlib substrate or cmd/qxsynth).
+func Map(c *Circuit, a *Architecture, opts Options) (*Result, error) {
+	start := time.Now()
+	sk, err := circuit.ExtractSkeleton(c)
+	if err != nil {
+		return nil, err
+	}
+	if c.NumQubits() > a.NumQubits() {
+		return nil, fmt.Errorf("qxmap: circuit has %d qubits, %s offers %d", c.NumQubits(), a, a.NumQubits())
+	}
+	if opts.HeuristicRuns <= 0 {
+		opts.HeuristicRuns = 5
+	}
+
+	res := &Result{Method: opts.Method, Engine: opts.Engine}
+
+	var ops []circuit.MappedOp
+	var initial perm.Mapping
+	switch {
+	case sk.Len() == 0:
+		// No CNOTs: the identity layout works and nothing is added.
+		initial = perm.IdentityMapping(c.NumQubits())
+		res.Minimal = true
+	case opts.Method == MethodHeuristic, opts.Method == MethodAStar, opts.Method == MethodSabre:
+		var h *heuristic.Result
+		var err error
+		switch opts.Method {
+		case MethodAStar:
+			h, err = heuristic.MapAStar(sk, a,
+				heuristic.AStarOptions{Lookahead: opts.Lookahead, Initial: opts.InitialLayout})
+		case MethodSabre:
+			if opts.InitialLayout != nil {
+				return nil, fmt.Errorf("qxmap: InitialLayout is not supported by MethodSabre (it chooses its own)")
+			}
+			h, err = heuristic.MapSabre(sk, a, heuristic.SabreOptions{Lookahead: opts.Lookahead})
+		default:
+			h, err = heuristic.MapBest(sk, a, opts.HeuristicRuns,
+				heuristic.Options{Seed: opts.Seed, Initial: opts.InitialLayout})
+		}
+		if err != nil {
+			return nil, err
+		}
+		ops = h.Ops
+		initial = h.InitialMapping
+		res.Cost = h.Cost
+		res.Swaps = h.Swaps
+		res.Switches = h.Switches
+	default:
+		eopts, err := exactOptions(opts)
+		if err != nil {
+			return nil, err
+		}
+		er, err := exact.Solve(sk, a, eopts)
+		if err != nil {
+			return nil, err
+		}
+		ops, err = er.Ops(sk)
+		if err != nil {
+			return nil, err
+		}
+		initial = er.InitialMapping()
+		res.Cost = er.Cost
+		res.Swaps = er.Solution.SwapCount()
+		res.Switches = er.Solution.SwitchCount()
+		res.PermPoints = er.PermPoints
+		res.Minimal = opts.Method == MethodExact && opts.SATMaxConflicts == 0
+	}
+
+	mapped, final, err := materialize(c, sk, a, ops, initial)
+	if err != nil {
+		return nil, err
+	}
+	res.Mapped = mapped
+	res.InitialLayout = initial
+	res.FinalLayout = final
+
+	if !opts.SkipVerify {
+		if err := verifyResult(c, sk, a, ops, res); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Optimize {
+		simplified, st := opt.Simplify(res.Mapped)
+		res.GatesOptimizedAway = st.GatesRemoved()
+		res.Mapped = simplified
+		if !opts.SkipVerify {
+			if err := verify.CouplingCompliant(res.Mapped, a); err != nil {
+				return nil, err
+			}
+			if a.NumQubits() <= sim.MaxQubits && c.NumQubits() <= 6 {
+				if err := verify.Equivalent(c, res.Mapped, a.NumQubits(), res.InitialLayout, res.FinalLayout); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+func exactOptions(opts Options) (exact.Options, error) {
+	eo := exact.Options{
+		SAT: exact.SATOptions{
+			StartBound:    opts.SATStartBound,
+			BinaryDescent: opts.SATBinaryDescent,
+			MaxConflicts:  opts.SATMaxConflicts,
+		},
+	}
+	if opts.Engine == EngineDP {
+		eo.Engine = exact.EngineDP
+	}
+	eo.InitialMapping = opts.InitialLayout
+	switch opts.Method {
+	case MethodExact:
+		eo.Strategy = exact.StrategyAll
+	case MethodExactSubsets:
+		eo.Strategy = exact.StrategyAll
+		eo.UseSubsets = true
+	case MethodDisjoint:
+		eo.Strategy = exact.StrategyDisjoint
+		eo.UseSubsets = true
+	case MethodOdd:
+		eo.Strategy = exact.StrategyOdd
+		eo.UseSubsets = true
+	case MethodTriangle:
+		eo.Strategy = exact.StrategyTriangle
+		eo.UseSubsets = true
+	default:
+		return eo, fmt.Errorf("qxmap: method %v is not an exact method", opts.Method)
+	}
+	return eo, nil
+}
+
+// verifyResult layers the structural, GF(2) and (for small instances) full
+// unitary checks over a freshly mapped circuit.
+func verifyResult(c *Circuit, sk *circuit.Skeleton, a *Architecture, ops []circuit.MappedOp, res *Result) error {
+	if err := verify.CouplingCompliant(res.Mapped, a); err != nil {
+		return err
+	}
+	if sk.Len() > 0 {
+		final, err := verify.OpStream(sk, a, ops, res.InitialLayout)
+		if err != nil {
+			return err
+		}
+		if !final.Equal(res.FinalLayout) {
+			return fmt.Errorf("qxmap: layout mismatch: %v vs %v", final, res.FinalLayout)
+		}
+		if err := verify.SkeletonOps(sk, a.NumQubits(), ops, res.InitialLayout, res.FinalLayout); err != nil {
+			return err
+		}
+	}
+	if a.NumQubits() <= sim.MaxQubits && c.NumQubits() <= 6 {
+		if err := verify.Equivalent(c, res.Mapped, a.NumQubits(), res.InitialLayout, res.FinalLayout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String returns "sat" or "dp".
+func (e Engine) String() string {
+	if e == EngineDP {
+		return "dp"
+	}
+	return "sat"
+}
