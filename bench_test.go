@@ -11,6 +11,7 @@ package qxmap
 // regressions in either speed or quality are visible.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristic"
 	"repro/internal/opt"
+	"repro/internal/portfolio"
 	"repro/internal/revlib"
 	"repro/internal/sat"
 	"repro/internal/sim"
@@ -50,7 +52,7 @@ func benchExactColumn(b *testing.B, strategy exact.Strategy, subsets bool) {
 	for i := 0; i < b.N; i++ {
 		total = 0
 		for _, sk := range sks {
-			r, err := exact.Solve(sk, a, exact.Options{
+			r, err := exact.Solve(context.Background(), sk, a, exact.Options{
 				Engine: exact.EngineDP, Strategy: strategy, UseSubsets: subsets})
 			if err != nil {
 				b.Fatal(err)
@@ -128,7 +130,7 @@ func BenchmarkTable1MinimalSAT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total = 0
 		for _, sk := range sks {
-			r, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineSAT})
+			r, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineSAT})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -144,7 +146,7 @@ func BenchmarkTable1MinimalSAT(b *testing.B) {
 func BenchmarkSummaryClaims(b *testing.B) {
 	var s bench.Stats
 	for i := 0; i < b.N; i++ {
-		rows, err := bench.RunTable1(bench.Config{Engine: exact.EngineDP})
+		rows, err := bench.RunTable1(context.Background(), bench.Config{Engine: exact.EngineDP})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -202,7 +204,7 @@ func BenchmarkFigure4Encoding(b *testing.B) {
 	var vars, clauses int
 	for i := 0; i < b.N; i++ {
 		s := sat.NewSolver()
-		enc, err := encoder.Encode(encoder.Problem{Skeleton: sk, Arch: a}, cnf.NewBuilder(s))
+		enc, err := encoder.Encode(context.Background(), encoder.Problem{Skeleton: sk, Arch: a}, cnf.NewBuilder(s))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -246,18 +248,18 @@ func BenchmarkAblationSATvsDP(b *testing.B) {
 	a := arch.QX4()
 	b.Run("dp", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP}); err != nil {
+			if _, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineDP}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sat", func(b *testing.B) {
-		want, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP})
+		want, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineDP})
 		if err != nil {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			r, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineSAT})
+			r, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineSAT})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -275,14 +277,14 @@ func BenchmarkAblationBoundSearch(b *testing.B) {
 	a := arch.QX4()
 	b.Run("linear", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineSAT}); err != nil {
+			if _, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineSAT}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("binary", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.Solve(sk, a, exact.Options{
+			if _, err := exact.Solve(context.Background(), sk, a, exact.Options{
 				Engine: exact.EngineSAT, SAT: exact.SATOptions{BinaryDescent: true}}); err != nil {
 				b.Fatal(err)
 			}
@@ -303,13 +305,13 @@ func BenchmarkAblationSeededSAT(b *testing.B) {
 		b.Fatal(err)
 	}
 	a := arch.QX4()
-	dp, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP})
+	dp, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineDP})
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := exact.Solve(sk, a, exact.Options{
+		r, err := exact.Solve(context.Background(), sk, a, exact.Options{
 			Engine: exact.EngineSAT, SAT: exact.SATOptions{StartBound: dp.Cost}})
 		if err != nil {
 			b.Fatal(err)
@@ -399,7 +401,7 @@ func BenchmarkAblationParallelSubsets(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := exact.Solve(sk, a, exact.Options{
+				if _, err := exact.Solve(context.Background(), sk, a, exact.Options{
 					Engine: exact.EngineDP, UseSubsets: true, Parallel: par}); err != nil {
 					b.Fatal(err)
 				}
@@ -427,4 +429,35 @@ func BenchmarkAblationPeephole(b *testing.B) {
 		removed = st.GatesRemoved()
 	}
 	b.ReportMetric(float64(removed), "gates-removed")
+}
+
+// BenchmarkTable1Portfolio runs the minimal column through the portfolio
+// layer: heuristic-seeded SAT racing the DP oracle. Cold measures a fresh
+// cache every iteration (the honest solving cost); Warm reuses one cache
+// across iterations, so after the first pass every instance is a hit —
+// the service-layer steady state.
+func BenchmarkTable1Portfolio(b *testing.B) {
+	sks := suiteSkeletons(b)
+	a := arch.QX4()
+	run := func(b *testing.B, fresh bool) {
+		cache := portfolio.NewCache(0)
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if fresh {
+				cache = portfolio.NewCache(0)
+			}
+			total = 0
+			for _, sk := range sks {
+				r, err := portfolio.Solve(context.Background(), sk, a, portfolio.Options{Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += r.Cost
+			}
+		}
+		b.ReportMetric(float64(total), "added-gates")
+	}
+	b.Run("Cold", func(b *testing.B) { run(b, true) })
+	b.Run("Warm", func(b *testing.B) { run(b, false) })
 }

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-runs 5]
-//	        [-names a,b,c] [-summary]
+//	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-portfolio]
+//	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,17 +23,26 @@ func main() {
 	archName := flag.String("arch", "ibmqx4", "target architecture")
 	engine := flag.String("engine", "dp", "exact engine: dp or sat")
 	seedSAT := flag.Bool("seed-sat", false, "seed SAT descent with the DP cost")
+	portfolio := flag.Bool("portfolio", false, "race both engines per instance with heuristic seeding and a result cache (ignores -engine and -seed-sat)")
 	runs := flag.Int("runs", 5, "heuristic runs per benchmark (paper: 5)")
 	names := flag.String("names", "", "comma-separated benchmark subset (default: all 25)")
 	summaryOnly := flag.Bool("summary", false, "print only the aggregate summary")
 	parallel := flag.Bool("parallel", false, "evaluate benchmark rows concurrently")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s or 5m")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	a, err := arch.ByName(*archName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := bench.Config{Arch: a, HeuristicRuns: *runs, SeedSATWithDP: *seedSAT, Parallel: *parallel}
+	cfg := bench.Config{Arch: a, HeuristicRuns: *runs, SeedSATWithDP: *seedSAT, Parallel: *parallel, Portfolio: *portfolio}
 	switch *engine {
 	case "dp":
 		cfg.Engine = exact.EngineDP
@@ -45,7 +55,7 @@ func main() {
 		cfg.Names = strings.Split(*names, ",")
 	}
 
-	rows, err := bench.RunTable1(cfg)
+	rows, err := bench.RunTable1(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}

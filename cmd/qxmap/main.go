@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-runs 5]
-//	      [-render] [-o out.qasm] input.qasm
+//	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-portfolio]
+//	      [-timeout 30s] [-runs 5] [-render] [-o out.qasm] input.qasm
 //
 // With input "-", the program reads from standard input. The mapped
 // circuit is written as QASM to -o (default: stdout), preceded by a cost
-// report on stderr.
+// report on stderr. A -timeout maps to context.WithTimeout over the whole
+// solve: exact runs abort within one solver restart interval of the
+// deadline instead of relying on ad-hoc conflict budgets.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +37,8 @@ func main() {
 	outPath := flag.String("o", "", "output QASM path (default stdout)")
 	optimize := flag.Bool("optimize", false, "run post-mapping peephole optimization")
 	initial := flag.String("initial", "", "pin the initial layout, e.g. 2,0,1 (logical j on physical value[j])")
+	portfolio := flag.Bool("portfolio", false, "race the SAT and DP engines with heuristic bound seeding and a result cache (ignores -engine)")
+	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none), e.g. 30s or 2m")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,7 +60,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize}
+	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio}
 	if *initial != "" {
 		layout, err := parseLayout(*initial)
 		if err != nil {
@@ -72,7 +77,13 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q", *engineName))
 	}
 
-	res, err := qxmap.Map(c, a, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := qxmap.MapContext(ctx, c, a, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/exact"
 	"repro/internal/heuristic"
+	"repro/internal/portfolio"
 	"repro/internal/revlib"
 )
 
@@ -74,6 +76,14 @@ type Config struct {
 	// Parallel evaluates benchmark rows concurrently. Results are
 	// identical to a sequential run (rows are independent).
 	Parallel bool
+	// Portfolio routes every exact column through internal/portfolio:
+	// heuristic-seeded SAT racing the DP oracle, with results memoized in
+	// a cache shared across the whole run. The Engine and SeedSATWithDP
+	// options are then ignored.
+	Portfolio bool
+
+	// cache is the portfolio memo shared by every row of one run.
+	cache *portfolio.Cache
 }
 
 func (c Config) withDefaults() Config {
@@ -83,12 +93,16 @@ func (c Config) withDefaults() Config {
 	if c.HeuristicRuns <= 0 {
 		c.HeuristicRuns = 5
 	}
+	if c.Portfolio && c.cache == nil {
+		c.cache = portfolio.NewCache(0)
+	}
 	return c
 }
 
 // RunTable1 executes the full evaluation and returns one row per
-// benchmark, in table order.
-func RunTable1(cfg Config) ([]Row, error) {
+// benchmark, in table order. Cancelling the context aborts in-flight exact
+// solves promptly and fails the run with an error wrapping ctx.Err().
+func RunTable1(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var selected []revlib.Benchmark
 	for _, b := range revlib.Suite() {
@@ -104,13 +118,13 @@ func RunTable1(cfg Config) ([]Row, error) {
 			wg.Add(1)
 			go func(i int, b revlib.Benchmark) {
 				defer wg.Done()
-				rows[i], errs[i] = RunRow(b, cfg)
+				rows[i], errs[i] = RunRow(ctx, b, cfg)
 			}(i, b)
 		}
 		wg.Wait()
 	} else {
 		for i, b := range selected {
-			rows[i], errs[i] = RunRow(b, cfg)
+			rows[i], errs[i] = RunRow(ctx, b, cfg)
 		}
 	}
 	for i, err := range errs {
@@ -123,7 +137,7 @@ func RunTable1(cfg Config) ([]Row, error) {
 
 // RunRow evaluates all method columns (the paper's six plus the A*
 // extension) on one benchmark.
-func RunRow(b revlib.Benchmark, cfg Config) (Row, error) {
+func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 	cfg = cfg.withDefaults()
 	row := Row{
 		Name:         b.Name,
@@ -137,20 +151,43 @@ func RunRow(b revlib.Benchmark, cfg Config) (Row, error) {
 		return row, err
 	}
 
+	// The heuristic column doubles as the portfolio's upper bound, so it is
+	// computed first — once per row rather than once per exact column.
+	start := time.Now()
+	h, err := heuristic.MapBest(sk, cfg.Arch, cfg.HeuristicRuns, heuristic.Options{Seed: 1})
+	if err != nil {
+		return row, err
+	}
+	row.IBM = Column{
+		Cost:    row.OriginalCost + h.Cost,
+		Added:   h.Cost,
+		Runtime: time.Since(start),
+	}
+
 	solve := func(strategy exact.Strategy, subsets bool) (Column, error) {
 		opts := exact.Options{Engine: cfg.Engine, Strategy: strategy, UseSubsets: subsets}
 		start := time.Now()
-		if cfg.Engine == exact.EngineSAT && cfg.SeedSATWithDP {
-			dp, err := exact.Solve(sk, cfg.Arch, exact.Options{
-				Engine: exact.EngineDP, Strategy: strategy, UseSubsets: subsets})
+		var r *exact.Result
+		if cfg.Portfolio {
+			pr, err := portfolio.Solve(ctx, sk, cfg.Arch, portfolio.Options{
+				Exact: opts, Cache: cfg.cache, UpperBound: h.Cost, HeuristicRuns: -1})
 			if err != nil {
 				return Column{}, err
 			}
-			opts.SAT.StartBound = dp.Cost
-		}
-		r, err := exact.Solve(sk, cfg.Arch, opts)
-		if err != nil {
-			return Column{}, err
+			r = pr.Result
+		} else {
+			if cfg.Engine == exact.EngineSAT && cfg.SeedSATWithDP {
+				dp, err := exact.Solve(ctx, sk, cfg.Arch, exact.Options{
+					Engine: exact.EngineDP, Strategy: strategy, UseSubsets: subsets})
+				if err != nil {
+					return Column{}, err
+				}
+				opts.SAT.StartBound = dp.Cost
+			}
+			var err error
+			if r, err = exact.Solve(ctx, sk, cfg.Arch, opts); err != nil {
+				return Column{}, err
+			}
 		}
 		return Column{
 			Cost:       row.OriginalCost + r.Cost,
@@ -174,17 +211,6 @@ func RunRow(b revlib.Benchmark, cfg Config) (Row, error) {
 	}
 	if row.Triangle, err = solve(exact.StrategyTriangle, true); err != nil {
 		return row, err
-	}
-
-	start := time.Now()
-	h, err := heuristic.MapBest(sk, cfg.Arch, cfg.HeuristicRuns, heuristic.Options{Seed: 1})
-	if err != nil {
-		return row, err
-	}
-	row.IBM = Column{
-		Cost:    row.OriginalCost + h.Cost,
-		Added:   h.Cost,
-		Runtime: time.Since(start),
 	}
 
 	start = time.Now()

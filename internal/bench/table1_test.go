@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -13,7 +14,7 @@ func TestRunRowSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	row, err := RunRow(b, Config{Engine: exact.EngineDP})
+	row, err := RunRow(context.Background(), b, Config{Engine: exact.EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRunRowSmall(t *testing.T) {
 }
 
 func TestRunTable1Subset(t *testing.T) {
-	rows, err := RunTable1(Config{Engine: exact.EngineDP, Names: []string{"3_17_13", "ham3_102", "4gt11_84"}})
+	rows, err := RunTable1(context.Background(), Config{Engine: exact.EngineDP, Names: []string{"3_17_13", "ham3_102", "4gt11_84"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestSATEngineMatchesDPOnRow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dpRow, err := RunRow(b, Config{Engine: exact.EngineDP})
+	dpRow, err := RunRow(context.Background(), b, Config{Engine: exact.EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}
-	satRow, err := RunRow(b, Config{Engine: exact.EngineSAT, SeedSATWithDP: true})
+	satRow, err := RunRow(context.Background(), b, Config{Engine: exact.EngineSAT, SeedSATWithDP: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,11 +125,11 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestParallelTableMatchesSequential(t *testing.T) {
 	names := []string{"ex-1_166", "4gt11_84", "4mod5-v0_20"}
-	seq, err := RunTable1(Config{Engine: exact.EngineDP, Names: names})
+	seq, err := RunTable1(context.Background(), Config{Engine: exact.EngineDP, Names: names})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunTable1(Config{Engine: exact.EngineDP, Names: names, Parallel: true})
+	par, err := RunTable1(context.Background(), Config{Engine: exact.EngineDP, Names: names, Parallel: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,5 +141,44 @@ func TestParallelTableMatchesSequential(t *testing.T) {
 			seq[i].IBM.Cost != par[i].IBM.Cost || seq[i].Triangle.Cost != par[i].Triangle.Cost {
 			t.Errorf("row %s differs between parallel and sequential", seq[i].Name)
 		}
+	}
+}
+
+// TestRunRowPortfolio checks that routing a Table-1 row through the
+// portfolio layer reproduces the lone DP engine's costs column for column.
+func TestRunRowPortfolio(t *testing.T) {
+	b, err := revlib.SuiteByName("ex-1_166")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lone, err := RunRow(context.Background(), b, Config{Engine: exact.EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := RunRow(context.Background(), b, Config{Portfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]Column{
+		"minimal":  {lone.Minimal, port.Minimal},
+		"subsets":  {lone.Subsets, port.Subsets},
+		"disjoint": {lone.Disjoint, port.Disjoint},
+		"odd":      {lone.Odd, port.Odd},
+		"triangle": {lone.Triangle, port.Triangle},
+	} {
+		if pair[0].Cost != pair[1].Cost {
+			t.Errorf("%s: lone engine cost %d, portfolio cost %d", name, pair[0].Cost, pair[1].Cost)
+		}
+	}
+}
+
+// TestRunTable1Cancelled aborts a run via context and expects the error to
+// surface promptly.
+func TestRunTable1Cancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunTable1(ctx, Config{Engine: exact.EngineDP, Names: []string{"3_17_13"}})
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
 	}
 }

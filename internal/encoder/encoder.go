@@ -18,6 +18,7 @@
 package encoder
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -84,8 +85,12 @@ type Encoding struct {
 	MaxCost int
 }
 
-// Encode builds the CNF instance for the problem on the given builder.
-func Encode(p Problem, b *cnf.Builder) (*Encoding, error) {
+// Encode builds the CNF instance for the problem on the given builder. The
+// context is checked between construction phases and while the permutation
+// links — the dominant share of the clauses — are generated, so encoding a
+// large instance under an already-expired deadline aborts promptly with
+// ctx.Err().
+func Encode(ctx context.Context, p Problem, b *cnf.Builder) (*Encoding, error) {
 	n := p.Skeleton.NumQubits
 	m := p.Arch.NumQubits()
 	if n > m {
@@ -115,8 +120,13 @@ func Encode(p Problem, b *cnf.Builder) (*Encoding, error) {
 	e.buildFrames()
 	e.buildMappingVars()
 	e.pinInitialMapping()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.buildGateConstraints()
-	e.buildPermutationLinks()
+	if err := e.buildPermutationLinks(ctx); err != nil {
+		return nil, err
+	}
 	e.buildCost()
 	return e, nil
 }
@@ -227,11 +237,14 @@ func (e *Encoding) buildGateConstraints() {
 // is left-handed (y → consistency) combined with an exactly-one constraint,
 // which also handles n < m, where the permutation on unoccupied physical
 // qubits is not determined by the mappings.
-func (e *Encoding) buildPermutationLinks() {
+func (e *Encoding) buildPermutationLinks(ctx context.Context) error {
 	n := e.prob.Skeleton.NumQubits
 	m := e.prob.Arch.NumQubits()
 	e.Y = make([][]sat.Lit, e.NumPermPoints())
 	for t := 0; t < e.NumPermPoints(); t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		before, after := e.X[t], e.X[t+1]
 		ys := make([]sat.Lit, len(e.perms))
 		for pi, pp := range e.perms {
@@ -253,6 +266,7 @@ func (e *Encoding) buildPermutationLinks() {
 		e.B.ExactlyOne(ys...)
 		e.Y[t] = ys
 	}
+	return nil
 }
 
 // buildCost assembles Eq. (5) as a bit vector.

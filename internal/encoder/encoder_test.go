@@ -1,6 +1,7 @@
 package encoder
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
@@ -8,6 +9,8 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
+
+var bg = context.Background()
 
 // mkSkeleton builds a skeleton from (control, target) pairs.
 func mkSkeleton(n int, pairs ...[2]int) *circuit.Skeleton {
@@ -23,7 +26,7 @@ func encode(t *testing.T, p Problem) (*sat.Solver, *Encoding) {
 	t.Helper()
 	s := sat.NewSolver()
 	b := cnf.NewBuilder(s)
-	e, err := Encode(p, b)
+	e, err := Encode(bg, p, b)
 	if err != nil {
 		t.Fatalf("Encode: %v", err)
 	}
@@ -60,17 +63,17 @@ func minimize(t *testing.T, s *sat.Solver, e *Encoding) (*Solution, int) {
 func TestEncodeErrors(t *testing.T) {
 	b := cnf.NewBuilder(sat.NewSolver())
 	qx4 := arch.QX4()
-	if _, err := Encode(Problem{Skeleton: mkSkeleton(6, [2]int{0, 1}), Arch: qx4}, b); err == nil {
+	if _, err := Encode(bg, Problem{Skeleton: mkSkeleton(6, [2]int{0, 1}), Arch: qx4}, b); err == nil {
 		t.Error("n > m should fail")
 	}
-	if _, err := Encode(Problem{Skeleton: mkSkeleton(2), Arch: qx4}, b); err == nil {
+	if _, err := Encode(bg, Problem{Skeleton: mkSkeleton(2), Arch: qx4}, b); err == nil {
 		t.Error("empty skeleton should fail")
 	}
-	if _, err := Encode(Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: arch.QX5()}, b); err == nil {
+	if _, err := Encode(bg, Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: arch.QX5()}, b); err == nil {
 		t.Error("m=16 should be rejected (needs subset restriction)")
 	}
 	bad := Problem{Skeleton: mkSkeleton(2, [2]int{0, 1}), Arch: qx4, PermBefore: []bool{true, true}}
-	if _, err := Encode(bad, b); err == nil {
+	if _, err := Encode(bg, bad, b); err == nil {
 		t.Error("wrong PermBefore length should fail")
 	}
 }
@@ -289,7 +292,7 @@ func TestPinnedInitialMappingEncoding(t *testing.T) {
 
 func TestEncodeRejectsBadPin(t *testing.T) {
 	b := cnf.NewBuilder(sat.NewSolver())
-	_, err := Encode(Problem{
+	_, err := Encode(bg, Problem{
 		Skeleton:       circuit.Figure1b(),
 		Arch:           arch.QX4(),
 		InitialMapping: []int{0, 0, 1, 2},

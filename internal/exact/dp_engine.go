@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -20,8 +21,10 @@ const maxDPStates = 4096
 // gates); between frames the transition cost is 7 times the token-swap
 // distance between the mappings. This is an independent exact oracle for
 // the paper's cost function (Eq. 5) — tractable because the IBM QX mapping
-// spaces are tiny — and is used to cross-check the SAT engine.
-func SolveDP(p encoder.Problem) (*Result, error) {
+// spaces are tiny — and is used to cross-check the SAT engine. The context
+// is checked once per frame transition (the O(size²) inner product), so a
+// cancelled run aborts promptly with ctx.Err().
+func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 	start := time.Now()
 	n := p.Skeleton.NumQubits
 	m := p.Arch.NumQubits()
@@ -103,6 +106,9 @@ func SolveDP(p encoder.Problem) (*Result, error) {
 		cur[s] = frameCost(frames[0], s)
 	}
 	for f := 1; f < len(frames); f++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: solve canceled: %w", err)
+		}
 		next := make([]int, size)
 		par := make([]int32, size)
 		for s := range next {
@@ -150,7 +156,7 @@ func SolveDP(p encoder.Problem) (*Result, error) {
 		}
 	}
 	if bestState < 0 {
-		return nil, fmt.Errorf("exact: no valid mapping exists (unsatisfiable instance)")
+		return nil, fmt.Errorf("exact: %w (unsatisfiable instance)", ErrUnsatisfiable)
 	}
 
 	// Reconstruct frame mappings.

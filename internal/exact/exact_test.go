@@ -1,13 +1,18 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/encoder"
 )
+
+var bg = context.Background()
 
 func mkSkeleton(n int, pairs ...[2]int) *circuit.Skeleton {
 	sk := &circuit.Skeleton{NumQubits: n}
@@ -90,7 +95,7 @@ func TestStrategyString(t *testing.T) {
 }
 
 func TestDPFigure5MinimalCost(t *testing.T) {
-	r, err := Solve(circuit.Figure1b(), arch.QX4(), Options{Engine: EngineDP})
+	r, err := Solve(bg, circuit.Figure1b(), arch.QX4(), Options{Engine: EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +108,7 @@ func TestDPFigure5MinimalCost(t *testing.T) {
 }
 
 func TestSATFigure5MinimalCost(t *testing.T) {
-	r, err := Solve(circuit.Figure1b(), arch.QX4(), Options{Engine: EngineSAT})
+	r, err := Solve(bg, circuit.Figure1b(), arch.QX4(), Options{Engine: EngineSAT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,8 +130,8 @@ func TestEnginesAgree(t *testing.T) {
 		gates := 2 + int(gRaw%6) // 2..7 CNOTs
 		strategy := Strategy(sRaw % 4)
 		sk := randomSkeleton(seed, n, gates)
-		dp, errDP := Solve(sk, a, Options{Engine: EngineDP, Strategy: strategy})
-		st, errSAT := Solve(sk, a, Options{Engine: EngineSAT, Strategy: strategy})
+		dp, errDP := Solve(bg, sk, a, Options{Engine: EngineDP, Strategy: strategy})
+		st, errSAT := Solve(bg, sk, a, Options{Engine: EngineSAT, Strategy: strategy})
 		if (errDP == nil) != (errSAT == nil) {
 			return false
 		}
@@ -148,8 +153,8 @@ func TestSubsetsPreserveMinimality(t *testing.T) {
 	f := func(seed int64, nRaw uint) bool {
 		n := 3 + int(nRaw%2)
 		sk := randomSkeleton(seed, n, 6)
-		full, err1 := Solve(sk, a, Options{Engine: EngineDP})
-		sub, err2 := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		full, err1 := Solve(bg, sk, a, Options{Engine: EngineDP})
+		sub, err2 := Solve(bg, sk, a, Options{Engine: EngineDP, UseSubsets: true})
 		if err1 != nil || err2 != nil {
 			return err1 != nil && err2 != nil
 		}
@@ -165,11 +170,11 @@ func TestSubsetsPreserveMinimality(t *testing.T) {
 func TestSubsetSATAgreesWithDP(t *testing.T) {
 	a := arch.QX4()
 	sk := randomSkeleton(42, 3, 5)
-	dp, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+	dp, err := Solve(bg, sk, a, Options{Engine: EngineDP, UseSubsets: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Solve(sk, a, Options{Engine: EngineSAT, UseSubsets: true})
+	st, err := Solve(bg, sk, a, Options{Engine: EngineSAT, UseSubsets: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,12 +191,12 @@ func TestRestrictedStrategiesOrdering(t *testing.T) {
 	a := arch.QX4()
 	f := func(seed int64) bool {
 		sk := randomSkeleton(seed, 4, 8)
-		all, err := Solve(sk, a, Options{Engine: EngineDP, Strategy: StrategyAll})
+		all, err := Solve(bg, sk, a, Options{Engine: EngineDP, Strategy: StrategyAll})
 		if err != nil {
 			return true
 		}
 		for _, s := range []Strategy{StrategyDisjoint, StrategyOdd, StrategyTriangle} {
-			r, err := Solve(sk, a, Options{Engine: EngineDP, Strategy: s})
+			r, err := Solve(bg, sk, a, Options{Engine: EngineDP, Strategy: s})
 			if err != nil {
 				continue // restricted instance may be unsatisfiable
 			}
@@ -264,7 +269,7 @@ func TestOpsRealizeSolutionDP(t *testing.T) {
 	a := arch.QX4()
 	for seed := int64(0); seed < 20; seed++ {
 		sk := randomSkeleton(seed, 4, 7)
-		r, err := Solve(sk, a, Options{Engine: EngineDP})
+		r, err := Solve(bg, sk, a, Options{Engine: EngineDP})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -276,7 +281,7 @@ func TestOpsRealizeSolutionSubsets(t *testing.T) {
 	a := arch.QX4()
 	for seed := int64(0); seed < 10; seed++ {
 		sk := randomSkeleton(seed, 3, 6)
-		r, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		r, err := Solve(bg, sk, a, Options{Engine: EngineDP, UseSubsets: true})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -287,7 +292,7 @@ func TestOpsRealizeSolutionSubsets(t *testing.T) {
 func TestOpsRealizeSolutionSAT(t *testing.T) {
 	a := arch.QX4()
 	sk := circuit.Figure1b()
-	r, err := Solve(sk, a, Options{Engine: EngineSAT})
+	r, err := Solve(bg, sk, a, Options{Engine: EngineSAT})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,11 +303,11 @@ func TestBinaryDescentMatchesLinear(t *testing.T) {
 	a := arch.QX4()
 	for seed := int64(0); seed < 8; seed++ {
 		sk := randomSkeleton(seed, 3, 5)
-		lin, err := Solve(sk, a, Options{Engine: EngineSAT})
+		lin, err := Solve(bg, sk, a, Options{Engine: EngineSAT})
 		if err != nil {
 			t.Fatal(err)
 		}
-		bin, err := Solve(sk, a, Options{Engine: EngineSAT, SAT: SATOptions{BinaryDescent: true}})
+		bin, err := Solve(bg, sk, a, Options{Engine: EngineSAT, SAT: SATOptions{BinaryDescent: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,11 +320,11 @@ func TestBinaryDescentMatchesLinear(t *testing.T) {
 func TestStartBoundSpeedsDescent(t *testing.T) {
 	a := arch.QX4()
 	sk := circuit.Figure1b()
-	dp, err := Solve(sk, a, Options{Engine: EngineDP})
+	dp, err := Solve(bg, sk, a, Options{Engine: EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seeded, err := Solve(sk, a, Options{Engine: EngineSAT, SAT: SATOptions{StartBound: dp.Cost}})
+	seeded, err := Solve(bg, sk, a, Options{Engine: EngineSAT, SAT: SATOptions{StartBound: dp.Cost}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -336,28 +341,28 @@ func TestUnsatisfiableInstance(t *testing.T) {
 	// CNOT between components.
 	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}})
 	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
-	if _, err := Solve(sk, disc, Options{Engine: EngineDP}); err == nil {
+	if _, err := Solve(bg, sk, disc, Options{Engine: EngineDP}); err == nil {
 		t.Error("DP should report unsatisfiable")
 	}
-	if _, err := Solve(sk, disc, Options{Engine: EngineSAT}); err == nil {
+	if _, err := Solve(bg, sk, disc, Options{Engine: EngineSAT}); err == nil {
 		t.Error("SAT should report unsatisfiable")
 	}
 }
 
 func TestEmptySkeleton(t *testing.T) {
-	if _, err := Solve(mkSkeleton(2), arch.QX4(), Options{}); err == nil {
+	if _, err := Solve(bg, mkSkeleton(2), arch.QX4(), Options{}); err == nil {
 		t.Error("empty skeleton should error")
 	}
 }
 
 func TestDPRejectsHugeSpace(t *testing.T) {
 	sk := mkSkeleton(8, [2]int{0, 1})
-	if _, err := Solve(sk, arch.QX5(), Options{Engine: EngineDP}); err == nil {
+	if _, err := Solve(bg, sk, arch.QX5(), Options{Engine: EngineDP}); err == nil {
 		t.Error("DP on 16-qubit arch without subsets should be rejected")
 	}
 	// With subsets it becomes feasible for small n.
 	sk3 := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
-	r, err := Solve(sk3, arch.QX5(), Options{Engine: EngineDP, UseSubsets: true})
+	r, err := Solve(bg, sk3, arch.QX5(), Options{Engine: EngineDP, UseSubsets: true})
 	if err != nil {
 		t.Fatalf("subset DP on QX5: %v", err)
 	}
@@ -371,7 +376,7 @@ func TestFixedInitialMapping(t *testing.T) {
 	// One CNOT(q0→q1). Free mapping costs 0. Pinning q0→p0, q1→p1 forces
 	// a direction switch (only (1,0) ∈ CM): cost 4.
 	sk := mkSkeleton(2, [2]int{0, 1})
-	free, err := Solve(sk, a, Options{Engine: EngineDP})
+	free, err := Solve(bg, sk, a, Options{Engine: EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +384,7 @@ func TestFixedInitialMapping(t *testing.T) {
 		t.Fatalf("free cost = %d", free.Cost)
 	}
 	for _, eng := range []Engine{EngineDP, EngineSAT} {
-		pinned, err := Solve(sk, a, Options{Engine: eng, InitialMapping: []int{0, 1}})
+		pinned, err := Solve(bg, sk, a, Options{Engine: eng, InitialMapping: []int{0, 1}})
 		if err != nil {
 			t.Fatalf("engine %v: %v", eng, err)
 		}
@@ -393,7 +398,7 @@ func TestFixedInitialMapping(t *testing.T) {
 	// Pinning to an uncoupled pair forces routing before the first gate:
 	// one SWAP plus a direction switch (7 + 4 = 11) is optimal on QX4.
 	for _, eng := range []Engine{EngineDP, EngineSAT} {
-		far, err := Solve(sk, a, Options{Engine: eng, InitialMapping: []int{0, 4}})
+		far, err := Solve(bg, sk, a, Options{Engine: eng, InitialMapping: []int{0, 4}})
 		if err != nil {
 			t.Fatalf("engine %v: %v", eng, err)
 		}
@@ -410,8 +415,8 @@ func TestFixedInitialMappingEnginesAgree(t *testing.T) {
 		sk := randomSkeleton(seed, 3, 5)
 		space := []([]int){{0, 1, 2}, {2, 1, 0}, {4, 3, 2}, {1, 2, 3}}
 		pin := space[int(pinRaw%uint(len(space)))]
-		dp, err1 := Solve(sk, a, Options{Engine: EngineDP, InitialMapping: pin})
-		st, err2 := Solve(sk, a, Options{Engine: EngineSAT, InitialMapping: pin})
+		dp, err1 := Solve(bg, sk, a, Options{Engine: EngineDP, InitialMapping: pin})
+		st, err2 := Solve(bg, sk, a, Options{Engine: EngineSAT, InitialMapping: pin})
 		if (err1 == nil) != (err2 == nil) {
 			return false
 		}
@@ -428,13 +433,13 @@ func TestFixedInitialMappingEnginesAgree(t *testing.T) {
 func TestFixedInitialMappingErrors(t *testing.T) {
 	a := arch.QX4()
 	sk := mkSkeleton(2, [2]int{0, 1})
-	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 0}}); err == nil {
+	if _, err := Solve(bg, sk, a, Options{InitialMapping: []int{0, 0}}); err == nil {
 		t.Error("non-injective pin should fail")
 	}
-	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 9}}); err == nil {
+	if _, err := Solve(bg, sk, a, Options{InitialMapping: []int{0, 9}}); err == nil {
 		t.Error("out-of-range pin should fail")
 	}
-	if _, err := Solve(sk, a, Options{InitialMapping: []int{0, 1}, UseSubsets: true}); err == nil {
+	if _, err := Solve(bg, sk, a, Options{InitialMapping: []int{0, 1}, UseSubsets: true}); err == nil {
 		t.Error("pin + subsets should fail")
 	}
 }
@@ -443,11 +448,11 @@ func TestParallelSubsetsMatchSequential(t *testing.T) {
 	a := arch.QX4()
 	for seed := int64(0); seed < 10; seed++ {
 		sk := randomSkeleton(seed, 3, 6)
-		seq, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true})
+		seq, err := Solve(bg, sk, a, Options{Engine: EngineDP, UseSubsets: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := Solve(sk, a, Options{Engine: EngineDP, UseSubsets: true, Parallel: true})
+		par, err := Solve(bg, sk, a, Options{Engine: EngineDP, UseSubsets: true, Parallel: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -471,8 +476,8 @@ func TestTripleOracleAgreement(t *testing.T) {
 		gates := 2 + int(gRaw%3) // 2..4 CNOTs (≤ 4 frames for brute force)
 		sk := randomSkeleton(seed, n, gates)
 		brute, errB := SolveBrute(encoder.Problem{Skeleton: sk, Arch: a})
-		dp, errD := Solve(sk, a, Options{Engine: EngineDP})
-		st, errS := Solve(sk, a, Options{Engine: EngineSAT})
+		dp, errD := Solve(bg, sk, a, Options{Engine: EngineDP})
+		st, errS := Solve(bg, sk, a, Options{Engine: EngineSAT})
 		if (errB == nil) != (errD == nil) || (errD == nil) != (errS == nil) {
 			return false
 		}
@@ -496,5 +501,84 @@ func TestBruteForceGuards(t *testing.T) {
 	// Empty skeleton.
 	if _, err := SolveBrute(encoder.Problem{Skeleton: mkSkeleton(2), Arch: a}); err == nil {
 		t.Error("brute force should reject empty skeleton")
+	}
+}
+
+// TestSolveCancellation verifies that both engines abort a running solve
+// promptly once the context is cancelled: the SAT engine at the next
+// restart boundary, the DP engine at the next frame transition.
+func TestSolveCancellation(t *testing.T) {
+	a := arch.Ring(6)
+	cases := []struct {
+		engine  Engine
+		gates   int
+		timeout time.Duration
+	}{
+		// The SAT instance is large enough that encoding alone exceeds the
+		// deadline; the DP instance has enough frames that several hundred
+		// O(size²) transitions remain when the deadline fires.
+		{EngineSAT, 60, 30 * time.Millisecond},
+		{EngineDP, 2000, 5 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.engine.String(), func(t *testing.T) {
+			t.Parallel()
+			sk := randomSkeleton(7, 6, tc.gates)
+			ctx, cancel := context.WithTimeout(bg, tc.timeout)
+			defer cancel()
+			start := time.Now()
+			_, err := Solve(ctx, sk, a, Options{Engine: tc.engine})
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+			}
+			if elapsed := time.Since(start); elapsed > 15*time.Second {
+				t.Errorf("cancellation took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestSolveCancellationSubsets cancels the §4.1 fan-out (sequential and
+// parallel) before it starts; the fan-out must report the context error
+// rather than "no valid mapping".
+func TestSolveCancellationSubsets(t *testing.T) {
+	a := arch.QX5()
+	sk := randomSkeleton(3, 4, 12)
+	for _, parallel := range []bool{false, true} {
+		ctx, cancel := context.WithCancel(bg)
+		cancel()
+		_, err := Solve(ctx, sk, a, Options{Engine: EngineDP, UseSubsets: true, Parallel: parallel})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%v: err = %v, want context.Canceled", parallel, err)
+		}
+	}
+}
+
+// TestUnsatisfiableSentinel checks that embedding failures surface
+// ErrUnsatisfiable for errors.Is-based handling (the portfolio layer's
+// bound-retry depends on it).
+func TestUnsatisfiableSentinel(t *testing.T) {
+	// Two disconnected components cannot host a 3-qubit chain.
+	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}, {Control: 2, Target: 3}})
+	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
+	for _, eng := range []Engine{EngineSAT, EngineDP} {
+		if _, err := Solve(bg, sk, disc, Options{Engine: eng}); !errors.Is(err, ErrUnsatisfiable) {
+			t.Errorf("engine %v: err = %v, want ErrUnsatisfiable", eng, err)
+		}
+	}
+	// A start bound below the true optimum makes the SAT instance UNSAT.
+	lin := arch.Linear(3)
+	skHard := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2})
+	ref, err := Solve(bg, skHard, lin, Options{Engine: EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Cost == 0 {
+		t.Skip("instance unexpectedly free")
+	}
+	_, err = Solve(bg, skHard, lin, Options{Engine: EngineSAT, SAT: SATOptions{StartBound: ref.Cost - 1}})
+	if !errors.Is(err, ErrUnsatisfiable) {
+		t.Errorf("undercut bound: err = %v, want ErrUnsatisfiable", err)
 	}
 }

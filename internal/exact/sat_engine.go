@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,11 @@ type SATOptions struct {
 	// StartBound, when positive, asserts F ≤ StartBound before the first
 	// solve (e.g. a known upper bound from the DP engine or a heuristic).
 	// Zero or negative disables it; a genuine zero bound is unnecessary
-	// because the descent reaches it anyway.
+	// because the descent reaches it anyway. A StartBound below the true
+	// optimum of the (possibly strategy-restricted) instance makes it
+	// unsatisfiable: SolveSAT then fails with ErrUnsatisfiable, which
+	// callers holding an unproven bound should treat as "retry unbounded"
+	// (internal/portfolio does).
 	StartBound int
 	// BinaryDescent switches the minimization loop from linear descent
 	// (assert cost−1 after each model) to binary search on the bound.
@@ -28,13 +33,15 @@ type SATOptions struct {
 // SolveSAT finds the minimal-cost mapping for the problem using the paper's
 // symbolic formulation and the CDCL solver: solve, decode the model's cost
 // C, assert F ≤ C−1, and repeat until UNSAT — the last model is minimal
-// (§3.3, realized by bound tightening instead of a native optimizer).
-func SolveSAT(p encoder.Problem, opts SATOptions) (*Result, error) {
+// (§3.3, realized by bound tightening instead of a native optimizer). The
+// context cancels the run: the solver notices within one restart interval
+// and SolveSAT returns ctx.Err() (wrapped).
+func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result, error) {
 	start := time.Now()
 	solver := sat.NewSolver()
 	solver.MaxConflicts = opts.MaxConflicts
 	b := cnf.NewBuilder(solver)
-	enc, err := encoder.Encode(p, b)
+	enc, err := encoder.Encode(ctx, p, b)
 	if err != nil {
 		return nil, err
 	}
@@ -49,15 +56,15 @@ func SolveSAT(p encoder.Problem, opts SATOptions) (*Result, error) {
 
 	var best *encoder.Solution
 	if opts.BinaryDescent {
-		best, err = minimizeBinary(p, solver, enc, res, opts)
+		best, err = minimizeBinary(ctx, p, solver, enc, res, opts)
 	} else {
-		best, err = minimizeLinear(solver, enc, res)
+		best, err = minimizeLinear(ctx, solver, enc, res)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if best == nil {
-		return nil, fmt.Errorf("exact: no valid mapping exists (unsatisfiable instance)")
+		return nil, fmt.Errorf("exact: %w (unsatisfiable instance)", ErrUnsatisfiable)
 	}
 	res.Solution = best
 	res.Cost = best.Cost
@@ -67,12 +74,15 @@ func SolveSAT(p encoder.Problem, opts SATOptions) (*Result, error) {
 
 // minimizeLinear performs linear bound descent: each satisfying model's
 // cost C is followed by the constraint F ≤ C−1 until UNSAT.
-func minimizeLinear(solver *sat.Solver, enc *encoder.Encoding, res *Result) (*encoder.Solution, error) {
+func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result) (*encoder.Solution, error) {
 	var best *encoder.Solution
 	for {
 		res.Solves++
-		status := solver.Solve()
+		status := solver.SolveContext(ctx)
 		if status == sat.Unknown {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exact: solve canceled: %w", err)
+			}
 			if best == nil {
 				return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
 			}
@@ -99,10 +109,13 @@ func minimizeLinear(solver *sat.Solver, enc *encoder.Encoding, res *Result) (*en
 // instance for the still-unexplored bounds above it, so each probe encodes
 // a fresh instance with F ≤ mid asserted up front. SAT probes lower the
 // upper end to the model's cost; UNSAT probes raise the lower end.
-func minimizeBinary(p encoder.Problem, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+func minimizeBinary(ctx context.Context, p encoder.Problem, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
 	res.Solves++
-	status := solver.Solve()
+	status := solver.SolveContext(ctx)
 	if status == sat.Unknown {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exact: solve canceled: %w", err)
+		}
 		return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
 	}
 	if status != sat.Sat {
@@ -117,14 +130,17 @@ func minimizeBinary(p encoder.Problem, solver *sat.Solver, enc *encoder.Encoding
 		mid := lo + (best.Cost-lo)/2
 		probeSolver := sat.NewSolver()
 		probeSolver.MaxConflicts = opts.MaxConflicts
-		probeEnc, err := encoder.Encode(p, cnf.NewBuilder(probeSolver))
+		probeEnc, err := encoder.Encode(ctx, p, cnf.NewBuilder(probeSolver))
 		if err != nil {
 			return nil, err
 		}
 		probeEnc.AssertCostAtMost(mid)
 		res.Solves++
-		switch probeSolver.Solve() {
+		switch probeSolver.SolveContext(ctx) {
 		case sat.Unknown:
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("exact: solve canceled: %w", err)
+			}
 			return best, nil // budget exhausted: best-effort result
 		case sat.Unsat:
 			lo = mid

@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +11,12 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/encoder"
 )
+
+// ErrUnsatisfiable marks a problem with no valid mapping: the interaction
+// graph does not embed in the coupling graph (on any tried subset), or an
+// externally asserted SATOptions.StartBound is below the instance's true
+// optimum. Test with errors.Is.
+var ErrUnsatisfiable = errors.New("no valid mapping exists")
 
 // Engine selects the reasoning backend.
 type Engine int
@@ -58,8 +66,10 @@ func DefaultOptions() Options {
 
 // Solve maps the skeleton to the architecture under the given options and
 // returns the best result found. An error is returned for malformed inputs
-// or when no valid mapping exists.
-func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
+// or when no valid mapping exists (ErrUnsatisfiable). Cancelling the
+// context aborts the run — including every in-flight §4.1 subset instance —
+// and returns an error wrapping ctx.Err().
+func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 	if sk.Len() == 0 {
 		return nil, fmt.Errorf("exact: circuit has no CNOT gates; nothing to map")
 	}
@@ -68,13 +78,13 @@ func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("exact: InitialMapping cannot be combined with UseSubsets")
 	}
 	if !opts.UseSubsets || sk.NumQubits >= a.NumQubits() {
-		return solveOne(sk, a, pb, opts)
+		return solveOne(ctx, sk, a, pb, opts)
 	}
 
 	start := time.Now()
 	subsets := a.ConnectedSubsets(sk.NumQubits)
 	if len(subsets) == 0 {
-		return nil, fmt.Errorf("exact: no connected subset of %d qubits in %s", sk.NumQubits, a)
+		return nil, fmt.Errorf("exact: %w: no connected subset of %d qubits in %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
 	results := make([]*Result, len(subsets))
 	if opts.Parallel {
@@ -84,9 +94,9 @@ func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 			go func(i int, subset []int) {
 				defer wg.Done()
 				sub, back := a.Restrict(subset)
-				r, err := solveOne(sk, sub, pb, opts)
+				r, err := solveOne(ctx, sk, sub, pb, opts)
 				if err != nil {
-					return // subset admits no valid mapping
+					return // subset admits no valid mapping (or run canceled)
 				}
 				r.SubsetBack = back
 				results[i] = r
@@ -95,8 +105,11 @@ func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 		wg.Wait()
 	} else {
 		for i, subset := range subsets {
+			if ctx.Err() != nil {
+				break
+			}
 			sub, back := a.Restrict(subset)
-			r, err := solveOne(sk, sub, pb, opts)
+			r, err := solveOne(ctx, sk, sub, pb, opts)
 			if err != nil {
 				// This subset admits no valid mapping (e.g. the interaction
 				// graph does not embed); other subsets may still work.
@@ -106,6 +119,9 @@ func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 			results[i] = r
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exact: solve canceled: %w", err)
+	}
 	var best *Result
 	for _, r := range results {
 		if r != nil && (best == nil || r.Cost < best.Cost) {
@@ -113,19 +129,19 @@ func Solve(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("exact: no valid mapping exists on any connected %d-subset of %s", sk.NumQubits, a)
+		return nil, fmt.Errorf("exact: %w on any connected %d-subset of %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
 	best.Runtime = time.Since(start)
 	return best, nil
 }
 
-func solveOne(sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
+func solveOne(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
 	p := encoder.Problem{Skeleton: sk, Arch: a, PermBefore: pb, InitialMapping: opts.InitialMapping}
 	switch opts.Engine {
 	case EngineDP:
-		return SolveDP(p)
+		return SolveDP(ctx, p)
 	case EngineSAT:
-		return SolveSAT(p, opts.SAT)
+		return SolveSAT(ctx, p, opts.SAT)
 	}
 	return nil, fmt.Errorf("exact: unknown engine %d", int(opts.Engine))
 }

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -137,7 +138,7 @@ func TestNeverBeatsExact(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		ex, err := exact.Solve(sk, a, exact.Options{Engine: exact.EngineDP})
+		ex, err := exact.Solve(context.Background(), sk, a, exact.Options{Engine: exact.EngineDP})
 		if err != nil {
 			return false
 		}

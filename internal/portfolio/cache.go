@@ -1,0 +1,89 @@
+package portfolio
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/exact"
+)
+
+// DefaultCacheSize is the capacity NewCache falls back to when given a
+// non-positive value.
+const DefaultCacheSize = 256
+
+// Cache is a concurrency-safe LRU cache of exact mapping results, keyed by
+// Fingerprint. Cached *exact.Result values are shared between callers and
+// must be treated as immutable; Solve hands out shallow copies so that
+// per-call fields (Runtime) never mutate a cached entry.
+type Cache struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *exact.Result
+}
+
+// NewCache returns an empty LRU cache holding at most capacity entries
+// (DefaultCacheSize when capacity ≤ 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, marking it most recently used.
+func (c *Cache) Get(key string) (*exact.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under the key, evicting the least recently used entry
+// when the cache is full. Storing an existing key refreshes its value and
+// recency.
+func (c *Cache) Put(key string, res *exact.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,84 @@
+package portfolio
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func mkResult(cost int) *exact.Result {
+	return &exact.Result{Cost: cost, Engine: "dp"}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", mkResult(1))
+	c.Put("b", mkResult(2))
+	c.Put("c", mkResult(3)) // evicts "a"
+	if _, ok := c.Get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if r, ok := c.Get("b"); !ok || r.Cost != 2 {
+		t.Error("recent entry was evicted")
+	}
+	// "b" is now most recent; inserting "d" must evict "c".
+	c.Put("d", mkResult(4))
+	if _, ok := c.Get("c"); ok {
+		t.Error("LRU order ignores Get recency")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", mkResult(1))
+	c.Put("a", mkResult(9))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if r, _ := c.Get("a"); r.Cost != 9 {
+		t.Errorf("cost = %d, want refreshed 9", r.Cost)
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < DefaultCacheSize+10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), mkResult(i))
+	}
+	if c.Len() != DefaultCacheSize {
+		t.Errorf("len = %d, want %d", c.Len(), DefaultCacheSize)
+	}
+}
+
+// TestCacheConcurrency hammers the cache from many goroutines; run under
+// -race this checks the locking discipline.
+func TestCacheConcurrency(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%64)
+				if r, ok := c.Get(key); ok && r == nil {
+					t.Error("nil result cached")
+				}
+				c.Put(key, mkResult(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Errorf("len = %d exceeds capacity", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 8*500 {
+		t.Errorf("stats account for %d lookups, want %d", hits+misses, 8*500)
+	}
+}

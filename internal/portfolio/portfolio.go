@@ -1,0 +1,231 @@
+// Package portfolio orchestrates the repository's solving engines into a
+// single entry point. A Solve call
+//
+//  1. consults an optional LRU cache keyed by a canonical fingerprint of
+//     the instance (skeleton, architecture, strategy, subsets, pin),
+//  2. runs the cheap stochastic heuristic to obtain an upper bound on the
+//     cost F and seeds the SAT engine's descent with it
+//     (exact.SATOptions.StartBound), and
+//  3. races the SAT and DP exact engines concurrently: the first engine to
+//     return a valid minimal result wins and the loser is cancelled via
+//     context, which it notices within one restart interval (SAT) or one
+//     frame transition (DP).
+//
+// Because both engines are exact for the same cost function, the winning
+// cost is independent of which engine finishes first — racing trades
+// redundant CPU for the latency of whichever backend happens to be faster
+// on the instance (DP on the tiny QX mapping spaces, SAT on instances
+// whose state space overflows the DP bound).
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+	"repro/internal/heuristic"
+)
+
+// Options configures a portfolio Solve.
+type Options struct {
+	// Exact carries the instance options shared by both engines: Strategy,
+	// UseSubsets, Parallel, InitialMapping and SAT tuning. The Engine
+	// field is ignored — the portfolio races both engines.
+	Exact exact.Options
+	// HeuristicRuns is the number of stochastic-heuristic seeds used to
+	// derive the SAT engine's starting upper bound (default 2). Negative
+	// disables the bounding phase entirely.
+	HeuristicRuns int
+	// UpperBound, when positive, supplies an externally known upper bound
+	// on F (e.g. from a heuristic the caller already ran); the bounding
+	// phase is skipped and this value seeds the SAT descent instead. An
+	// unsound bound is safe: a bound-induced UNSAT is retried unbounded.
+	UpperBound int
+	// Seed seeds the bounding heuristic's random source.
+	Seed int64
+	// Cache, when non-nil, memoizes results across Solve calls. Only
+	// minimality-guaranteed runs (no conflict budget) are cached.
+	Cache *Cache
+}
+
+// Result is the outcome of a portfolio Solve.
+type Result struct {
+	// Result is the winning engine's solution (shared with the cache when
+	// caching is enabled; treat as immutable).
+	*exact.Result
+	// Winner names the source of the result: "sat", "dp" or "cache".
+	Winner string
+	// CacheHit reports whether the result was served from the cache.
+	CacheHit bool
+	// UpperBound is the heuristic upper bound fed into the SAT descent
+	// (0 when the bounding phase was skipped or found nothing).
+	UpperBound int
+	// Runtime is the wall-clock time of this Solve call, including the
+	// bounding phase (and nearly zero on cache hits).
+	Runtime time.Duration
+}
+
+// attempt is one engine's outcome in the race.
+type attempt struct {
+	res    *exact.Result
+	err    error
+	engine exact.Engine
+}
+
+// Solve maps the skeleton to the architecture by racing the exact engines,
+// seeded by the stochastic heuristic and memoized in opts.Cache. The
+// returned result is minimal exactly when a lone exact.Solve run with the
+// same options would be. Cancelling the context aborts the bounding phase
+// and both engines promptly; Solve then returns an error wrapping
+// ctx.Err().
+func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
+	start := time.Now()
+	if sk == nil || sk.Len() == 0 {
+		return nil, fmt.Errorf("portfolio: circuit has no CNOT gates; nothing to map")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("portfolio: solve canceled: %w", err)
+	}
+
+	// Conflict-budgeted runs may return non-minimal best-effort results,
+	// which must never be memoized as if they were the instance's optimum.
+	cacheable := opts.Cache != nil && opts.Exact.SAT.MaxConflicts == 0
+	var key string
+	if cacheable {
+		key = Fingerprint(sk, a, opts.Exact)
+		if cached, ok := opts.Cache.Get(key); ok {
+			cp := *cached
+			return &Result{
+				Result:   &cp,
+				Winner:   "cache",
+				CacheHit: true,
+				Runtime:  time.Since(start),
+			}, nil
+		}
+	}
+
+	bound := opts.UpperBound
+	if bound <= 0 && opts.HeuristicRuns >= 0 {
+		bound = heuristicBound(ctx, sk, a, opts)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("portfolio: solve canceled: %w", err)
+	}
+
+	winner, err := race(ctx, sk, a, opts, bound)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		opts.Cache.Put(key, winner.res)
+	}
+	cp := *winner.res
+	return &Result{
+		Result:     &cp,
+		Winner:     winner.engine.String(),
+		UpperBound: bound,
+		Runtime:    time.Since(start),
+	}, nil
+}
+
+// race runs both exact engines concurrently and returns the first to
+// produce a valid minimal result, cancelling the other. When a conflict
+// budget is set (SAT.MaxConflicts > 0) the SAT engine's success may be a
+// non-minimal best-effort model, so it is held back until the DP oracle —
+// whose successes are always minimal — either wins the race or fails; this
+// keeps the returned cost deterministic and equal to a lone engine's run.
+func race(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options, bound int) (attempt, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	engines := []exact.Engine{exact.EngineDP, exact.EngineSAT}
+	ch := make(chan attempt, len(engines))
+	for _, eng := range engines {
+		go func(eng exact.Engine) {
+			ch <- runEngine(raceCtx, sk, a, opts, eng, bound)
+		}(eng)
+	}
+
+	budgeted := opts.Exact.SAT.MaxConflicts > 0
+	var bestEffort *attempt
+	var errs []error
+	for range engines {
+		at := <-ch
+		if at.err == nil {
+			if at.engine == exact.EngineDP || !budgeted {
+				// Guaranteed minimal: stop the loser. It exits within one
+				// restart interval / frame transition and writes to the
+				// buffered channel, so no goroutine blocks behind us.
+				cancel()
+				return at, nil
+			}
+			bestEffort = &at // budgeted SAT: only wins if the oracle fails
+			continue
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", at.engine, at.err))
+	}
+	if bestEffort != nil {
+		return *bestEffort, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return attempt{}, fmt.Errorf("portfolio: solve canceled: %w", err)
+	}
+	return attempt{}, fmt.Errorf("portfolio: all engines failed: %w", errors.Join(errs...))
+}
+
+// runEngine executes one engine of the race. The SAT engine is seeded with
+// the heuristic upper bound; because restricted strategies (§4.2 odd /
+// triangle) and the §4.1 subset restriction are not guaranteed to admit the
+// heuristic's solution, a bound-induced UNSAT is retried once without the
+// bound before being reported as a genuine failure.
+func runEngine(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options, eng exact.Engine, bound int) attempt {
+	eo := opts.Exact
+	eo.Engine = eng
+	seeded := false
+	if eng == exact.EngineSAT && bound > 0 && (eo.SAT.StartBound <= 0 || bound < eo.SAT.StartBound) {
+		eo.SAT.StartBound = bound
+		seeded = true
+	}
+	r, err := exact.Solve(ctx, sk, a, eo)
+	if err != nil && seeded && errors.Is(err, exact.ErrUnsatisfiable) && ctx.Err() == nil {
+		eo.SAT.StartBound = opts.Exact.SAT.StartBound
+		r, err = exact.Solve(ctx, sk, a, eo)
+	}
+	return attempt{res: r, err: err, engine: eng}
+}
+
+// heuristicBound derives a cheap upper bound on F from the stochastic
+// heuristic. It returns 0 when no sound bound is available: disconnected
+// architectures, a pinned initial mapping (the heuristic cannot route away
+// from its pin, so its cost may undercut no valid exact solution — the pin
+// semantics differ), or a cancelled context. The heuristic itself has no
+// cancellation points, so it runs on a goroutine the caller abandons on
+// cancellation; its work is bounded and the goroutine exits on its own.
+func heuristicBound(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) int {
+	if sk.NumQubits > a.NumQubits() || !a.Connected() || opts.Exact.InitialMapping != nil {
+		return 0
+	}
+	runs := opts.HeuristicRuns
+	if runs == 0 {
+		runs = 2
+	}
+	ch := make(chan int, 1)
+	go func() {
+		h, err := heuristic.MapBest(sk, a, runs, heuristic.Options{Seed: opts.Seed})
+		if err != nil {
+			ch <- 0
+			return
+		}
+		ch <- h.Cost
+	}()
+	select {
+	case <-ctx.Done():
+		return 0
+	case b := <-ch:
+		return b
+	}
+}

@@ -1,6 +1,9 @@
 package sat
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // clause is a disjunction of literals. The first two literals are the
 // watched ones.
@@ -442,6 +445,15 @@ func luby(x int64) int64 {
 // assumption literals. It returns Sat, Unsat, or Unknown (only if
 // MaxConflicts was exceeded). The model after Sat is read with Value.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	return s.SolveContext(context.Background(), assumptions...)
+}
+
+// SolveContext is Solve with cancellation support: the context is checked
+// at every restart boundary (each restart is bounded by 100·luby(i)
+// conflicts, so cancellation takes effect within one restart interval).
+// A cancelled or expired context yields Unknown; callers distinguish it
+// from conflict-budget exhaustion via ctx.Err().
+func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 	if s.unsat {
 		return Unsat
 	}
@@ -456,6 +468,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	maxLearnts := len(s.clauses)/3 + 100
 
 	for {
+		if ctx.Err() != nil {
+			s.cancelUntil(0)
+			return Unknown
+		}
 		restart++
 		budget := 100 * luby(restart)
 		st := s.search(assumptions, budget, &totalConflicts, maxLearnts)

@@ -1,8 +1,10 @@
 package sat
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // newVars allocates n variables and returns them.
@@ -446,5 +448,39 @@ func TestIncrementalAssumptionStress(t *testing.T) {
 		if got != want {
 			t.Fatalf("round %d: incremental %v vs fresh %v (assumptions %v)", round, got, want, assumptions)
 		}
+	}
+}
+
+// TestSolveContextCancellation cancels an in-flight solve of a hard UNSAT
+// instance and requires the solver to stop at the next restart boundary.
+func TestSolveContextCancellation(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 10, 9) // far beyond what solves instantly
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Status, 1)
+	go func() { done <- s.SolveContext(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case got := <-done:
+		if got != Unknown && got != Unsat {
+			t.Fatalf("cancelled solve = %v, want Unknown (or Unsat if it finished first)", got)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solver did not stop within 30s of cancellation")
+	}
+}
+
+// TestSolveContextPreCancelled must return without any search work.
+func TestSolveContextPreCancelled(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 10, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := s.SolveContext(ctx); got != Unknown {
+		t.Fatalf("pre-cancelled solve = %v, want Unknown", got)
+	}
+	if s.Stats.Decisions != 0 {
+		t.Errorf("pre-cancelled solve made %d decisions, want 0", s.Stats.Decisions)
 	}
 }

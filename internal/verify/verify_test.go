@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestCouplingCompliant(t *testing.T) {
 func exactOps(t *testing.T) (*circuit.Skeleton, *exact.Result, []circuit.MappedOp) {
 	t.Helper()
 	sk := circuit.Figure1b()
-	r, err := exact.Solve(sk, arch.QX4(), exact.Options{Engine: exact.EngineDP})
+	r, err := exact.Solve(context.Background(), sk, arch.QX4(), exact.Options{Engine: exact.EngineDP})
 	if err != nil {
 		t.Fatal(err)
 	}

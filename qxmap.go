@@ -26,9 +26,34 @@
 //	res, err := qxmap.Map(c, qxmap.QX4(), qxmap.Options{})
 //	// res.Mapped is an equivalent circuit executable on IBM QX4;
 //	// res.Cost is the (minimal) number of added elementary operations.
+//
+// # Portfolio solving
+//
+// Options{Portfolio: true} routes the exact methods through the portfolio
+// layer (internal/portfolio): the stochastic heuristic first derives a
+// cheap upper bound that seeds the SAT engine's cost descent, then the SAT
+// and DP engines race concurrently — the first valid minimal result wins
+// and the loser is cancelled. Results are memoized in a process-wide LRU
+// cache keyed by a canonical hash of (skeleton, architecture, strategy),
+// so repeated Map calls on identical instances return immediately
+// (Result.CacheHit reports this). The winning backend is echoed in
+// Result.Engine.
+//
+// # Context and cancellation
+//
+// MapContext threads a context.Context through the whole solve stack: the
+// symbolic encoder, the CDCL solver (checked at every restart boundary),
+// the DP engine (checked at every frame transition) and the §4.1 parallel
+// subset fan-out. Cancelling the context — or exceeding a deadline set
+// with context.WithTimeout — aborts an exact solve within one restart
+// interval and returns an error wrapping ctx.Err(). Map is shorthand for
+// MapContext(context.Background(), …). The heuristic methods (heuristic,
+// astar, sabre) run to completion; cancellation is observed between
+// pipeline phases only.
 package qxmap
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,6 +63,7 @@ import (
 	"repro/internal/heuristic"
 	"repro/internal/opt"
 	"repro/internal/perm"
+	"repro/internal/portfolio"
 	"repro/internal/sim"
 	"repro/internal/verify"
 )
@@ -174,6 +200,13 @@ type Options struct {
 	// cost model deliberately excludes this step (§3, footnote 2) — but
 	// the returned Mapped circuit is the optimized one, still verified.
 	Optimize bool
+	// Portfolio routes exact methods through the portfolio layer: the
+	// stochastic heuristic seeds the SAT descent with an upper bound, the
+	// SAT and DP engines race with first-valid-minimal-wins semantics, and
+	// results are memoized in a process-wide LRU cache. The Engine option
+	// is then ignored (the winning engine is reported in Result.Engine);
+	// heuristic methods are unaffected.
+	Portfolio bool
 }
 
 // Result is the outcome of a Map call.
@@ -202,6 +235,9 @@ type Result struct {
 	// GatesOptimizedAway counts gates removed by the peephole optimizer
 	// (only when Options.Optimize was set).
 	GatesOptimizedAway int
+	// CacheHit reports that the solution was served from the portfolio
+	// cache (only when Options.Portfolio was set).
+	CacheHit bool
 	// Method and Engine echo the configuration; Runtime is wall-clock
 	// solving plus materialization time.
 	Method  Method
@@ -212,11 +248,27 @@ type Result struct {
 // TotalGates returns the gate count of the mapped circuit.
 func (r *Result) TotalGates() int { return r.Mapped.Len() }
 
+// portfolioCache memoizes Portfolio-mode results across Map calls for the
+// lifetime of the process.
+var portfolioCache = portfolio.NewCache(0)
+
 // Map maps the circuit onto the architecture. The input must be
 // elementary (single-qubit gates and CNOTs only — decompose SWAP/MCT gates
-// first, e.g. with the revlib substrate or cmd/qxsynth).
+// first, e.g. with the revlib substrate or cmd/qxsynth). It is shorthand
+// for MapContext with context.Background().
 func Map(c *Circuit, a *Architecture, opts Options) (*Result, error) {
+	return MapContext(context.Background(), c, a, opts)
+}
+
+// MapContext is Map with deadline/cancellation support: the context is
+// threaded through the encoder, both exact engines and the §4.1 subset
+// fan-out, and a cancelled exact solve aborts within one solver restart
+// interval, returning an error that wraps ctx.Err().
+func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("qxmap: canceled: %w", err)
+	}
 	sk, err := circuit.ExtractSkeleton(c)
 	if err != nil {
 		return nil, err
@@ -266,8 +318,24 @@ func Map(c *Circuit, a *Architecture, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		er, err := exact.Solve(sk, a, eopts)
-		if err != nil {
+		var er *exact.Result
+		if opts.Portfolio {
+			pr, perr := portfolio.Solve(ctx, sk, a, portfolio.Options{
+				Exact: eopts,
+				Seed:  opts.Seed,
+				Cache: portfolioCache,
+			})
+			if perr != nil {
+				return nil, perr
+			}
+			er = pr.Result
+			res.CacheHit = pr.CacheHit
+			if er.Engine == "dp" {
+				res.Engine = EngineDP
+			} else {
+				res.Engine = EngineSAT
+			}
+		} else if er, err = exact.Solve(ctx, sk, a, eopts); err != nil {
 			return nil, err
 		}
 		ops, err = er.Ops(sk)

@@ -1,6 +1,8 @@
 package qxmap
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -331,5 +333,48 @@ func TestMapSabreMethod(t *testing.T) {
 	}
 	if pinned.Cost != 0 {
 		t.Errorf("A* pinned-to-coupled-pair cost = %d", pinned.Cost)
+	}
+}
+
+// TestMapPortfolio routes the running example through the portfolio layer:
+// the cost must equal the lone exact engine's minimum, and a repeated call
+// on the identical instance must be served from the process-wide cache.
+func TestMapPortfolio(t *testing.T) {
+	c := Figure1a()
+	a := QX4()
+	lone, err := Map(c, a, Options{Engine: EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Map(c, a, Options{Portfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cost != lone.Cost {
+		t.Errorf("portfolio cost = %d, lone engine = %d", first.Cost, lone.Cost)
+	}
+	if !first.Minimal {
+		t.Error("portfolio result not flagged minimal")
+	}
+	second, err := Map(c, a, Options{Portfolio: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("identical instance missed the portfolio cache")
+	}
+	if second.Cost != first.Cost {
+		t.Errorf("cached cost %d != first cost %d", second.Cost, first.Cost)
+	}
+}
+
+// TestMapContextCancelled covers the public context plumbing end to end.
+func TestMapContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opts := range []Options{{}, {Portfolio: true}} {
+		if _, err := MapContext(ctx, Figure1a(), QX4(), opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("Portfolio=%v: err = %v, want context.Canceled", opts.Portfolio, err)
+		}
 	}
 }
