@@ -1,0 +1,98 @@
+package qxmap
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Job is one mapping task of a batch: a circuit, a target architecture and
+// the per-job options (any method, any engine — jobs of one batch may mix
+// freely).
+type Job struct {
+	// Name labels the job in reports; it is carried through to the
+	// BatchResult untouched (optional).
+	Name string
+	// Circuit is the input circuit (elementary gates only, as for Map).
+	Circuit *Circuit
+	// Arch is the target architecture.
+	Arch *Architecture
+	// Opts configures the job exactly as for Map.
+	Opts Options
+}
+
+// BatchOptions tunes MapBatch.
+type BatchOptions struct {
+	// Workers bounds the number of jobs solved concurrently (default:
+	// runtime.GOMAXPROCS(0), one worker per available core).
+	Workers int
+	// JobTimeout is a per-job deadline (0 = none). An expired job fails
+	// with an error wrapping context.DeadlineExceeded while the remaining
+	// jobs continue — exact and heuristic methods alike observe the
+	// deadline through the pipeline's context plumbing.
+	JobTimeout time.Duration
+}
+
+// BatchResult pairs one job with its outcome. Exactly one of Result and
+// Err is non-nil.
+type BatchResult struct {
+	// Index is the job's position in the input slice (results are
+	// returned in input order, so this is also the slice index).
+	Index int
+	// Job echoes the input job.
+	Job Job
+	// Result is the pipeline outcome, nil if the job failed.
+	Result *Result
+	// Err is the job's failure, nil on success. Failures are collected
+	// per job (fail-soft): one bad or timed-out job never aborts the
+	// batch. Cancelling the batch context fails the jobs not yet
+	// finished with an error wrapping ctx.Err().
+	Err error
+}
+
+// MapBatch maps a batch of independent jobs concurrently on a bounded
+// worker pool and returns one BatchResult per job, in input order. Costs
+// are identical to running Map on each job sequentially: jobs never share
+// mutable state, only the process-wide portfolio cache — so identical
+// Portfolio-mode instances across the batch solve once and the rest hit
+// the cache (Result.CacheHit).
+func MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(ctx, i, jobs[i], opts.JobTimeout)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job under its per-job deadline.
+func runJob(ctx context.Context, i int, job Job, timeout time.Duration) BatchResult {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := MapContext(ctx, job.Circuit, job.Arch, job.Opts)
+	return BatchResult{Index: i, Job: job, Result: res, Err: err}
+}

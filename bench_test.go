@@ -98,7 +98,7 @@ func BenchmarkTable1IBMHeuristic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total = 0
 		for _, sk := range sks {
-			h, err := heuristic.MapBest(sk, a, 5, heuristic.Options{Seed: 1})
+			h, err := heuristic.MapBest(context.Background(), sk, a, 5, heuristic.Options{Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -336,7 +336,7 @@ func BenchmarkHeuristicSingleRun(b *testing.B) {
 	a := arch.QX4()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := heuristic.Map(sk, a, heuristic.Options{Seed: int64(i)}); err != nil {
+		if _, err := heuristic.Map(context.Background(), sk, a, heuristic.Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -352,7 +352,7 @@ func BenchmarkTable1AStar(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total = 0
 		for _, sk := range sks {
-			r, err := heuristic.MapAStar(sk, a, heuristic.AStarOptions{Lookahead: 0.5})
+			r, err := heuristic.MapAStar(context.Background(), sk, a, heuristic.AStarOptions{Lookahead: 0.5})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -372,7 +372,7 @@ func BenchmarkTable1Sabre(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		total = 0
 		for _, sk := range sks {
-			r, err := heuristic.MapSabre(sk, a, heuristic.SabreOptions{})
+			r, err := heuristic.MapSabre(context.Background(), sk, a, heuristic.SabreOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,10 +1,19 @@
 // Command qxbench regenerates the paper's evaluation: Table 1 over the
-// 25-benchmark suite and the aggregate claims of §5.
+// 25-benchmark suite and the aggregate claims of §5. Rows fan out across
+// cores with -parallel/-workers.
+//
+// A second mode, -batch <method>, maps the whole suite through
+// qxmap.MapBatch instead: one concurrent mapping job per benchmark with a
+// bounded worker pool, optional per-job deadlines and fail-soft error
+// collection — the service-style execution path rather than the
+// paper-table harness.
 //
 // Usage:
 //
 //	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-portfolio]
 //	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
+//	        [-parallel] [-workers 8]
+//	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
 package main
 
 import (
@@ -12,11 +21,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 	"strings"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
-	"repro/internal/exact"
+	"repro/internal/revlib"
+
+	qxmap "repro"
 )
 
 func main() {
@@ -27,8 +40,11 @@ func main() {
 	runs := flag.Int("runs", 5, "heuristic runs per benchmark (paper: 5)")
 	names := flag.String("names", "", "comma-separated benchmark subset (default: all 25)")
 	summaryOnly := flag.Bool("summary", false, "print only the aggregate summary")
-	parallel := flag.Bool("parallel", false, "evaluate benchmark rows concurrently")
+	parallel := flag.Bool("parallel", false, "evaluate benchmark rows concurrently (one worker per core)")
+	workers := flag.Int("workers", 0, "bound the worker pool (implies -parallel; 0 = one per core)")
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s or 5m")
+	batchMethod := flag.String("batch", "", "map the suite through qxmap.MapBatch with this method ("+strings.Join(qxmap.Methods(), ", ")+") instead of running Table 1")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline in -batch mode (0 = none)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -42,14 +58,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := bench.Config{Arch: a, HeuristicRuns: *runs, SeedSATWithDP: *seedSAT, Parallel: *parallel, Portfolio: *portfolio}
-	switch *engine {
-	case "dp":
-		cfg.Engine = exact.EngineDP
-	case "sat":
-		cfg.Engine = exact.EngineSAT
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+	eng, err := qxmap.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *batchMethod != "" {
+		runBatch(ctx, a, *batchMethod, eng, *portfolio, *runs, *names, *workers, *jobTimeout)
+		return
+	}
+
+	cfg := bench.Config{
+		Arch:          a,
+		Engine:        eng,
+		HeuristicRuns: *runs,
+		SeedSATWithDP: *seedSAT,
+		Parallel:      *parallel,
+		Workers:       *workers,
+		Portfolio:     *portfolio,
 	}
 	if *names != "" {
 		cfg.Names = strings.Split(*names, ",")
@@ -66,6 +92,66 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Print(bench.FormatSummary(bench.Summary(rows)))
+}
+
+// runBatch maps every suite benchmark as one MapBatch job: the suite fans
+// out across cores, failures (including per-job deadline expiries) are
+// collected per benchmark, and per-stage pipeline timings are reported.
+func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.Engine,
+	portfolio bool, runs int, names string, workers int, jobTimeout time.Duration) {
+
+	method, err := qxmap.ParseMethod(methodName)
+	if err != nil {
+		fatal(err) // the error lists the valid method names
+	}
+	var selected []string
+	if names != "" {
+		selected = strings.Split(names, ",")
+	}
+	var jobs []qxmap.Job
+	for _, b := range revlib.Suite() {
+		if len(selected) > 0 && !slices.Contains(selected, b.Name) {
+			continue
+		}
+		jobs = append(jobs, qxmap.Job{
+			Name:    b.Name,
+			Circuit: b.Circuit,
+			Arch:    a,
+			Opts: qxmap.Options{
+				Method:        method,
+				Engine:        eng,
+				Portfolio:     portfolio,
+				HeuristicRuns: runs,
+				Seed:          1,
+				Lookahead:     0.5,
+			},
+		})
+	}
+
+	start := time.Now()
+	results := qxmap.MapBatch(ctx, jobs, qxmap.BatchOptions{Workers: workers, JobTimeout: jobTimeout})
+	elapsed := time.Since(start)
+
+	fmt.Printf("%-12s %6s %6s %8s %6s %10s\n", "benchmark", "F", "gates", "engine", "cache", "solve")
+	failures := 0
+	totalF := 0
+	for _, br := range results {
+		if br.Err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "qxbench: %s: %v\n", br.Job.Name, br.Err)
+			fmt.Printf("%-12s %6s\n", br.Job.Name, "FAIL")
+			continue
+		}
+		r := br.Result
+		totalF += r.Cost
+		fmt.Printf("%-12s %6d %6d %8s %6v %10v\n",
+			br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit, r.Stats.SolveTime.Round(time.Microsecond))
+	}
+	fmt.Printf("\nbatch: %d jobs (%d failed), method=%s, total added gates F=%d, wall-clock %v\n",
+		len(results), failures, method, totalF, elapsed.Round(time.Millisecond))
+	if failures > 0 {
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

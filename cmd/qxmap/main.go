@@ -4,7 +4,7 @@
 // Usage:
 //
 //	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-portfolio]
-//	      [-timeout 30s] [-runs 5] [-render] [-o out.qasm] input.qasm
+//	      [-timeout 30s] [-runs 5] [-render] [-stats] [-o out.qasm] input.qasm
 //
 // With input "-", the program reads from standard input. The mapped
 // circuit is written as QASM to -o (default: stdout), preceded by a cost
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	archName := flag.String("arch", "ibmqx4", "target architecture (ibmqx2, ibmqx4, ibmqx5, melbourne, tokyo, linear<m>, ring<m>, grid<r>x<c>)")
-	methodName := flag.String("method", "exact", "mapping method: exact, exact-subsets, disjoint, odd, triangle, heuristic, astar, sabre")
+	methodName := flag.String("method", "exact", "mapping method: "+strings.Join(qxmap.Methods(), ", "))
 	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
 	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
 	seed := flag.Int64("seed", 1, "heuristic random seed")
@@ -39,16 +39,15 @@ func main() {
 	initial := flag.String("initial", "", "pin the initial layout, e.g. 2,0,1 (logical j on physical value[j])")
 	portfolio := flag.Bool("portfolio", false, "race the SAT and DP engines with heuristic bound seeding and a result cache (ignores -engine)")
 	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none), e.g. 30s or 2m")
+	stats := flag.Bool("stats", false, "report per-stage pipeline timings and solver counters on stderr")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fatal(fmt.Errorf("expected exactly one input file (or -), got %d args", flag.NArg()))
 	}
-	src, err := readInput(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	c, err := qxmap.ParseQASM(src)
+	// Validate flags before touching the input: a bad -method reports the
+	// valid names (via ParseMethod's error) without waiting on stdin.
+	method, err := qxmap.ParseMethod(*methodName)
 	if err != nil {
 		fatal(err)
 	}
@@ -56,7 +55,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	method, err := qxmap.ParseMethod(*methodName)
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := qxmap.ParseQASM(src)
 	if err != nil {
 		fatal(err)
 	}
@@ -68,13 +71,8 @@ func main() {
 		}
 		opts.InitialLayout = layout
 	}
-	switch *engineName {
-	case "sat":
-		opts.Engine = qxmap.EngineSAT
-	case "dp":
-		opts.Engine = qxmap.EngineDP
-	default:
-		fatal(fmt.Errorf("unknown engine %q", *engineName))
+	if opts.Engine, err = qxmap.ParseEngine(*engineName); err != nil {
+		fatal(err)
 	}
 
 	ctx := context.Background()
@@ -98,6 +96,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "initial layout: %s\n", render.Mapping(res.InitialLayout))
 	fmt.Fprintf(os.Stderr, "final layout:   %s\n", render.Mapping(res.FinalLayout))
+	if *stats {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "pipeline: skeleton=%v solve=%v materialize=%v verify=%v optimize=%v\n",
+			s.SkeletonTime, s.SolveTime, s.MaterializeTime, s.VerifyTime, s.OptimizeTime)
+		fmt.Fprintf(os.Stderr, "solver: %s via %s, cache-hit=%v, sat-solves=%d, sat-conflicts=%d\n",
+			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATConflicts)
+	}
 	if *doRender {
 		fmt.Fprintln(os.Stderr, "\noriginal:")
 		fmt.Fprint(os.Stderr, render.Circuit(c))

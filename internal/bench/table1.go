@@ -7,6 +7,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -14,9 +16,9 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/exact"
-	"repro/internal/heuristic"
 	"repro/internal/portfolio"
 	"repro/internal/revlib"
+	"repro/internal/solver"
 )
 
 // Column is one method's result on one benchmark.
@@ -73,9 +75,13 @@ type Config struct {
 	HeuristicRuns int
 	// Names restricts the run to the named benchmarks (nil = full suite).
 	Names []string
-	// Parallel evaluates benchmark rows concurrently. Results are
-	// identical to a sequential run (rows are independent).
+	// Parallel evaluates benchmark rows concurrently on a bounded worker
+	// pool. Results are identical to a sequential run (rows are
+	// independent).
 	Parallel bool
+	// Workers bounds the row worker pool (default: one worker per
+	// available core). A positive value implies Parallel.
+	Workers int
 	// Portfolio routes every exact column through internal/portfolio:
 	// heuristic-seeded SAT racing the DP oracle, with results memoized in
 	// a cache shared across the whole run. The Engine and SeedSATWithDP
@@ -106,26 +112,43 @@ func RunTable1(ctx context.Context, cfg Config) ([]Row, error) {
 	cfg = cfg.withDefaults()
 	var selected []revlib.Benchmark
 	for _, b := range revlib.Suite() {
-		if len(cfg.Names) == 0 || contains(cfg.Names, b.Name) {
+		if len(cfg.Names) == 0 || slices.Contains(cfg.Names, b.Name) {
 			selected = append(selected, b)
 		}
 	}
 	rows := make([]Row, len(selected))
 	errs := make([]error, len(selected))
-	if cfg.Parallel {
-		var wg sync.WaitGroup
-		for i, b := range selected {
-			wg.Add(1)
-			go func(i int, b revlib.Benchmark) {
-				defer wg.Done()
-				rows[i], errs[i] = RunRow(ctx, b, cfg)
-			}(i, b)
+	workers := 1
+	if cfg.Parallel || cfg.Workers > 0 {
+		workers = cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-		wg.Wait()
-	} else {
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	if workers <= 1 {
 		for i, b := range selected {
 			rows[i], errs[i] = RunRow(ctx, b, cfg)
 		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					rows[i], errs[i] = RunRow(ctx, selected[i], cfg)
+				}
+			}()
+		}
+		for i := range selected {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -151,77 +174,79 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 		return row, err
 	}
 
-	// The heuristic column doubles as the portfolio's upper bound, so it is
-	// computed first — once per row rather than once per exact column.
-	start := time.Now()
-	h, err := heuristic.MapBest(sk, cfg.Arch, cfg.HeuristicRuns, heuristic.Options{Seed: 1})
-	if err != nil {
-		return row, err
-	}
-	row.IBM = Column{
-		Cost:    row.OriginalCost + h.Cost,
-		Added:   h.Cost,
-		Runtime: time.Since(start),
-	}
-
-	solve := func(strategy exact.Strategy, subsets bool) (Column, error) {
-		opts := exact.Options{Engine: cfg.Engine, Strategy: strategy, UseSubsets: subsets}
-		start := time.Now()
-		var r *exact.Result
-		if cfg.Portfolio {
-			pr, err := portfolio.Solve(ctx, sk, cfg.Arch, portfolio.Options{
-				Exact: opts, Cache: cfg.cache, UpperBound: h.Cost, HeuristicRuns: -1})
-			if err != nil {
-				return Column{}, err
-			}
-			r = pr.Result
-		} else {
-			if cfg.Engine == exact.EngineSAT && cfg.SeedSATWithDP {
-				dp, err := exact.Solve(ctx, sk, cfg.Arch, exact.Options{
-					Engine: exact.EngineDP, Strategy: strategy, UseSubsets: subsets})
-				if err != nil {
-					return Column{}, err
-				}
-				opts.SAT.StartBound = dp.Cost
-			}
-			var err error
-			if r, err = exact.Solve(ctx, sk, cfg.Arch, opts); err != nil {
-				return Column{}, err
-			}
+	// Every column resolves its method by name through the solver
+	// registry; no engine- or strategy-specific code lives here.
+	solve := func(name string, scfg solver.Config) (*solver.Plan, Column, error) {
+		s, err := solver.New(name, scfg)
+		if err != nil {
+			return nil, Column{}, err
 		}
-		return Column{
-			Cost:       row.OriginalCost + r.Cost,
-			Added:      r.Cost,
-			PermPoints: r.PermPoints + 1, // paper counts the initial mapping
-			Runtime:    time.Since(start),
+		plan, err := s.Solve(ctx, sk, cfg.Arch)
+		if err != nil {
+			return nil, Column{}, fmt.Errorf("%s: %w", name, err)
+		}
+		return plan, Column{
+			Cost:    row.OriginalCost + plan.Cost,
+			Added:   plan.Cost,
+			Runtime: plan.Runtime,
 		}, nil
 	}
 
-	if row.Minimal, err = solve(exact.StrategyAll, false); err != nil {
-		return row, err
-	}
-	if row.Subsets, err = solve(exact.StrategyAll, true); err != nil {
-		return row, err
-	}
-	if row.Disjoint, err = solve(exact.StrategyDisjoint, true); err != nil {
-		return row, err
-	}
-	if row.Odd, err = solve(exact.StrategyOdd, true); err != nil {
-		return row, err
-	}
-	if row.Triangle, err = solve(exact.StrategyTriangle, true); err != nil {
+	// The heuristic column doubles as the portfolio's upper bound, so it is
+	// computed first — once per row rather than once per exact column.
+	if _, row.IBM, err = solve(solver.NameHeuristic,
+		solver.Config{HeuristicRuns: cfg.HeuristicRuns, Seed: 1}); err != nil {
 		return row, err
 	}
 
-	start = time.Now()
-	as, err := heuristic.MapAStar(sk, cfg.Arch, heuristic.AStarOptions{Lookahead: 0.5})
-	if err != nil {
-		return row, err
+	exactCfg := func(name string) (solver.Config, error) {
+		scfg := solver.Config{Engine: cfg.Engine}
+		if cfg.Portfolio {
+			scfg.Portfolio = true
+			scfg.Cache = cfg.cache
+			scfg.UpperBound = row.IBM.Added
+			if scfg.UpperBound == 0 {
+				scfg.UpperBound = -1 // bounded already: F = 0, skip re-bounding
+			}
+			return scfg, nil
+		}
+		if cfg.Engine == exact.EngineSAT && cfg.SeedSATWithDP {
+			_, dp, err := solve(name, solver.Config{Engine: exact.EngineDP})
+			if err != nil {
+				return scfg, err
+			}
+			scfg.SAT.StartBound = dp.Added
+		}
+		return scfg, nil
 	}
-	row.AStar = Column{
-		Cost:    row.OriginalCost + as.Cost,
-		Added:   as.Cost,
-		Runtime: time.Since(start),
+	for _, col := range []struct {
+		name string
+		dst  *Column
+	}{
+		{solver.NameExact, &row.Minimal},
+		{solver.NameExactSubsets, &row.Subsets},
+		{solver.NameDisjoint, &row.Disjoint},
+		{solver.NameOdd, &row.Odd},
+		{solver.NameTriangle, &row.Triangle},
+	} {
+		// The column runtime is the method's full cost, including the DP
+		// seeding solve of SeedSATWithDP mode — not just the final solve.
+		start := time.Now()
+		scfg, err := exactCfg(col.name)
+		if err != nil {
+			return row, err
+		}
+		plan, c, err := solve(col.name, scfg)
+		if err != nil {
+			return row, err
+		}
+		c.Runtime = time.Since(start)
+		c.PermPoints = plan.PermPoints + 1 // paper counts the free initial mapping
+		*col.dst = c
+	}
+
+	if _, row.AStar, err = solve(solver.NameAStar, solver.Config{Lookahead: 0.5}); err != nil {
+		return row, err
 	}
 
 	cmin := row.Minimal.Cost
@@ -229,15 +254,6 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 		col.DeltaMin = col.Cost - cmin
 	}
 	return row, nil
-}
-
-func contains(names []string, s string) bool {
-	for _, n := range names {
-		if n == s {
-			return true
-		}
-	}
-	return false
 }
 
 // Stats aggregates the headline claims of paper §5 over a set of rows.

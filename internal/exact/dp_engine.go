@@ -189,7 +189,7 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 		Solution:   sol,
 		WorkArch:   p.Arch,
 		PermPoints: len(frames) - 1,
-		Engine:     "dp",
+		Engine:     EngineDP.String(),
 		Runtime:    time.Since(start),
 	}, nil
 }

@@ -29,6 +29,9 @@ type Result struct {
 	Engine string
 	// Solves counts reasoning-engine invocations (SAT engine only).
 	Solves int
+	// Conflicts counts CDCL conflicts across all solver invocations of the
+	// run (SAT engine only; 0 for the DP engine).
+	Conflicts int64
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }

@@ -48,7 +48,7 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 	res := &Result{
 		WorkArch:   p.Arch,
 		PermPoints: enc.NumPermPoints(),
-		Engine:     "sat",
+		Engine:     EngineSAT.String(),
 	}
 	if opts.StartBound > 0 {
 		enc.AssertCostAtMost(opts.StartBound)
@@ -60,6 +60,7 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 	} else {
 		best, err = minimizeLinear(ctx, solver, enc, res)
 	}
+	res.Conflicts += solver.Stats.Conflicts
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +137,9 @@ func minimizeBinary(ctx context.Context, p encoder.Problem, solver *sat.Solver, 
 		}
 		probeEnc.AssertCostAtMost(mid)
 		res.Solves++
-		switch probeSolver.SolveContext(ctx) {
+		status := probeSolver.SolveContext(ctx)
+		res.Conflicts += probeSolver.Stats.Conflicts
+		switch status {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("exact: solve canceled: %w", err)

@@ -36,6 +36,19 @@ func (e Engine) String() string {
 	return "sat"
 }
 
+// ParseEngine converts an engine name back into an Engine. It round-trips
+// with Engine.String, which is the single definition of the names — every
+// layer (portfolio winners, result provenance, CLI flags) resolves through
+// these two functions instead of scattered string literals.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range []Engine{EngineSAT, EngineDP} {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("exact: unknown engine %q (valid: %s, %s)", name, EngineSAT, EngineDP)
+}
+
 // Options configures a Solve run.
 type Options struct {
 	// Engine selects the backend (default EngineSAT).

@@ -2,6 +2,7 @@ package heuristic
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -30,13 +31,19 @@ func (o AStarOptions) withDefaults() AStarOptions {
 	return o
 }
 
+// cancelCheckInterval is how many A* node expansions may pass between
+// context polls: frequent enough for sub-millisecond deadline response,
+// rare enough to keep the atomic load off the hot path.
+const cancelCheckInterval = 1024
+
 // MapAStar maps the skeleton with a per-layer A* search over SWAP
 // sequences: a deterministic, stronger baseline than the stochastic
 // mapper, in the algorithmic family of the paper's reference [22]. For
 // each layer whose gates are not all executable, A* finds a provably
 // SWAP-count-minimal repair for that layer (greedy across layers, so still
-// a heuristic globally).
-func MapAStar(sk *circuit.Skeleton, a *arch.Arch, opts AStarOptions) (*Result, error) {
+// a heuristic globally). Cancelling the context aborts the run between
+// layers and within a bounded number of node expansions.
+func MapAStar(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts AStarOptions) (*Result, error) {
 	n, m := sk.NumQubits, a.NumQubits()
 	if n > m {
 		return nil, fmt.Errorf("heuristic: %d logical qubits exceed %d physical", n, m)
@@ -57,6 +64,9 @@ func MapAStar(sk *circuit.Skeleton, a *arch.Arch, opts AStarOptions) (*Result, e
 	layers := sk.DisjointLayers()
 
 	for li, layer := range layers {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("heuristic: canceled: %w", err)
+		}
 		gates := make([]circuit.CNOTGate, len(layer))
 		for i, gi := range layer {
 			gates[i] = sk.Gates[gi]
@@ -68,7 +78,7 @@ func MapAStar(sk *circuit.Skeleton, a *arch.Arch, opts AStarOptions) (*Result, e
 			}
 		}
 		if !layerExecutable(gates, layout, a) {
-			seq, err := astarSwaps(gates, next, layout, a, opts)
+			seq, err := astarSwaps(ctx, gates, next, layout, a, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -163,8 +173,9 @@ func lookaheadH(next []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, w fl
 
 // astarSwaps finds a SWAP sequence making every layer gate executable,
 // minimizing 7·(#SWAPs) + 4·(#switches) for this layer (plus lookahead
-// bias when enabled).
-func astarSwaps(gates, next []circuit.CNOTGate, start perm.Mapping, a *arch.Arch, opts AStarOptions) ([]perm.Edge, error) {
+// bias when enabled). The context is polled every cancelCheckInterval node
+// expansions so long searches stay responsive to per-job deadlines.
+func astarSwaps(ctx context.Context, gates, next []circuit.CNOTGate, start perm.Mapping, a *arch.Arch, opts AStarOptions) ([]perm.Edge, error) {
 	startNode := &node{
 		layout: start.Copy(),
 		f:      float64(layerH(gates, start, a)) + lookaheadH(next, start, a, opts.Lookahead),
@@ -185,6 +196,11 @@ func astarSwaps(gates, next []circuit.CNOTGate, start perm.Mapping, a *arch.Arch
 		expansions++
 		if expansions > opts.MaxExpansions {
 			break
+		}
+		if expansions%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("heuristic: canceled: %w", err)
+			}
 		}
 		if layerExecutable(gates, cur.layout, a) {
 			total := cur.g + finishCost(gates, cur.layout, a)

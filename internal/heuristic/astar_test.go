@@ -12,7 +12,7 @@ import (
 
 func TestAStarFigure1(t *testing.T) {
 	sk := circuit.Figure1b()
-	r, err := MapAStar(sk, arch.QX4(), AStarOptions{})
+	r, err := MapAStar(context.Background(), sk, arch.QX4(), AStarOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,11 +22,11 @@ func TestAStarFigure1(t *testing.T) {
 func TestAStarDeterministic(t *testing.T) {
 	sk := randomSkeleton(3, 5, 25)
 	a := arch.QX4()
-	r1, err := MapAStar(sk, a, AStarOptions{})
+	r1, err := MapAStar(context.Background(), sk, a, AStarOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := MapAStar(sk, a, AStarOptions{})
+	r2, err := MapAStar(context.Background(), sk, a, AStarOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestAStarValidity(t *testing.T) {
 			}
 			sk := randomSkeleton(seed, n, 12)
 			for _, la := range []float64{0, 0.5} {
-				r, err := MapAStar(sk, a, AStarOptions{Lookahead: la})
+				r, err := MapAStar(context.Background(), sk, a, AStarOptions{Lookahead: la})
 				if err != nil {
 					t.Fatalf("%s seed %d lookahead %v: %v", a.Name(), seed, la, err)
 				}
@@ -62,7 +62,7 @@ func TestAStarNeverBelowExact(t *testing.T) {
 		n := 2 + int(nRaw%4)
 		gates := 2 + int(gRaw%8)
 		sk := randomSkeleton(seed, n, gates)
-		r, err := MapAStar(sk, a, AStarOptions{Lookahead: 0.5})
+		r, err := MapAStar(context.Background(), sk, a, AStarOptions{Lookahead: 0.5})
 		if err != nil {
 			return false
 		}
@@ -85,11 +85,11 @@ func TestAStarCompetitiveWithStochastic(t *testing.T) {
 	totalAStar, totalStoch := 0, 0
 	for seed := int64(0); seed < 25; seed++ {
 		sk := randomSkeleton(seed, 5, 20)
-		ar, err := MapAStar(sk, a, AStarOptions{Lookahead: 0.5})
+		ar, err := MapAStar(context.Background(), sk, a, AStarOptions{Lookahead: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
-		sr, err := Map(sk, a, Options{Seed: seed})
+		sr, err := Map(context.Background(), sk, a, Options{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,11 +103,11 @@ func TestAStarCompetitiveWithStochastic(t *testing.T) {
 }
 
 func TestAStarErrors(t *testing.T) {
-	if _, err := MapAStar(randomSkeleton(0, 6, 3), arch.QX4(), AStarOptions{}); err == nil {
+	if _, err := MapAStar(context.Background(), randomSkeleton(0, 6, 3), arch.QX4(), AStarOptions{}); err == nil {
 		t.Error("n > m should fail")
 	}
 	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}, {Control: 2, Target: 3}})
-	if _, err := MapAStar(randomSkeleton(0, 4, 3), disc, AStarOptions{}); err == nil {
+	if _, err := MapAStar(context.Background(), randomSkeleton(0, 4, 3), disc, AStarOptions{}); err == nil {
 		t.Error("disconnected arch should fail")
 	}
 }
@@ -121,7 +121,7 @@ func TestAStarLayerOptimality(t *testing.T) {
 	a := arch.QX4()
 	// One CNOT between the two most distant qubits under trivial layout.
 	sk := &circuit.Skeleton{NumQubits: 5, Gates: []circuit.CNOTGate{{Control: 0, Target: 4}}}
-	r, err := MapAStar(sk, a, AStarOptions{})
+	r, err := MapAStar(context.Background(), sk, a, AStarOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

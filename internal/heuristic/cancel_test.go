@@ -1,0 +1,60 @@
+package heuristic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// TestHeuristicMappersObserveCancellation covers the context plumbing of
+// every heuristic entry point: a pre-cancelled context must abort the run
+// with an error wrapping context.Canceled instead of running to completion.
+func TestHeuristicMappersObserveCancellation(t *testing.T) {
+	sk := randomSkeleton(3, 4, 12)
+	a := arch.QX4()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	calls := map[string]func() error{
+		"Map": func() error {
+			_, err := Map(ctx, sk, a, Options{Seed: 1})
+			return err
+		},
+		"MapBest": func() error {
+			_, err := MapBest(ctx, sk, a, 5, Options{Seed: 1})
+			return err
+		},
+		"MapAStar": func() error {
+			_, err := MapAStar(ctx, sk, a, AStarOptions{Lookahead: 0.5})
+			return err
+		},
+		"MapSabre": func() error {
+			_, err := MapSabre(ctx, sk, a, SabreOptions{})
+			return err
+		},
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// TestHeuristicDeadlineMidRun cancels while a mapper is working: the
+// per-layer checks must stop the run promptly rather than only at entry.
+func TestHeuristicDeadlineMidRun(t *testing.T) {
+	sk := randomSkeleton(9, 5, 400)
+	a := arch.QX4()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := MapBest(ctx, sk, a, 50, Options{Seed: 2})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-run cancel: err = %v, want nil or context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package heuristic
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/arch"
@@ -47,15 +48,19 @@ func reverseSkeleton(sk *circuit.Skeleton) *circuit.Skeleton {
 // forward pass's final layout (whose final layout is therefore a good
 // *initial* layout for the forward circuit), and so on. The best forward
 // result across passes is returned. The inner mapper is the per-layer A*
-// search.
-func MapSabre(sk *circuit.Skeleton, a *arch.Arch, opts SabreOptions) (*Result, error) {
+// search. Cancellation is observed between passes (and inside each pass via
+// MapAStar's own checks).
+func MapSabre(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts SabreOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	rev := reverseSkeleton(sk)
 
 	var best *Result
 	initial := perm.Mapping(nil) // trivial on the first pass
 	for pass := 0; pass < opts.Passes; pass++ {
-		fwd, err := MapAStar(sk, a, AStarOptions{Lookahead: opts.Lookahead, Initial: initial})
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("heuristic: canceled: %w", err)
+		}
+		fwd, err := MapAStar(ctx, sk, a, AStarOptions{Lookahead: opts.Lookahead, Initial: initial})
 		if err != nil {
 			return nil, fmt.Errorf("heuristic: sabre forward pass %d: %w", pass, err)
 		}
@@ -65,7 +70,7 @@ func MapSabre(sk *circuit.Skeleton, a *arch.Arch, opts SabreOptions) (*Result, e
 		if pass == opts.Passes-1 {
 			break
 		}
-		back, err := MapAStar(rev, a, AStarOptions{Lookahead: opts.Lookahead, Initial: fwd.FinalMapping})
+		back, err := MapAStar(ctx, rev, a, AStarOptions{Lookahead: opts.Lookahead, Initial: fwd.FinalMapping})
 		if err != nil {
 			return nil, fmt.Errorf("heuristic: sabre backward pass %d: %w", pass, err)
 		}

@@ -36,7 +36,7 @@ func TestSabreValidity(t *testing.T) {
 	a := arch.QX4()
 	for seed := int64(0); seed < 10; seed++ {
 		sk := randomSkeleton(seed, 5, 18)
-		r, err := MapSabre(sk, a, SabreOptions{})
+		r, err := MapSabre(context.Background(), sk, a, SabreOptions{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -48,7 +48,7 @@ func TestSabreNeverBelowExact(t *testing.T) {
 	a := arch.QX4()
 	f := func(seed int64, gRaw uint) bool {
 		sk := randomSkeleton(seed, 4, 2+int(gRaw%8))
-		r, err := MapSabre(sk, a, SabreOptions{})
+		r, err := MapSabre(context.Background(), sk, a, SabreOptions{})
 		if err != nil {
 			return false
 		}
@@ -71,11 +71,11 @@ func TestSabreRefinementHelps(t *testing.T) {
 	totalSabre, totalPlain := 0, 0
 	for seed := int64(0); seed < 25; seed++ {
 		sk := randomSkeleton(seed, 5, 20)
-		sr, err := MapSabre(sk, a, SabreOptions{Passes: 3})
+		sr, err := MapSabre(context.Background(), sk, a, SabreOptions{Passes: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pr, err := MapAStar(sk, a, AStarOptions{Lookahead: 0.5})
+		pr, err := MapAStar(context.Background(), sk, a, AStarOptions{Lookahead: 0.5})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package heuristic
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -64,7 +65,9 @@ type Result struct {
 // Map maps the skeleton onto the architecture with the stochastic
 // heuristic. The initial layout is the trivial one (logical qubit j on
 // physical qubit j), as in the Qiskit version the paper benchmarked.
-func Map(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
+// Cancelling the context aborts the run between layers and between swap-
+// search trials, returning an error that wraps ctx.Err().
+func Map(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 	n, m := sk.NumQubits, a.NumQubits()
 	if n > m {
 		return nil, fmt.Errorf("heuristic: %d logical qubits exceed %d physical", n, m)
@@ -85,12 +88,15 @@ func Map(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 	layout := res.InitialMapping.Copy()
 
 	for _, layer := range sk.DisjointLayers() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("heuristic: canceled: %w", err)
+		}
 		gates := make([]circuit.CNOTGate, len(layer))
 		for i, gi := range layer {
 			gates[i] = sk.Gates[gi]
 		}
 		if !layerExecutable(gates, layout, a) {
-			seq, err := searchSwaps(gates, layout, a, opts, rng)
+			seq, err := searchSwaps(ctx, gates, layout, a, opts, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -122,8 +128,9 @@ func Map(sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
 
 // MapBest runs Map with the given number of independent seeds and returns
 // the lowest-cost result — the paper ran Qiskit's probabilistic mapper 5
-// times per benchmark and reported the observed minimum.
-func MapBest(sk *circuit.Skeleton, a *arch.Arch, runs int, opts Options) (*Result, error) {
+// times per benchmark and reported the observed minimum. Cancellation is
+// observed between (and, via Map, inside) the restarts.
+func MapBest(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, runs int, opts Options) (*Result, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -131,7 +138,7 @@ func MapBest(sk *circuit.Skeleton, a *arch.Arch, runs int, opts Options) (*Resul
 	for r := 0; r < runs; r++ {
 		o := opts
 		o.Seed = opts.Seed + int64(r)*0x9e3779b9
-		res, err := Map(sk, a, o)
+		res, err := Map(ctx, sk, a, o)
 		if err != nil {
 			return nil, err
 		}
@@ -168,10 +175,13 @@ func layerDistance(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, 
 
 // searchSwaps runs randomized greedy descent trials and returns the
 // shortest SWAP sequence found that makes the layer executable.
-func searchSwaps(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, opts Options, rng *rand.Rand) ([]perm.Edge, error) {
+func searchSwaps(ctx context.Context, gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, opts Options, rng *rand.Rand) ([]perm.Edge, error) {
 	m := a.NumQubits()
 	var best []perm.Edge
 	for trial := 0; trial < opts.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("heuristic: canceled: %w", err)
+		}
 		// Fresh multiplicative noise on the distance matrix per trial.
 		noise := make([][]float64, m)
 		for i := range noise {

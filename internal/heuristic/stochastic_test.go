@@ -80,7 +80,7 @@ func verify(t *testing.T, sk *circuit.Skeleton, a *arch.Arch, r *Result) {
 }
 
 func TestMapFigure1(t *testing.T) {
-	r, err := Map(circuit.Figure1b(), arch.QX4(), Options{Seed: 1})
+	r, err := Map(context.Background(), circuit.Figure1b(), arch.QX4(), Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +90,11 @@ func TestMapFigure1(t *testing.T) {
 func TestDeterministicPerSeed(t *testing.T) {
 	sk := randomSkeleton(7, 5, 20)
 	a := arch.QX4()
-	r1, err := Map(sk, a, Options{Seed: 42})
+	r1, err := Map(context.Background(), sk, a, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Map(sk, a, Options{Seed: 42})
+	r2, err := Map(context.Background(), sk, a, Options{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func TestValidityOnRandomCircuits(t *testing.T) {
 				n = a.NumQubits()
 			}
 			sk := randomSkeleton(seed, n, 15)
-			r, err := Map(sk, a, Options{Seed: seed})
+			r, err := Map(context.Background(), sk, a, Options{Seed: seed})
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", a.Name(), seed, err)
 			}
@@ -134,7 +134,7 @@ func TestNeverBeatsExact(t *testing.T) {
 		n := 2 + int(nRaw%4)
 		gates := 2 + int(gRaw%8)
 		sk := randomSkeleton(seed, n, gates)
-		h, err := MapBest(sk, a, 5, Options{Seed: seed})
+		h, err := MapBest(context.Background(), sk, a, 5, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -152,11 +152,11 @@ func TestNeverBeatsExact(t *testing.T) {
 func TestMapBestNotWorseThanSingle(t *testing.T) {
 	sk := randomSkeleton(3, 5, 25)
 	a := arch.QX4()
-	single, err := Map(sk, a, Options{Seed: 100})
+	single, err := Map(context.Background(), sk, a, Options{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	best, err := MapBest(sk, a, 5, Options{Seed: 100})
+	best, err := MapBest(context.Background(), sk, a, 5, Options{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,11 +167,11 @@ func TestMapBestNotWorseThanSingle(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := Map(randomSkeleton(0, 6, 3), arch.QX4(), Options{}); err == nil {
+	if _, err := Map(context.Background(), randomSkeleton(0, 6, 3), arch.QX4(), Options{}); err == nil {
 		t.Error("n > m should fail")
 	}
 	disc := arch.MustNew("disc", 4, []arch.Pair{{Control: 0, Target: 1}, {Control: 2, Target: 3}})
-	if _, err := Map(randomSkeleton(0, 4, 3), disc, Options{}); err == nil {
+	if _, err := Map(context.Background(), randomSkeleton(0, 4, 3), disc, Options{}); err == nil {
 		t.Error("disconnected arch should fail")
 	}
 }
@@ -180,7 +180,7 @@ func TestZeroCostWhenLayoutFits(t *testing.T) {
 	// A single CNOT already on a coupled pair in forward direction under
 	// the trivial layout: q1→q0 matches QX4's (1,0) coupling.
 	sk := &circuit.Skeleton{NumQubits: 2, Gates: []circuit.CNOTGate{{Control: 1, Target: 0}}}
-	r, err := Map(sk, arch.QX4(), Options{Seed: 0})
+	r, err := Map(context.Background(), sk, arch.QX4(), Options{Seed: 0})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -202,9 +202,8 @@ func runEngine(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Opt
 // heuristic. It returns 0 when no sound bound is available: disconnected
 // architectures, a pinned initial mapping (the heuristic cannot route away
 // from its pin, so its cost may undercut no valid exact solution — the pin
-// semantics differ), or a cancelled context. The heuristic itself has no
-// cancellation points, so it runs on a goroutine the caller abandons on
-// cancellation; its work is bounded and the goroutine exits on its own.
+// semantics differ), or a cancelled context (the heuristic observes the
+// context between layers and swap-search trials).
 func heuristicBound(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) int {
 	if sk.NumQubits > a.NumQubits() || !a.Connected() || opts.Exact.InitialMapping != nil {
 		return 0
@@ -213,19 +212,9 @@ func heuristicBound(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opt
 	if runs == 0 {
 		runs = 2
 	}
-	ch := make(chan int, 1)
-	go func() {
-		h, err := heuristic.MapBest(sk, a, runs, heuristic.Options{Seed: opts.Seed})
-		if err != nil {
-			ch <- 0
-			return
-		}
-		ch <- h.Cost
-	}()
-	select {
-	case <-ctx.Done():
+	h, err := heuristic.MapBest(ctx, sk, a, runs, heuristic.Options{Seed: opts.Seed})
+	if err != nil {
 		return 0
-	case b := <-ch:
-		return b
 	}
+	return h.Cost
 }

@@ -1,0 +1,63 @@
+package solver
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Factory builds a Solver from a Config. A factory validates the Config
+// subset its method honors and returns an error for combinations the
+// method cannot satisfy.
+type Factory func(cfg Config) (Solver, error)
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	order     []string // registration order: the canonical method listing
+}{factories: map[string]Factory{}}
+
+// Register binds a method name to a factory. Registering an empty name, a
+// nil factory, or a duplicate name panics: registrations happen at package
+// initialization, where a bad entry is a programming error.
+func Register(name string, f Factory) {
+	registry.Lock()
+	defer registry.Unlock()
+	if name == "" || f == nil {
+		panic("solver: Register requires a non-empty name and a non-nil factory")
+	}
+	if _, dup := registry.factories[name]; dup {
+		panic("solver: duplicate registration of method " + name)
+	}
+	registry.factories[name] = f
+	registry.order = append(registry.order, name)
+}
+
+// Lookup returns the factory registered under name.
+func Lookup(name string) (Factory, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	f, ok := registry.factories[name]
+	return f, ok
+}
+
+// New instantiates the named method's solver with the given configuration.
+// An unknown name fails with an error listing every registered method.
+func New(name string, cfg Config) (Solver, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown method %q (valid: %s)", name, strings.Join(Methods(), ", "))
+	}
+	return f(cfg)
+}
+
+// Methods returns the registered method names in registration order — a
+// deterministic, canonical listing (the eight built-ins first, in the
+// order of the paper's Table 1 columns).
+func Methods() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, len(registry.order))
+	copy(out, registry.order)
+	return out
+}

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+	"repro/internal/portfolio"
+)
+
+func TestMethodsListsBuiltinsInOrder(t *testing.T) {
+	want := []string{NameExact, NameExactSubsets, NameDisjoint, NameOdd,
+		NameTriangle, NameHeuristic, NameAStar, NameSabre}
+	got := Methods()
+	if len(got) < len(want) {
+		t.Fatalf("Methods() = %v, want at least the %d built-ins", got, len(want))
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Errorf("Methods()[%d] = %q, want %q", i, got[i], name)
+		}
+	}
+}
+
+func TestNewUnknownMethodListsValidNames(t *testing.T) {
+	_, err := New("bogus", Config{})
+	if err == nil {
+		t.Fatal("unknown method should fail")
+	}
+	for _, name := range Methods() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list method %q", err, name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	Register(NameExact, func(Config) (Solver, error) { return nil, nil })
+}
+
+func TestRegisterCustomBackend(t *testing.T) {
+	called := false
+	Register("test-custom", func(cfg Config) (Solver, error) {
+		called = true
+		return exactSolver{cfg: cfg, strategy: exact.StrategyAll, minimal: true}, nil
+	})
+	s, err := New("test-custom", Config{Engine: exact.EngineDP})
+	if err != nil || !called {
+		t.Fatalf("custom factory not used: %v", err)
+	}
+	plan, err := s.Solve(context.Background(), circuit.Figure1b(), arch.QX4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Cost != 4 {
+		t.Errorf("custom-registered exact solver cost = %d, want 4", plan.Cost)
+	}
+}
+
+// TestBuiltinPlansOnRunningExample checks the Plan invariants of every
+// built-in method on the paper's running example: the restricted exact
+// strategies still reach F = 4 (paper Example 10), the heuristics never
+// beat the minimum, and provenance/minimality are reported coherently.
+func TestBuiltinPlansOnRunningExample(t *testing.T) {
+	sk := circuit.Figure1b()
+	a := arch.QX4()
+	for _, name := range []string{NameExact, NameExactSubsets, NameDisjoint,
+		NameOdd, NameTriangle, NameHeuristic, NameAStar, NameSabre} {
+		s, err := New(name, Config{Engine: exact.EngineDP, Seed: 7, Lookahead: 0.5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plan, err := s.Solve(context.Background(), sk, a)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		exactFamily := name != NameHeuristic && name != NameAStar && name != NameSabre
+		if exactFamily && plan.Cost != 4 {
+			t.Errorf("%s: cost = %d, want 4", name, plan.Cost)
+		}
+		if plan.Cost < 4 {
+			t.Errorf("%s: cost %d beats the minimum", name, plan.Cost)
+		}
+		if plan.Cost != 7*plan.Swaps+4*plan.Switches {
+			t.Errorf("%s: cost %d != 7·%d + 4·%d", name, plan.Cost, plan.Swaps, plan.Switches)
+		}
+		if got, want := plan.Minimal, name == NameExact; got != want {
+			t.Errorf("%s: Minimal = %v, want %v", name, got, want)
+		}
+		if exactFamily {
+			if _, err := exact.ParseEngine(plan.Engine); err != nil {
+				t.Errorf("%s: engine %q does not round-trip: %v", name, plan.Engine, err)
+			}
+		} else if plan.Engine != name {
+			t.Errorf("%s: engine = %q, want method name", name, plan.Engine)
+		}
+		if len(plan.Initial) != sk.NumQubits {
+			t.Errorf("%s: initial layout over %d qubits", name, len(plan.Initial))
+		}
+	}
+}
+
+func TestSabreRejectsInitialLayout(t *testing.T) {
+	if _, err := New(NameSabre, Config{InitialLayout: []int{0, 1, 2, 3}}); err == nil {
+		t.Error("sabre + InitialLayout should fail at construction")
+	}
+}
+
+func TestExactSolverPortfolioPathCaches(t *testing.T) {
+	sk := circuit.Figure1b()
+	a := arch.QX4()
+	cache := portfolio.NewCache(0)
+	s, err := New(NameExact, Config{Portfolio: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Solve(context.Background(), sk, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first solve should miss the cache")
+	}
+	second, err := s.Solve(context.Background(), sk, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second identical solve should hit the cache")
+	}
+	if first.Cost != 4 || second.Cost != first.Cost {
+		t.Errorf("costs %d/%d, want 4/4", first.Cost, second.Cost)
+	}
+}
+
+func TestSolversObserveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range Methods() {
+		if name == "test-custom" {
+			continue
+		}
+		s, err := New(name, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := s.Solve(ctx, circuit.Figure1b(), arch.QX4()); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+func TestSATStatsSurfaceInPlan(t *testing.T) {
+	s, err := New(NameExact, Config{Engine: exact.EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := s.Solve(context.Background(), circuit.Figure1b(), arch.QX4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SATSolves == 0 {
+		t.Error("SAT run should report solver invocations")
+	}
+	if plan.SATConflicts == 0 {
+		t.Error("SAT run on the running example should report CDCL conflicts")
+	}
+}

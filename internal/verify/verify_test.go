@@ -101,7 +101,7 @@ func TestSkeletonOpsAcceptsExactResult(t *testing.T) {
 
 func TestSkeletonOpsAcceptsHeuristicResult(t *testing.T) {
 	sk := circuit.Figure1b()
-	h, err := heuristic.Map(sk, arch.QX4(), heuristic.Options{Seed: 11})
+	h, err := heuristic.Map(context.Background(), sk, arch.QX4(), heuristic.Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,20 @@
 //	// res.Mapped is an equivalent circuit executable on IBM QX4;
 //	// res.Cost is the (minimal) number of added elementary operations.
 //
+// # Pipeline
+//
+// A Map call is an explicit staged pipeline: skeleton extraction → solve →
+// materialize → verify → optimize. The solve stage resolves the selected
+// Method by name through the internal/solver registry, so every method —
+// and any backend registered in the future — flows through the same code
+// path; there is no per-method dispatch in this package. Result.Stats
+// reports per-stage wall-clock durations plus solver-level counters (cache
+// hit, CDCL solves/conflicts, engine provenance).
+//
+// Batches of independent mapping jobs run concurrently through MapBatch: a
+// bounded worker pool with per-job deadlines and fail-soft error
+// collection (see batch.go).
+//
 // # Portfolio solving
 //
 // Options{Portfolio: true} routes the exact methods through the portfolio
@@ -43,28 +57,28 @@
 //
 // MapContext threads a context.Context through the whole solve stack: the
 // symbolic encoder, the CDCL solver (checked at every restart boundary),
-// the DP engine (checked at every frame transition) and the §4.1 parallel
-// subset fan-out. Cancelling the context — or exceeding a deadline set
-// with context.WithTimeout — aborts an exact solve within one restart
-// interval and returns an error wrapping ctx.Err(). Map is shorthand for
-// MapContext(context.Background(), …). The heuristic methods (heuristic,
-// astar, sabre) run to completion; cancellation is observed between
-// pipeline phases only.
+// the DP engine (checked at every frame transition), the §4.1 parallel
+// subset fan-out, and the heuristic mappers (checked between layers,
+// restarts and SABRE passes). Cancelling the context — or exceeding a
+// deadline set with context.WithTimeout — aborts a solve promptly and
+// returns an error wrapping ctx.Err(). Map is shorthand for
+// MapContext(context.Background(), …).
 package qxmap
 
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/exact"
-	"repro/internal/heuristic"
 	"repro/internal/opt"
 	"repro/internal/perm"
 	"repro/internal/portfolio"
 	"repro/internal/sim"
+	"repro/internal/solver"
 	"repro/internal/verify"
 )
 
@@ -120,46 +134,64 @@ const (
 	MethodSabre
 )
 
-var methodNames = map[Method]string{
-	MethodExact:        "exact",
-	MethodExactSubsets: "exact-subsets",
-	MethodDisjoint:     "disjoint",
-	MethodOdd:          "odd",
-	MethodTriangle:     "triangle",
-	MethodHeuristic:    "heuristic",
-	MethodAStar:        "astar",
-	MethodSabre:        "sabre",
+// methodNames maps each Method constant to its registry name in
+// internal/solver, in constant order. The built-in registrations use the
+// same order, so Method(i) and Methods()[i] agree for the eight built-ins
+// (asserted by tests).
+var methodNames = [...]string{
+	MethodExact:        solver.NameExact,
+	MethodExactSubsets: solver.NameExactSubsets,
+	MethodDisjoint:     solver.NameDisjoint,
+	MethodOdd:          solver.NameOdd,
+	MethodTriangle:     solver.NameTriangle,
+	MethodHeuristic:    solver.NameHeuristic,
+	MethodAStar:        solver.NameAStar,
+	MethodSabre:        solver.NameSabre,
 }
 
-// String returns the method's short name.
+// String returns the method's short name — the key it is registered under
+// in the solver registry.
 func (m Method) String() string {
-	if s, ok := methodNames[m]; ok {
-		return s
+	if m >= 0 && int(m) < len(methodNames) {
+		return methodNames[m]
 	}
 	return fmt.Sprintf("method(%d)", int(m))
 }
 
-// ParseMethod converts a short name into a Method.
+// Methods returns the canonical method names in registry order — the valid
+// inputs to ParseMethod and the -method flags of the CLIs.
+func Methods() []string { return solver.Methods() }
+
+// ParseMethod converts a short name into a Method. The scan over the
+// ordered name table is deterministic, and the error lists every valid
+// name.
 func ParseMethod(name string) (Method, error) {
-	for m, s := range methodNames {
-		if s == name {
-			return m, nil
+	for i, n := range methodNames {
+		if n == name {
+			return Method(i), nil
 		}
 	}
-	return 0, fmt.Errorf("qxmap: unknown method %q", name)
+	return 0, fmt.Errorf("qxmap: unknown method %q (valid: %s)", name, strings.Join(Methods(), ", "))
 }
 
-// Engine selects the exact solving backend.
-type Engine int
+// Engine selects the exact solving backend. It is an alias of the internal
+// engine type, so the name↔value mapping ("sat", "dp") has exactly one
+// definition that every layer — portfolio winners, result provenance, CLI
+// flags — round-trips through.
+type Engine = exact.Engine
 
 const (
 	// EngineSAT uses the symbolic formulation + CDCL solver (the paper's
 	// methodology; default).
-	EngineSAT Engine = iota
+	EngineSAT = exact.EngineSAT
 	// EngineDP uses the dynamic-programming exact oracle (faster on the
 	// small IBM QX devices; same results).
-	EngineDP
+	EngineDP = exact.EngineDP
 )
+
+// ParseEngine converts an engine name ("sat" or "dp") into an Engine,
+// round-tripping with Engine.String().
+func ParseEngine(name string) (Engine, error) { return exact.ParseEngine(name) }
 
 // Options configures Map.
 type Options struct {
@@ -209,6 +241,35 @@ type Options struct {
 	Portfolio bool
 }
 
+// Stats instruments one trip through the mapping pipeline: a wall-clock
+// duration per stage plus solver-level counters.
+type Stats struct {
+	// SkeletonTime is stage 1: CNOT-skeleton extraction and validation.
+	SkeletonTime time.Duration
+	// SolveTime is stage 2: the registry-resolved solver run.
+	SolveTime time.Duration
+	// MaterializeTime is stage 3: expanding the op stream into gates.
+	MaterializeTime time.Duration
+	// VerifyTime is stage 4 (and the post-optimize re-check of stage 5):
+	// structural, GF(2) and small-instance unitary verification.
+	VerifyTime time.Duration
+	// OptimizeTime is stage 5: peephole optimization (when enabled).
+	OptimizeTime time.Duration
+	// Solver is the registry name the solve stage resolved ("exact",
+	// "sabre", …; "none" for circuits without CNOTs).
+	Solver string
+	// Engine is the backend provenance reported by the solver: "sat" or
+	// "dp" for exact methods (round-tripping with ParseEngine), the
+	// method name for heuristics.
+	Engine string
+	// CacheHit mirrors Result.CacheHit.
+	CacheHit bool
+	// SATSolves and SATConflicts count CDCL invocations and conflicts
+	// across the solve (SAT engine only).
+	SATSolves    int
+	SATConflicts int64
+}
+
 // Result is the outcome of a Map call.
 type Result struct {
 	// Mapped is the executable circuit over the architecture's physical
@@ -238,6 +299,8 @@ type Result struct {
 	// CacheHit reports that the solution was served from the portfolio
 	// cache (only when Options.Portfolio was set).
 	CacheHit bool
+	// Stats reports per-stage pipeline timings and solver counters.
+	Stats Stats
 	// Method and Engine echo the configuration; Runtime is wall-clock
 	// solving plus materialization time.
 	Method  Method
@@ -249,7 +312,8 @@ type Result struct {
 func (r *Result) TotalGates() int { return r.Mapped.Len() }
 
 // portfolioCache memoizes Portfolio-mode results across Map calls for the
-// lifetime of the process.
+// lifetime of the process. MapBatch jobs share it, so identical instances
+// across a batch solve once.
 var portfolioCache = portfolio.NewCache(0)
 
 // Map maps the circuit onto the architecture. The input must be
@@ -260,15 +324,23 @@ func Map(c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	return MapContext(context.Background(), c, a, opts)
 }
 
-// MapContext is Map with deadline/cancellation support: the context is
-// threaded through the encoder, both exact engines and the §4.1 subset
-// fan-out, and a cancelled exact solve aborts within one solver restart
-// interval, returning an error that wraps ctx.Err().
+// MapContext runs the staged mapping pipeline — skeleton extraction, the
+// registry-resolved solve, materialization, verification and optional
+// peephole optimization — under deadline/cancellation control. The context
+// is threaded through the encoder, both exact engines, the §4.1 subset
+// fan-out and the heuristic mappers; a cancelled solve aborts promptly and
+// returns an error that wraps ctx.Err(). Per-stage timings are reported in
+// Result.Stats.
 func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("qxmap: canceled: %w", err)
 	}
+	res := &Result{Method: opts.Method, Engine: opts.Engine}
+
+	// Stage 1: skeleton — extract the CNOT structure (paper Def. 4) and
+	// validate the instance.
+	st := time.Now()
 	sk, err := circuit.ExtractSkeleton(c)
 	if err != nil {
 		return nil, err
@@ -276,98 +348,65 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 	if c.NumQubits() > a.NumQubits() {
 		return nil, fmt.Errorf("qxmap: circuit has %d qubits, %s offers %d", c.NumQubits(), a, a.NumQubits())
 	}
-	if opts.HeuristicRuns <= 0 {
-		opts.HeuristicRuns = 5
+	res.Stats.SkeletonTime = time.Since(st)
+
+	// Stage 2: solve — resolve the method by name through the solver
+	// registry and run it.
+	st = time.Now()
+	plan, err := solvePlan(ctx, sk, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SolveTime = time.Since(st)
+	res.Cost = plan.Cost
+	res.Swaps = plan.Swaps
+	res.Switches = plan.Switches
+	res.PermPoints = plan.PermPoints
+	res.Minimal = plan.Minimal
+	res.CacheHit = plan.CacheHit
+	res.Stats.Solver = opts.Method.String()
+	if sk.Len() == 0 {
+		res.Stats.Solver = "none" // identity short-circuit: no solver ran
+	}
+	res.Stats.Engine = plan.Engine
+	res.Stats.CacheHit = plan.CacheHit
+	res.Stats.SATSolves = plan.SATSolves
+	res.Stats.SATConflicts = plan.SATConflicts
+	if e, err := ParseEngine(plan.Engine); err == nil {
+		res.Engine = e
 	}
 
-	res := &Result{Method: opts.Method, Engine: opts.Engine}
-
-	var ops []circuit.MappedOp
-	var initial perm.Mapping
-	switch {
-	case sk.Len() == 0:
-		// No CNOTs: the identity layout works and nothing is added.
-		initial = perm.IdentityMapping(c.NumQubits())
-		res.Minimal = true
-	case opts.Method == MethodHeuristic, opts.Method == MethodAStar, opts.Method == MethodSabre:
-		var h *heuristic.Result
-		var err error
-		switch opts.Method {
-		case MethodAStar:
-			h, err = heuristic.MapAStar(sk, a,
-				heuristic.AStarOptions{Lookahead: opts.Lookahead, Initial: opts.InitialLayout})
-		case MethodSabre:
-			if opts.InitialLayout != nil {
-				return nil, fmt.Errorf("qxmap: InitialLayout is not supported by MethodSabre (it chooses its own)")
-			}
-			h, err = heuristic.MapSabre(sk, a, heuristic.SabreOptions{Lookahead: opts.Lookahead})
-		default:
-			h, err = heuristic.MapBest(sk, a, opts.HeuristicRuns,
-				heuristic.Options{Seed: opts.Seed, Initial: opts.InitialLayout})
-		}
-		if err != nil {
-			return nil, err
-		}
-		ops = h.Ops
-		initial = h.InitialMapping
-		res.Cost = h.Cost
-		res.Swaps = h.Swaps
-		res.Switches = h.Switches
-	default:
-		eopts, err := exactOptions(opts)
-		if err != nil {
-			return nil, err
-		}
-		var er *exact.Result
-		if opts.Portfolio {
-			pr, perr := portfolio.Solve(ctx, sk, a, portfolio.Options{
-				Exact: eopts,
-				Seed:  opts.Seed,
-				Cache: portfolioCache,
-			})
-			if perr != nil {
-				return nil, perr
-			}
-			er = pr.Result
-			res.CacheHit = pr.CacheHit
-			if er.Engine == "dp" {
-				res.Engine = EngineDP
-			} else {
-				res.Engine = EngineSAT
-			}
-		} else if er, err = exact.Solve(ctx, sk, a, eopts); err != nil {
-			return nil, err
-		}
-		ops, err = er.Ops(sk)
-		if err != nil {
-			return nil, err
-		}
-		initial = er.InitialMapping()
-		res.Cost = er.Cost
-		res.Swaps = er.Solution.SwapCount()
-		res.Switches = er.Solution.SwitchCount()
-		res.PermPoints = er.PermPoints
-		res.Minimal = opts.Method == MethodExact && opts.SATMaxConflicts == 0
-	}
-
-	mapped, final, err := materialize(c, sk, a, ops, initial)
+	// Stage 3: materialize — expand the op stream into an executable gate
+	// sequence (paper Fig. 5).
+	st = time.Now()
+	mapped, final, err := materialize(c, sk, a, plan.Ops, plan.Initial)
 	if err != nil {
 		return nil, err
 	}
 	res.Mapped = mapped
-	res.InitialLayout = initial
+	res.InitialLayout = plan.Initial
 	res.FinalLayout = final
+	res.Stats.MaterializeTime = time.Since(st)
 
+	// Stage 4: verify — structural, GF(2), and (small instances) unitary
+	// equivalence checks.
 	if !opts.SkipVerify {
-		if err := verifyResult(c, sk, a, ops, res); err != nil {
+		st = time.Now()
+		if err := verifyResult(c, sk, a, plan.Ops, res); err != nil {
 			return nil, err
 		}
+		res.Stats.VerifyTime = time.Since(st)
 	}
+
+	// Stage 5: optimize — peephole simplification, re-verified.
 	if opts.Optimize {
-		simplified, st := opt.Simplify(res.Mapped)
-		res.GatesOptimizedAway = st.GatesRemoved()
+		st = time.Now()
+		simplified, ost := opt.Simplify(res.Mapped)
+		res.GatesOptimizedAway = ost.GatesRemoved()
 		res.Mapped = simplified
+		res.Stats.OptimizeTime = time.Since(st)
 		if !opts.SkipVerify {
+			st = time.Now()
 			if err := verify.CouplingCompliant(res.Mapped, a); err != nil {
 				return nil, err
 			}
@@ -376,43 +415,42 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 					return nil, err
 				}
 			}
+			res.Stats.VerifyTime += time.Since(st)
 		}
 	}
 	res.Runtime = time.Since(start)
 	return res, nil
 }
 
-func exactOptions(opts Options) (exact.Options, error) {
-	eo := exact.Options{
+// solvePlan is the pipeline's solve stage: a skeleton without CNOTs
+// short-circuits to the identity plan (nothing to route, trivially
+// minimal); everything else resolves through the solver registry.
+func solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*solver.Plan, error) {
+	if sk.Len() == 0 {
+		return &solver.Plan{
+			Initial: perm.IdentityMapping(sk.NumQubits),
+			Minimal: true,
+			Engine:  "none",
+		}, nil
+	}
+	s, err := solver.New(opts.Method.String(), solver.Config{
+		Engine: opts.Engine,
 		SAT: exact.SATOptions{
 			StartBound:    opts.SATStartBound,
 			BinaryDescent: opts.SATBinaryDescent,
 			MaxConflicts:  opts.SATMaxConflicts,
 		},
+		HeuristicRuns: opts.HeuristicRuns,
+		Seed:          opts.Seed,
+		Lookahead:     opts.Lookahead,
+		InitialLayout: opts.InitialLayout,
+		Portfolio:     opts.Portfolio,
+		Cache:         portfolioCache,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if opts.Engine == EngineDP {
-		eo.Engine = exact.EngineDP
-	}
-	eo.InitialMapping = opts.InitialLayout
-	switch opts.Method {
-	case MethodExact:
-		eo.Strategy = exact.StrategyAll
-	case MethodExactSubsets:
-		eo.Strategy = exact.StrategyAll
-		eo.UseSubsets = true
-	case MethodDisjoint:
-		eo.Strategy = exact.StrategyDisjoint
-		eo.UseSubsets = true
-	case MethodOdd:
-		eo.Strategy = exact.StrategyOdd
-		eo.UseSubsets = true
-	case MethodTriangle:
-		eo.Strategy = exact.StrategyTriangle
-		eo.UseSubsets = true
-	default:
-		return eo, fmt.Errorf("qxmap: method %v is not an exact method", opts.Method)
-	}
-	return eo, nil
+	return s.Solve(ctx, sk, a)
 }
 
 // verifyResult layers the structural, GF(2) and (for small instances) full
@@ -439,12 +477,4 @@ func verifyResult(c *Circuit, sk *circuit.Skeleton, a *Architecture, ops []circu
 		}
 	}
 	return nil
-}
-
-// String returns "sat" or "dp".
-func (e Engine) String() string {
-	if e == EngineDP {
-		return "dp"
-	}
-	return "sat"
 }

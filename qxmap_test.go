@@ -160,9 +160,10 @@ func TestHeuristicNeverBelowExact(t *testing.T) {
 }
 
 func TestParseMethodAndStrings(t *testing.T) {
-	for m, name := range methodNames {
+	for i, name := range methodNames {
+		m := Method(i)
 		if m.String() != name {
-			t.Errorf("%d.String() = %q", int(m), m.String())
+			t.Errorf("%d.String() = %q", i, m.String())
 		}
 		got, err := ParseMethod(name)
 		if err != nil || got != m {
@@ -171,6 +172,47 @@ func TestParseMethodAndStrings(t *testing.T) {
 	}
 	if _, err := ParseMethod("bogus"); err == nil {
 		t.Error("bogus method should fail")
+	}
+}
+
+// TestMethodsMatchesRegistry pins the contract between the Method enum and
+// the solver registry: the registry's canonical listing starts with the
+// eight built-ins in constant order, so Method(i) ↔ Methods()[i].
+func TestMethodsMatchesRegistry(t *testing.T) {
+	reg := Methods()
+	if len(reg) < len(methodNames) {
+		t.Fatalf("registry lists %d methods, enum has %d", len(reg), len(methodNames))
+	}
+	for i, name := range methodNames {
+		if reg[i] != name {
+			t.Errorf("Methods()[%d] = %q, enum says %q", i, reg[i], name)
+		}
+	}
+}
+
+// TestParseMethodErrorListsValidNames: a bad -method flag must tell the
+// user what the valid names are.
+func TestParseMethodErrorListsValidNames(t *testing.T) {
+	_, err := ParseMethod("bogus")
+	if err == nil {
+		t.Fatal("bogus method should fail")
+	}
+	for _, name := range Methods() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+func TestParseEngineRoundTrips(t *testing.T) {
+	for _, e := range []Engine{EngineSAT, EngineDP} {
+		got, err := ParseEngine(e.String())
+		if err != nil || got != e {
+			t.Errorf("ParseEngine(%q) = %v, %v", e.String(), got, err)
+		}
+	}
+	if _, err := ParseEngine("z3"); err == nil {
+		t.Error("unknown engine should fail")
 	}
 }
 
