@@ -24,8 +24,16 @@ func Melbourne() *Architecture { return arch.Melbourne() }
 // Tokyo returns the IBM Q 20 Tokyo architecture (bidirectional couplings).
 func Tokyo() *Architecture { return arch.Tokyo() }
 
+// Architectures returns the canonical architecture names in catalog order
+// — the valid inputs to ArchByName and the -arch flags of the CLIs,
+// mirroring Methods for mapping algorithms. Parameterized families appear
+// with placeholder spellings ("linear<m>", "ring<m>", "grid<r>x<c>").
+func Architectures() []string { return arch.Names() }
+
 // ArchByName resolves an architecture name: "ibmqx2", "ibmqx4", "ibmqx5",
-// "melbourne", "tokyo", "linear<m>", "ring<m>", "grid<r>x<c>".
+// "melbourne", "tokyo", "linear<m>", "ring<m>", "grid<r>x<c>". An unknown
+// name fails with an error enumerating every valid name (see
+// Architectures).
 func ArchByName(name string) (*Architecture, error) { return arch.ByName(name) }
 
 // NewArch builds a custom architecture from directed coupling pairs, each

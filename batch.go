@@ -2,14 +2,14 @@ package qxmap
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"time"
 )
 
-// Job is one mapping task of a batch: a circuit, a target architecture and
-// the per-job options (any method, any engine — jobs of one batch may mix
-// freely).
+// Job is one mapping task: a circuit, a target architecture and the
+// per-job options (any method, any engine — jobs of one batch may mix
+// freely). Jobs are consumed by Mapper.MapBatch (synchronous fan-out) and
+// Mapper.Submit (asynchronous handle).
 type Job struct {
 	// Name labels the job in reports; it is carried through to the
 	// BatchResult untouched (optional).
@@ -18,13 +18,15 @@ type Job struct {
 	Circuit *Circuit
 	// Arch is the target architecture.
 	Arch *Architecture
-	// Opts configures the job exactly as for Map.
+	// Opts configures the job exactly as for Map. It is used verbatim:
+	// start from Mapper.Options() to adopt the instance defaults.
 	Opts Options
 }
 
 // BatchOptions tunes MapBatch.
 type BatchOptions struct {
-	// Workers bounds the number of jobs solved concurrently (default:
+	// Workers bounds the number of jobs solved concurrently (default: the
+	// mapper's worker bound — see WithWorkers — which itself defaults to
 	// runtime.GOMAXPROCS(0), one worker per available core).
 	Workers int
 	// JobTimeout is a per-job deadline (0 = none). An expired job fails
@@ -54,14 +56,15 @@ type BatchResult struct {
 // MapBatch maps a batch of independent jobs concurrently on a bounded
 // worker pool and returns one BatchResult per job, in input order. Costs
 // are identical to running Map on each job sequentially: jobs never share
-// mutable state, only the process-wide portfolio cache — so identical
+// mutable state, only this instance's portfolio cache — so identical
 // Portfolio-mode instances across the batch solve once and the rest hit
-// the cache (Result.CacheHit).
-func MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
+// the cache (Result.CacheHit). The pool is independent of the async
+// scheduler's: a batch never starves Submit jobs of workers.
+func (m *Mapper) MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
 	results := make([]BatchResult, len(jobs))
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = m.workers // NewMapper normalizes this to ≥ 1
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -74,7 +77,7 @@ func MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, i, jobs[i], opts.JobTimeout)
+				results[i] = m.runJob(ctx, i, jobs[i], opts.JobTimeout)
 			}
 		}()
 	}
@@ -87,12 +90,21 @@ func MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult 
 }
 
 // runJob executes one job under its per-job deadline.
-func runJob(ctx context.Context, i int, job Job, timeout time.Duration) BatchResult {
+func (m *Mapper) runJob(ctx context.Context, i int, job Job, timeout time.Duration) BatchResult {
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	res, err := MapContext(ctx, job.Circuit, job.Arch, job.Opts)
+	res, err := m.MapWith(ctx, job.Circuit, job.Arch, job.Opts)
 	return BatchResult{Index: i, Job: job, Result: res, Err: err}
+}
+
+// MapBatch maps a batch of jobs on the process-wide default Mapper.
+//
+// Deprecated: MapBatch delegates to the default Mapper (see Default),
+// whose portfolio cache is shared process-wide. New code should create an
+// instance with NewMapper and call Mapper.MapBatch.
+func MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
+	return Default().MapBatch(ctx, jobs, opts)
 }

@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	archName := flag.String("arch", "ibmqx4", "target architecture")
+	archName := flag.String("arch", "ibmqx4", "target architecture: "+strings.Join(qxmap.Architectures(), ", "))
 	engine := flag.String("engine", "dp", "exact engine: dp or sat")
 	seedSAT := flag.Bool("seed-sat", false, "seed SAT descent with the DP cost")
 	portfolio := flag.Bool("portfolio", false, "race both engines per instance with heuristic seeding and a result cache (ignores -engine and -seed-sat)")
@@ -94,9 +94,10 @@ func main() {
 	fmt.Print(bench.FormatSummary(bench.Summary(rows)))
 }
 
-// runBatch maps every suite benchmark as one MapBatch job: the suite fans
-// out across cores, failures (including per-job deadline expiries) are
-// collected per benchmark, and per-stage pipeline timings are reported.
+// runBatch maps every suite benchmark as one MapBatch job on a dedicated
+// Mapper instance: the suite fans out across cores, failures (including
+// per-job deadline expiries) are collected per benchmark, and per-stage
+// pipeline timings are reported.
 func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.Engine,
 	portfolio bool, runs int, names string, workers int, jobTimeout time.Duration) {
 
@@ -104,6 +105,11 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 	if err != nil {
 		fatal(err) // the error lists the valid method names
 	}
+	mapper, err := qxmap.NewMapper(qxmap.WithWorkers(workers))
+	if err != nil {
+		fatal(err)
+	}
+	defer mapper.Close()
 	var selected []string
 	if names != "" {
 		selected = strings.Split(names, ",")
@@ -129,7 +135,7 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 	}
 
 	start := time.Now()
-	results := qxmap.MapBatch(ctx, jobs, qxmap.BatchOptions{Workers: workers, JobTimeout: jobTimeout})
+	results := mapper.MapBatch(ctx, jobs, qxmap.BatchOptions{JobTimeout: jobTimeout})
 	elapsed := time.Since(start)
 
 	fmt.Printf("%-12s %6s %6s %8s %6s %10s\n", "benchmark", "F", "gates", "engine", "cache", "solve")

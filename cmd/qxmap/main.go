@@ -4,17 +4,22 @@
 // Usage:
 //
 //	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-portfolio]
-//	      [-timeout 30s] [-runs 5] [-render] [-stats] [-o out.qasm] input.qasm
+//	      [-timeout 30s] [-runs 5] [-render] [-stats] [-json]
+//	      [-o out.qasm] input.qasm
 //
 // With input "-", the program reads from standard input. The mapped
 // circuit is written as QASM to -o (default: stdout), preceded by a cost
-// report on stderr. A -timeout maps to context.WithTimeout over the whole
-// solve: exact runs abort within one solver restart interval of the
-// deadline instead of relying on ad-hoc conflict budgets.
+// report on stderr. With -json, the output is instead the stable JSON
+// encoding of the result (qxmap.ResultJSON, mapped QASM included) — the
+// same shape the qxmapd service returns. A -timeout maps to
+// context.WithTimeout over the whole solve: exact runs abort within one
+// solver restart interval of the deadline instead of relying on ad-hoc
+// conflict budgets.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +33,7 @@ import (
 )
 
 func main() {
-	archName := flag.String("arch", "ibmqx4", "target architecture (ibmqx2, ibmqx4, ibmqx5, melbourne, tokyo, linear<m>, ring<m>, grid<r>x<c>)")
+	archName := flag.String("arch", "ibmqx4", "target architecture: "+strings.Join(qxmap.Architectures(), ", "))
 	methodName := flag.String("method", "exact", "mapping method: "+strings.Join(qxmap.Methods(), ", "))
 	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
 	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
@@ -40,6 +45,7 @@ func main() {
 	portfolio := flag.Bool("portfolio", false, "race the SAT and DP engines with heuristic bound seeding and a result cache (ignores -engine)")
 	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none), e.g. 30s or 2m")
 	stats := flag.Bool("stats", false, "report per-stage pipeline timings and solver counters on stderr")
+	jsonOut := flag.Bool("json", false, "write the stable JSON result encoding (mapped QASM included) instead of bare QASM")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -110,9 +116,22 @@ func main() {
 		fmt.Fprint(os.Stderr, render.Circuit(res.Mapped))
 	}
 
-	out, err := qxmap.WriteQASM(res.Mapped)
-	if err != nil {
-		fatal(err)
+	var out string
+	if *jsonOut {
+		// The stable wire encoding — identical to a qxmapd /v1/map response.
+		j, err := res.JSON(true)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.MarshalIndent(j, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		out = string(b) + "\n"
+	} else {
+		if out, err = qxmap.WriteQASM(res.Mapped); err != nil {
+			fatal(err)
+		}
 	}
 	if *outPath == "" {
 		fmt.Print(out)

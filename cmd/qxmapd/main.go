@@ -1,0 +1,106 @@
+// Command qxmapd serves the qxmap circuit mapper over HTTP/JSON: a
+// production-style frontend to the instance-scoped Mapper client API with
+// synchronous, batch and asynchronous (job-handle) mapping.
+//
+// Usage:
+//
+//	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
+//	       [-timeout 60s] [-max-body 8388608]
+//
+// Endpoints:
+//
+//	GET    /healthz        — liveness plus worker/cache/job gauges
+//	GET    /v1/methods     — mapping methods in registry order
+//	GET    /v1/archs       — architecture names in catalog order
+//	POST   /v1/map         — map one QASM circuit; {"async": true} returns
+//	                         202 with a job id instead of blocking
+//	POST   /v1/batch       — map a batch with fail-soft per-job outcomes
+//	GET    /v1/jobs/{id}   — poll an async job (state, timings, result)
+//	DELETE /v1/jobs/{id}   — cancel and forget an async job
+//
+// Responses reuse the stable JSON encodings of the qxmap package
+// (ResultJSON, BatchReportJSON) — identical to cmd/qxmap -json output.
+// Synchronous work is bounded by -timeout (expiry returns 504); shutdown
+// on SIGINT/SIGTERM is graceful: the listener drains before the mapper and
+// its async jobs are stopped.
+//
+// Example:
+//
+//	qxmapd -addr :8080 &
+//	curl -s localhost:8080/v1/map -d '{
+//	  "qasm": "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0],q[1];",
+//	  "arch": "ibmqx4", "method": "exact", "engine": "dp"
+//	}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "mapper concurrency bound (0 = one per core)")
+	cacheSize := flag.Int("cache", 0, "portfolio cache capacity in entries (0 = library default)")
+	portfolio := flag.Bool("portfolio", false, "enable portfolio solving by default (requests may override)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request mapping deadline (0 = none); expiry returns 504")
+	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
+	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
+	flag.Parse()
+
+	s, err := newServer(serverConfig{
+		workers:    *workers,
+		cacheSize:  *cacheSize,
+		portfolio:  *portfolio,
+		reqTimeout: *timeout,
+		maxBody:    *maxBody,
+		maxJobs:    *maxJobs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qxmapd:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("qxmapd listening on %s (workers=%d, timeout=%v)", *addr, s.mapper.Workers(), *timeout)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (e.g. address in use).
+		log.Fatalf("qxmapd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("qxmapd: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("qxmapd: shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("qxmapd: serve: %v", err)
+	}
+	if err := s.close(); err != nil {
+		log.Printf("qxmapd: close: %v", err)
+	}
+}

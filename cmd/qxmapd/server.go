@@ -1,0 +1,503 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	qxmap "repro"
+)
+
+// serverConfig tunes one qxmapd instance.
+type serverConfig struct {
+	// workers bounds the mapper's concurrency (0 = one per core).
+	workers int
+	// cacheSize bounds the portfolio cache (0 = library default).
+	cacheSize int
+	// portfolio enables portfolio solving by default (requests may still
+	// override per call).
+	portfolio bool
+	// reqTimeout bounds each synchronous request's mapping work; a request
+	// may ask for less via timeout_ms but never for more. Expiry returns
+	// 504 Gateway Timeout. 0 disables the bound.
+	reqTimeout time.Duration
+	// maxBody caps request body size in bytes (default 8 MiB).
+	maxBody int64
+	// maxJobs caps the async job records retained for polling (default
+	// 1024): when exceeded, the oldest finished jobs are evicted. Queued
+	// and running jobs are never evicted (they are bounded by the
+	// scheduler's queue depth plus the worker count).
+	maxJobs int
+}
+
+// server is the qxmapd HTTP handler: a thin JSON shell over an
+// instance-scoped qxmap.Mapper. Synchronous requests run on the request
+// context; asynchronous jobs (async: true) run on the server's lifetime
+// context through the mapper's bounded scheduler and are polled via
+// GET /v1/jobs/{id}.
+type server struct {
+	cfg    serverConfig
+	mapper *qxmap.Mapper
+	mux    *http.ServeMux
+
+	baseCtx    context.Context // async job lifetime: the server's, not the request's
+	baseCancel context.CancelFunc
+
+	jobMu   sync.RWMutex
+	jobs    map[string]trackedJob
+	jobIDs  []string // insertion order, for oldest-finished eviction
+	nextJob atomic.Uint64
+
+	started time.Time
+}
+
+// newServer builds the handler and its dedicated Mapper.
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 8 << 20
+	}
+	if cfg.maxJobs <= 0 {
+		cfg.maxJobs = 1024
+	}
+	m, err := qxmap.NewMapper(
+		qxmap.WithWorkers(cfg.workers),
+		qxmap.WithCacheSize(cfg.cacheSize),
+		qxmap.WithPortfolio(cfg.portfolio),
+		// Bounds async jobs too: the mapper applies this at run start to
+		// any job context that carries no deadline of its own, so a stuck
+		// solve cannot pin a scheduler worker forever. Synchronous
+		// requests already carry the request deadline and are unaffected.
+		qxmap.WithDefaultTimeout(cfg.reqTimeout),
+	)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &server{
+		cfg:        cfg,
+		mapper:     m,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]trackedJob),
+		started:    time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/methods", s.handleMethods)
+	mux.HandleFunc("GET /v1/archs", s.handleArchs)
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux = mux
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// close stops async jobs and the underlying mapper. Called after the HTTP
+// listener has drained.
+func (s *server) close() error {
+	s.baseCancel()
+	return s.mapper.Close()
+}
+
+// mapRequest is the JSON body of POST /v1/map and of each element of a
+// batch request's jobs array. Method, engine and portfolio default to the
+// server's configuration when omitted.
+type mapRequest struct {
+	Name          string  `json:"name,omitempty"`
+	QASM          string  `json:"qasm"`
+	Arch          string  `json:"arch"`
+	Method        string  `json:"method,omitempty"`
+	Engine        string  `json:"engine,omitempty"`
+	Portfolio     *bool   `json:"portfolio,omitempty"`
+	Optimize      bool    `json:"optimize,omitempty"`
+	SkipVerify    bool    `json:"skip_verify,omitempty"`
+	Runs          int     `json:"runs,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	Lookahead     float64 `json:"lookahead,omitempty"`
+	InitialLayout []int   `json:"initial_layout,omitempty"`
+	// TimeoutMS lowers the server's request timeout for this call.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Async (map endpoint only) submits the job to the mapper's scheduler
+	// and returns 202 with a job id for GET /v1/jobs/{id}.
+	Async bool `json:"async,omitempty"`
+	// IncludeQASM controls whether the mapped circuit is rendered into the
+	// response (default true).
+	IncludeQASM *bool `json:"include_qasm,omitempty"`
+}
+
+// batchRequest is the JSON body of POST /v1/batch.
+type batchRequest struct {
+	Jobs         []mapRequest `json:"jobs"`
+	Workers      int          `json:"workers,omitempty"`
+	JobTimeoutMS int64        `json:"job_timeout_ms,omitempty"`
+	IncludeQASM  *bool        `json:"include_qasm,omitempty"`
+}
+
+// trackedJob pairs an async job handle with the presentation options it
+// was submitted with.
+type trackedJob struct {
+	h           *qxmap.JobHandle
+	includeQASM bool
+}
+
+// jobStatus is the JSON body of GET /v1/jobs/{id} and of 202 responses.
+type jobStatus struct {
+	JobID    string            `json:"job_id"`
+	State    string            `json:"state"`
+	QueuedNS int64             `json:"queued_ns"`
+	RunNS    int64             `json:"run_ns"`
+	Result   *qxmap.ResultJSON `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+func (s *server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody strictly decodes one JSON value, bounding the body size.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data after JSON value")
+	}
+	return nil
+}
+
+// writeDecodeError maps a decodeBody failure to its HTTP status: 413 when
+// the body blew the -max-body limit, 400 for everything else.
+func (s *server) writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, err)
+}
+
+// buildJob validates one mapRequest into a qxmap.Job. Unknown method or
+// architecture names fail with the registry errors, which enumerate every
+// valid name.
+func (s *server) buildJob(req mapRequest) (qxmap.Job, error) {
+	if req.QASM == "" {
+		return qxmap.Job{}, errors.New("missing \"qasm\" field")
+	}
+	if req.Arch == "" {
+		return qxmap.Job{}, fmt.Errorf("missing \"arch\" field (valid: %s)", strings.Join(qxmap.Architectures(), ", "))
+	}
+	a, err := qxmap.ArchByName(req.Arch)
+	if err != nil {
+		return qxmap.Job{}, err
+	}
+	c, err := qxmap.ParseQASM(req.QASM)
+	if err != nil {
+		return qxmap.Job{}, err
+	}
+	opts := s.mapper.Options()
+	if req.Method != "" {
+		if opts.Method, err = qxmap.ParseMethod(req.Method); err != nil {
+			return qxmap.Job{}, err
+		}
+	}
+	if req.Engine != "" {
+		if opts.Engine, err = qxmap.ParseEngine(req.Engine); err != nil {
+			return qxmap.Job{}, err
+		}
+	}
+	if req.Portfolio != nil {
+		opts.Portfolio = *req.Portfolio
+	}
+	if req.Optimize {
+		opts.Optimize = true
+	}
+	if req.SkipVerify {
+		opts.SkipVerify = true
+	}
+	if req.Runs > 0 {
+		opts.HeuristicRuns = req.Runs
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	if req.Lookahead != 0 {
+		opts.Lookahead = req.Lookahead
+	}
+	if req.InitialLayout != nil {
+		opts.InitialLayout = req.InitialLayout
+	}
+	return qxmap.Job{Name: req.Name, Circuit: c, Arch: a, Opts: opts}, nil
+}
+
+// requestTimeout resolves the effective deadline of one synchronous call:
+// the server's bound, lowered (never raised) by the request's timeout_ms.
+func (s *server) requestTimeout(ms int64) time.Duration {
+	d := s.cfg.reqTimeout
+	if ms > 0 {
+		req := time.Duration(ms) * time.Millisecond
+		if d == 0 || req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// mapStatus translates a mapping failure into an HTTP status: timeouts map
+// to 504 Gateway Timeout, cancellation (shutdown, client gone) to 503, and
+// everything else — invalid instances, unsatisfiable constraints — to 422.
+func mapStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled), errors.Is(err, qxmap.ErrMapperClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req mapRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	job, err := s.buildJob(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if req.Async {
+		if req.TimeoutMS != 0 {
+			// An async job's clock starts when it leaves the queue, so a
+			// request-scoped timeout_ms cannot be honored; jobs are bounded
+			// by the server's -timeout instead. Reject rather than drop.
+			s.writeError(w, http.StatusBadRequest,
+				errors.New("timeout_ms is not valid with async: true (async jobs are bounded by the server's -timeout)"))
+			return
+		}
+		// TrySubmit on the server's lifetime context: the job must outlive
+		// this request, and a full scheduler queue is a retryable 503
+		// rather than a handler parked on the queue.
+		h, err := s.mapper.TrySubmit(s.baseCtx, job)
+		if err != nil {
+			s.writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		id := fmt.Sprintf("job-%d", s.nextJob.Add(1))
+		s.trackJob(id, trackedJob{h: h, includeQASM: req.IncludeQASM == nil || *req.IncludeQASM})
+		s.writeJSON(w, http.StatusAccepted, jobStatus{JobID: id, State: h.Stats().State.String()})
+		return
+	}
+
+	ctx := r.Context()
+	if d := s.requestTimeout(req.TimeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	res, err := s.mapper.MapWith(ctx, job.Circuit, job.Arch, job.Opts)
+	if err != nil {
+		s.writeError(w, mapStatus(err), err)
+		return
+	}
+	body, err := res.JSON(req.IncludeQASM == nil || *req.IncludeQASM)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch: the \"jobs\" array is required"))
+		return
+	}
+	jobs := make([]qxmap.Job, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		// Reject per-job fields that only make sense at the top level
+		// instead of silently discarding them.
+		if jr.Async {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: async jobs are not valid inside a batch", i))
+			return
+		}
+		if jr.TimeoutMS != 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: timeout_ms is not valid inside a batch; use the top-level job_timeout_ms", i))
+			return
+		}
+		if jr.IncludeQASM != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: include_qasm is not valid inside a batch; use the top-level include_qasm", i))
+			return
+		}
+		job, err := s.buildJob(jr)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		jobs[i] = job
+	}
+
+	ctx := r.Context()
+	if s.cfg.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.reqTimeout)
+		defer cancel()
+	}
+	results := s.mapper.MapBatch(ctx, jobs, qxmap.BatchOptions{
+		Workers:    req.Workers,
+		JobTimeout: time.Duration(req.JobTimeoutMS) * time.Millisecond,
+	})
+	report, err := qxmap.BatchReport(results, req.IncludeQASM == nil || *req.IncludeQASM)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, report)
+}
+
+// trackJob records a job for polling, evicting the oldest finished
+// records once the retention cap is exceeded. Unfinished jobs are kept
+// regardless (their count is bounded by the scheduler).
+func (s *server) trackJob(id string, tj trackedJob) {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	s.jobs[id] = tj
+	s.jobIDs = append(s.jobIDs, id)
+	// Compact ids orphaned by DELETE /v1/jobs/{id}, which shrinks the map
+	// without touching the order slice.
+	if len(s.jobIDs) > 2*s.cfg.maxJobs {
+		kept := s.jobIDs[:0]
+		for _, old := range s.jobIDs {
+			if _, ok := s.jobs[old]; ok {
+				kept = append(kept, old)
+			}
+		}
+		s.jobIDs = kept
+	}
+	if len(s.jobs) <= s.cfg.maxJobs {
+		return
+	}
+	kept := s.jobIDs[:0]
+	for _, old := range s.jobIDs {
+		otj, ok := s.jobs[old]
+		if !ok {
+			continue // already deleted via DELETE /v1/jobs/{id}
+		}
+		if len(s.jobs) > s.cfg.maxJobs && otj.h.Stats().State == qxmap.JobDone {
+			delete(s.jobs, old)
+			continue
+		}
+		kept = append(kept, old)
+	}
+	s.jobIDs = kept
+}
+
+func (s *server) lookupJob(id string) (trackedJob, bool) {
+	s.jobMu.RLock()
+	defer s.jobMu.RUnlock()
+	tj, ok := s.jobs[id]
+	return tj, ok
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tj, ok := s.lookupJob(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job id %q", id))
+		return
+	}
+	st := tj.h.Stats()
+	body := jobStatus{
+		JobID:    id,
+		State:    st.State.String(),
+		QueuedNS: st.Queued.Nanoseconds(),
+		RunNS:    st.Run.Nanoseconds(),
+	}
+	if st.State == qxmap.JobDone {
+		res, err := tj.h.Wait(r.Context()) // immediate: the job is done
+		switch {
+		case err != nil:
+			body.Error = err.Error()
+		default:
+			if body.Result, err = res.JSON(tj.includeQASM); err != nil {
+				s.writeError(w, http.StatusInternalServerError, err)
+				return
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+func (s *server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tj, ok := s.lookupJob(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown job id %q", id))
+		return
+	}
+	tj.h.Cancel()
+	s.jobMu.Lock()
+	delete(s.jobs, id)
+	s.jobMu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleMethods(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string][]string{"methods": qxmap.Methods()})
+}
+
+func (s *server) handleArchs(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string][]string{"archs": qxmap.Architectures()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	cs := s.mapper.CacheStats()
+	s.jobMu.RLock()
+	tracked := len(s.jobs)
+	s.jobMu.RUnlock()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+		"workers":   s.mapper.Workers(),
+		"jobs":      tracked,
+		"cache": map[string]any{
+			"hits":    cs.Hits,
+			"misses":  cs.Misses,
+			"entries": cs.Entries,
+		},
+	})
+}

@@ -1,0 +1,134 @@
+package qxmap
+
+// Stable JSON wire encodings of Result, Stats and the MapBatch report.
+// These types are the single source of truth for how mapping outcomes
+// cross process boundaries: cmd/qxmap -json prints them, cmd/qxmapd
+// serves them, and a golden-file test pins the field set so the wire
+// format only changes deliberately. Durations are encoded as integer
+// nanoseconds (the _ns suffix), layouts as plain physical-qubit arrays,
+// and the mapped circuit as an OpenQASM 2.0 string.
+
+// StatsJSON is the wire encoding of Stats.
+type StatsJSON struct {
+	SkeletonNS    int64  `json:"skeleton_ns"`
+	SolveNS       int64  `json:"solve_ns"`
+	MaterializeNS int64  `json:"materialize_ns"`
+	VerifyNS      int64  `json:"verify_ns"`
+	OptimizeNS    int64  `json:"optimize_ns"`
+	Solver        string `json:"solver"`
+	Engine        string `json:"engine"`
+	CacheHit      bool   `json:"cache_hit"`
+	SATSolves     int    `json:"sat_solves"`
+	SATConflicts  int64  `json:"sat_conflicts"`
+}
+
+// JSON returns the stable wire encoding of the stats.
+func (s Stats) JSON() StatsJSON {
+	return StatsJSON{
+		SkeletonNS:    s.SkeletonTime.Nanoseconds(),
+		SolveNS:       s.SolveTime.Nanoseconds(),
+		MaterializeNS: s.MaterializeTime.Nanoseconds(),
+		VerifyNS:      s.VerifyTime.Nanoseconds(),
+		OptimizeNS:    s.OptimizeTime.Nanoseconds(),
+		Solver:        s.Solver,
+		Engine:        s.Engine,
+		CacheHit:      s.CacheHit,
+		SATSolves:     s.SATSolves,
+		SATConflicts:  s.SATConflicts,
+	}
+}
+
+// ResultJSON is the wire encoding of a Result.
+type ResultJSON struct {
+	Method             string    `json:"method"`
+	Engine             string    `json:"engine"`
+	Cost               int       `json:"cost"`
+	Swaps              int       `json:"swaps"`
+	Switches           int       `json:"switches"`
+	PermPoints         int       `json:"perm_points"`
+	Minimal            bool      `json:"minimal"`
+	CacheHit           bool      `json:"cache_hit"`
+	Gates              int       `json:"gates"`
+	Depth              int       `json:"depth"`
+	GatesOptimizedAway int       `json:"gates_optimized_away"`
+	InitialLayout      []int     `json:"initial_layout"`
+	FinalLayout        []int     `json:"final_layout"`
+	RuntimeNS          int64     `json:"runtime_ns"`
+	QASM               string    `json:"qasm,omitempty"`
+	Stats              StatsJSON `json:"stats"`
+}
+
+// JSON returns the stable wire encoding of the result. With includeQASM,
+// the mapped circuit is rendered as an OpenQASM 2.0 string into the qasm
+// field (the only step that can fail); without it the field is omitted.
+func (r *Result) JSON(includeQASM bool) (*ResultJSON, error) {
+	j := &ResultJSON{
+		Method:             r.Method.String(),
+		Engine:             r.Engine.String(),
+		Cost:               r.Cost,
+		Swaps:              r.Swaps,
+		Switches:           r.Switches,
+		PermPoints:         r.PermPoints,
+		Minimal:            r.Minimal,
+		CacheHit:           r.CacheHit,
+		GatesOptimizedAway: r.GatesOptimizedAway,
+		InitialLayout:      []int(r.InitialLayout),
+		FinalLayout:        []int(r.FinalLayout),
+		RuntimeNS:          r.Runtime.Nanoseconds(),
+		Stats:              r.Stats.JSON(),
+	}
+	if r.Mapped != nil {
+		j.Gates = r.Mapped.Len()
+		j.Depth = r.Mapped.Depth()
+		if includeQASM {
+			qasm, err := WriteQASM(r.Mapped)
+			if err != nil {
+				return nil, err
+			}
+			j.QASM = qasm
+		}
+	}
+	return j, nil
+}
+
+// BatchJobJSON is the wire encoding of one BatchResult: exactly one of
+// Result and Error is set.
+type BatchJobJSON struct {
+	Index  int         `json:"index"`
+	Name   string      `json:"name,omitempty"`
+	Result *ResultJSON `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// BatchReportJSON is the wire encoding of a whole MapBatch outcome.
+type BatchReportJSON struct {
+	Jobs      []BatchJobJSON `json:"jobs"`
+	Succeeded int            `json:"succeeded"`
+	Failed    int            `json:"failed"`
+	// TotalCost sums Cost over the succeeded jobs.
+	TotalCost int `json:"total_cost"`
+}
+
+// BatchReport converts MapBatch results into the stable wire encoding,
+// preserving input order and aggregating success/failure counts and the
+// total added cost.
+func BatchReport(results []BatchResult, includeQASM bool) (*BatchReportJSON, error) {
+	report := &BatchReportJSON{Jobs: make([]BatchJobJSON, len(results))}
+	for i, br := range results {
+		j := BatchJobJSON{Index: br.Index, Name: br.Job.Name}
+		if br.Err != nil {
+			j.Error = br.Err.Error()
+			report.Failed++
+		} else {
+			rj, err := br.Result.JSON(includeQASM)
+			if err != nil {
+				return nil, err
+			}
+			j.Result = rj
+			report.Succeeded++
+			report.TotalCost += br.Result.Cost
+		}
+		report.Jobs[i] = j
+	}
+	return report, nil
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,15 @@ import (
 )
 
 func main() {
+	// One Mapper instance drives the whole comparison: the DP engine as
+	// the default, with per-device method overrides through MapWith.
+	m, err := qxmap.NewMapper(qxmap.WithEngine(qxmap.EngineDP))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+
 	// Workload: 4-qubit QFT, the paper's qe_qft family.
 	c := revlib.BuildQFT(4).SetName("qft4")
 	fmt.Printf("workload: %s — %d gates, depth %d, 2q-depth %d\n\n",
@@ -25,24 +35,26 @@ func main() {
 		qxmap.QX2(), qxmap.QX4(), qxmap.QX5(), qxmap.Melbourne(), qxmap.Tokyo(),
 	}
 	for _, a := range devices {
-		method := qxmap.MethodExact
+		opts := m.Options()
 		if a.NumQubits() > 5 {
 			// Exhaustive permutation enumeration is infeasible beyond the
 			// 5-qubit devices; use the §4.1 subset optimization.
-			method = qxmap.MethodExactSubsets
+			opts.Method = qxmap.MethodExactSubsets
 		}
-		res, err := qxmap.Map(c, a, qxmap.Options{Method: method, Engine: qxmap.EngineDP})
+		res, err := m.MapWith(ctx, c, a, opts)
 		if err != nil {
 			log.Fatalf("%s: %v", a.Name(), err)
 		}
 		fmt.Printf("%-10s %-14s %6d %6d %8d %7d %8d\n",
-			a.Name(), method, res.Cost, res.Swaps, res.Switches,
+			a.Name(), opts.Method, res.Cost, res.Swaps, res.Switches,
 			res.TotalGates(), res.Mapped.Depth())
 	}
 
 	fmt.Println("\nwith post-mapping peephole optimization (-optimize):")
 	for _, a := range devices[:2] {
-		res, err := qxmap.Map(c, a, qxmap.Options{Engine: qxmap.EngineDP, Optimize: true})
+		opts := m.Options()
+		opts.Optimize = true
+		res, err := m.MapWith(ctx, c, a, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,8 +1,10 @@
 // Quickstart: build a small circuit, map it to IBM QX4 with the minimal
-// number of SWAP and H operations, and print the result.
+// number of SWAP and H operations through the instance-scoped Mapper
+// client API, and print the result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +14,15 @@ import (
 )
 
 func main() {
+	// A Mapper instance owns its configuration and its portfolio cache;
+	// construct one per tenant/configuration instead of using the
+	// deprecated package-level qxmap.Map.
+	m, err := qxmap.NewMapper()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer m.Close()
+
 	// A 4-qubit circuit whose CNOTs form a complete interaction graph: no
 	// four physical qubits of QX4 are pairwise coupled, so SWAPs and/or
 	// direction switches are unavoidable and the mapper has real work.
@@ -26,7 +37,7 @@ func main() {
 	c.AddCNOT(1, 2)
 	c.SetName("quickstart")
 
-	res, err := qxmap.Map(c, qxmap.QX4(), qxmap.Options{})
+	res, err := m.Map(context.Background(), c, qxmap.QX4())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,9 @@
 package arch
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // QX4 returns the IBM QX4 ("Tenerife", 5 qubits) architecture of paper
 // Fig. 2. Physical qubits p1..p5 of the paper are 0-based 0..4 here:
@@ -76,8 +79,23 @@ func Grid(rows, cols int) *Arch {
 	return MustNew(fmt.Sprintf("grid%dx%d", rows, cols), rows*cols, pairs)
 }
 
+// Names returns the canonical architecture names accepted by ByName, in
+// catalog order: the named IBM devices first, then the parameterized
+// families with their placeholder spellings. It is the architecture
+// counterpart of the solver registry's Methods listing — CLIs print it in
+// flag help and error paths, and the qxmapd service exposes it on
+// GET /v1/archs.
+func Names() []string {
+	return []string{
+		"ibmqx2", "ibmqx4", "ibmqx5", "melbourne", "tokyo",
+		"linear<m>", "ring<m>", "grid<r>x<c>",
+	}
+}
+
 // ByName returns a predefined architecture by name: "ibmqx2", "ibmqx4",
-// "ibmqx5", "linear<m>", "ring<m>", or "grid<r>x<c>".
+// "ibmqx5", "melbourne", "tokyo", "linear<m>", "ring<m>", or
+// "grid<r>x<c>". An unknown name fails with an error enumerating every
+// valid name, mirroring ParseMethod.
 func ByName(name string) (*Arch, error) {
 	switch name {
 	case "ibmqx2", "qx2":
@@ -101,7 +119,7 @@ func ByName(name string) (*Arch, error) {
 	if n, _ := fmt.Sscanf(name, "grid%dx%d", &r, &c); n == 2 && r > 0 && c > 0 {
 		return Grid(r, c), nil
 	}
-	return nil, fmt.Errorf("arch: unknown architecture %q", name)
+	return nil, fmt.Errorf("arch: unknown architecture %q (valid: %s)", name, strings.Join(Names(), ", "))
 }
 
 // Melbourne returns the IBM Q 14 Melbourne architecture: a 2×7 ladder with

@@ -1,0 +1,47 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNamesResolve: every canonical name resolves through ByName —
+// parameterized families after substituting small concrete parameters.
+func TestNamesResolve(t *testing.T) {
+	concrete := map[string]string{
+		"linear<m>":   "linear4",
+		"ring<m>":     "ring4",
+		"grid<r>x<c>": "grid2x3",
+	}
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("Names() is empty")
+	}
+	for _, name := range names {
+		if c, ok := concrete[name]; ok {
+			name = c
+		}
+		a, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if a.NumQubits() == 0 {
+			t.Errorf("ByName(%q): zero qubits", name)
+		}
+	}
+}
+
+// TestByNameUnknownListsValid: the error for an unknown architecture
+// enumerates every canonical name, mirroring ParseMethod's error shape.
+func TestByNameUnknownListsValid(t *testing.T) {
+	_, err := ByName("no-such-device")
+	if err == nil {
+		t.Fatal("ByName accepted an unknown architecture")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}

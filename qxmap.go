@@ -20,12 +20,26 @@
 //
 // Quick start:
 //
+//	m, _ := qxmap.NewMapper()
 //	c := qxmap.NewCircuit(4)
 //	c.AddH(1)
 //	c.AddCNOT(0, 1)
-//	res, err := qxmap.Map(c, qxmap.QX4(), qxmap.Options{})
+//	res, err := m.Map(context.Background(), c, qxmap.QX4())
 //	// res.Mapped is an equivalent circuit executable on IBM QX4;
 //	// res.Cost is the (minimal) number of added elementary operations.
+//
+// # Client API
+//
+// The Mapper type is the unit of configuration and isolation: NewMapper
+// builds an instance from functional options (method, engine, portfolio
+// cache size, worker bound, default timeout, verify policy), and each
+// instance owns its portfolio cache and its bounded async scheduler.
+// Synchronous calls go through Mapper.Map / Mapper.MapWith / Mapper.MapBatch;
+// asynchronous jobs through Mapper.Submit, which returns a JobHandle with
+// Wait, Done, Cancel and Stats. The package-level Map, MapContext and
+// MapBatch functions remain as deprecated thin wrappers over a
+// lazily-initialized default instance (Default), preserving the historical
+// process-wide shared-cache behavior.
 //
 // # Pipeline
 //
@@ -47,11 +61,13 @@
 // layer (internal/portfolio): the stochastic heuristic first derives a
 // cheap upper bound that seeds the SAT engine's cost descent, then the SAT
 // and DP engines race concurrently — the first valid minimal result wins
-// and the loser is cancelled. Results are memoized in a process-wide LRU
-// cache keyed by a canonical hash of (skeleton, architecture, strategy),
-// so repeated Map calls on identical instances return immediately
-// (Result.CacheHit reports this). The winning backend is echoed in
-// Result.Engine.
+// and the loser is cancelled. Results are memoized in the Mapper
+// instance's LRU cache keyed by a canonical hash of (skeleton,
+// architecture, strategy), so repeated Map calls on identical instances
+// return immediately (Result.CacheHit reports this). The winning backend
+// is echoed in Result.Engine. Two Mapper instances never share cache
+// entries; the package-level wrappers all share the default instance's
+// cache.
 //
 // # Context and cancellation
 //
@@ -76,7 +92,6 @@ import (
 	"repro/internal/exact"
 	"repro/internal/opt"
 	"repro/internal/perm"
-	"repro/internal/portfolio"
 	"repro/internal/sim"
 	"repro/internal/solver"
 	"repro/internal/verify"
@@ -235,7 +250,8 @@ type Options struct {
 	// Portfolio routes exact methods through the portfolio layer: the
 	// stochastic heuristic seeds the SAT descent with an upper bound, the
 	// SAT and DP engines race with first-valid-minimal-wins semantics, and
-	// results are memoized in a process-wide LRU cache. The Engine option
+	// results are memoized in the Mapper instance's LRU cache (the default
+	// instance's cache for the package-level wrappers). The Engine option
 	// is then ignored (the winning engine is reported in Result.Engine);
 	// heuristic methods are unaffected.
 	Portfolio bool
@@ -311,27 +327,36 @@ type Result struct {
 // TotalGates returns the gate count of the mapped circuit.
 func (r *Result) TotalGates() int { return r.Mapped.Len() }
 
-// portfolioCache memoizes Portfolio-mode results across Map calls for the
-// lifetime of the process. MapBatch jobs share it, so identical instances
-// across a batch solve once.
-var portfolioCache = portfolio.NewCache(0)
-
 // Map maps the circuit onto the architecture. The input must be
 // elementary (single-qubit gates and CNOTs only — decompose SWAP/MCT gates
 // first, e.g. with the revlib substrate or cmd/qxsynth). It is shorthand
 // for MapContext with context.Background().
+//
+// Deprecated: Map delegates to the process-wide default Mapper (see
+// Default), whose portfolio cache is shared by every caller in the
+// process. New code should create an instance with NewMapper and call
+// Mapper.Map or Mapper.MapWith for isolated caches and per-instance
+// tuning.
 func Map(c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	return MapContext(context.Background(), c, a, opts)
 }
 
-// MapContext runs the staged mapping pipeline — skeleton extraction, the
+// MapContext maps the circuit under deadline/cancellation control.
+//
+// Deprecated: MapContext delegates to the process-wide default Mapper (see
+// Default). New code should use NewMapper and Mapper.MapWith.
+func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
+	return Default().MapWith(ctx, c, a, opts)
+}
+
+// mapPipeline runs the staged mapping pipeline — skeleton extraction, the
 // registry-resolved solve, materialization, verification and optional
 // peephole optimization — under deadline/cancellation control. The context
 // is threaded through the encoder, both exact engines, the §4.1 subset
 // fan-out and the heuristic mappers; a cancelled solve aborts promptly and
 // returns an error that wraps ctx.Err(). Per-stage timings are reported in
-// Result.Stats.
-func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
+// Result.Stats. Portfolio-mode solves memoize into the instance's cache.
+func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("qxmap: canceled: %w", err)
@@ -353,7 +378,7 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 	// Stage 2: solve — resolve the method by name through the solver
 	// registry and run it.
 	st = time.Now()
-	plan, err := solvePlan(ctx, sk, a, opts)
+	plan, err := m.solvePlan(ctx, sk, a, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -424,8 +449,9 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 
 // solvePlan is the pipeline's solve stage: a skeleton without CNOTs
 // short-circuits to the identity plan (nothing to route, trivially
-// minimal); everything else resolves through the solver registry.
-func solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*solver.Plan, error) {
+// minimal); everything else resolves through the solver registry, with
+// Portfolio-mode memoization scoped to this instance's cache.
+func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*solver.Plan, error) {
 	if sk.Len() == 0 {
 		return &solver.Plan{
 			Initial: perm.IdentityMapping(sk.NumQubits),
@@ -445,7 +471,7 @@ func solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Opt
 		Lookahead:     opts.Lookahead,
 		InitialLayout: opts.InitialLayout,
 		Portfolio:     opts.Portfolio,
-		Cache:         portfolioCache,
+		Cache:         m.cache,
 	})
 	if err != nil {
 		return nil, err
