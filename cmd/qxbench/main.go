@@ -14,6 +14,7 @@
 //	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
 //	        [-parallel] [-workers 8]
 //	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
+//	        [-sat-binary]
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none), e.g. 30s or 5m")
 	batchMethod := flag.String("batch", "", "map the suite through qxmap.MapBatch with this method ("+strings.Join(qxmap.Methods(), ", ")+") instead of running Table 1")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline in -batch mode (0 = none)")
+	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (-batch mode, SAT engine)")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -64,7 +66,7 @@ func main() {
 	}
 
 	if *batchMethod != "" {
-		runBatch(ctx, a, *batchMethod, eng, *portfolio, *runs, *names, *workers, *jobTimeout)
+		runBatch(ctx, a, *batchMethod, eng, *portfolio, *satBinary, *runs, *names, *workers, *jobTimeout)
 		return
 	}
 
@@ -99,7 +101,7 @@ func main() {
 // per-job deadline expiries) are collected per benchmark, and per-stage
 // pipeline timings are reported.
 func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.Engine,
-	portfolio bool, runs int, names string, workers int, jobTimeout time.Duration) {
+	portfolio, satBinary bool, runs int, names string, workers int, jobTimeout time.Duration) {
 
 	method, err := qxmap.ParseMethod(methodName)
 	if err != nil {
@@ -124,12 +126,13 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 			Circuit: b.Circuit,
 			Arch:    a,
 			Opts: qxmap.Options{
-				Method:        method,
-				Engine:        eng,
-				Portfolio:     portfolio,
-				HeuristicRuns: runs,
-				Seed:          1,
-				Lookahead:     0.5,
+				Method:           method,
+				Engine:           eng,
+				Portfolio:        portfolio,
+				SATBinaryDescent: satBinary,
+				HeuristicRuns:    runs,
+				Seed:             1,
+				Lookahead:        0.5,
 			},
 		})
 	}
@@ -138,7 +141,8 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 	results := mapper.MapBatch(ctx, jobs, qxmap.BatchOptions{JobTimeout: jobTimeout})
 	elapsed := time.Since(start)
 
-	fmt.Printf("%-12s %6s %6s %8s %6s %10s\n", "benchmark", "F", "gates", "engine", "cache", "solve")
+	fmt.Printf("%-12s %6s %6s %8s %6s %7s %7s %9s %10s\n",
+		"benchmark", "F", "gates", "engine", "cache", "solves", "encodes", "conflicts", "solve")
 	failures := 0
 	totalF := 0
 	for _, br := range results {
@@ -150,8 +154,10 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 		}
 		r := br.Result
 		totalF += r.Cost
-		fmt.Printf("%-12s %6d %6d %8s %6v %10v\n",
-			br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit, r.Stats.SolveTime.Round(time.Microsecond))
+		fmt.Printf("%-12s %6d %6d %8s %6v %7d %7d %9d %10v\n",
+			br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit,
+			r.Stats.SATSolves, r.Stats.SATEncodes, r.Stats.SATConflicts,
+			r.Stats.SolveTime.Round(time.Microsecond))
 	}
 	fmt.Printf("\nbatch: %d jobs (%d failed), method=%s, total added gates F=%d, wall-clock %v\n",
 		len(results), failures, method, totalF, elapsed.Round(time.Millisecond))

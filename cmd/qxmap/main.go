@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	qxmap [-arch ibmqx4] [-method exact] [-engine sat|dp] [-portfolio]
-//	      [-timeout 30s] [-runs 5] [-render] [-stats] [-json]
-//	      [-o out.qasm] input.qasm
+//	qxmap [-arch ibmqx4] [-method exact] [-strategy all|disjoint|odd|triangle]
+//	      [-engine sat|dp] [-sat-binary] [-portfolio] [-timeout 30s]
+//	      [-runs 5] [-render] [-stats] [-json] [-o out.qasm] input.qasm
 //
 // With input "-", the program reads from standard input. The mapped
 // circuit is written as QASM to -o (default: stdout), preceded by a cost
@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/exact"
 	"repro/internal/render"
 
 	qxmap "repro"
@@ -35,7 +36,9 @@ import (
 func main() {
 	archName := flag.String("arch", "ibmqx4", "target architecture: "+strings.Join(qxmap.Architectures(), ", "))
 	methodName := flag.String("method", "exact", "mapping method: "+strings.Join(qxmap.Methods(), ", "))
+	strategyName := flag.String("strategy", "", "permutation-point restriction (paper §4.2) for exact mapping: "+strings.Join(exact.Strategies(), ", ")+" (selects the matching Table-1 method, §4.1 subsets included; only valid with -method exact)")
 	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
+	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (SAT engine)")
 	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
 	seed := flag.Int64("seed", 1, "heuristic random seed")
 	doRender := flag.Bool("render", false, "render original and mapped circuits as ASCII diagrams on stderr")
@@ -57,6 +60,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *strategyName != "" {
+		// -strategy is sugar for the paper's §4.2 vocabulary: it selects
+		// the Table-1 method implementing the restriction. Every strategy
+		// column in Table 1 runs with the §4.1 subset optimization, so
+		// "all" maps to exact-subsets and the restricted strategies to
+		// their like-named methods — comparable semantics across the
+		// flag's whole range. A bad name reports ParseStrategy's error,
+		// which enumerates the valid ones.
+		strategy, err := exact.ParseStrategy(*strategyName)
+		if err != nil {
+			fatal(err)
+		}
+		if *methodName != "exact" {
+			fatal(fmt.Errorf("-strategy is only valid with -method exact (it selects the strategy's method); got -method %s", *methodName))
+		}
+		if strategy == exact.StrategyAll {
+			method = qxmap.MethodExactSubsets
+		} else if method, err = qxmap.ParseMethod(strategy.String()); err != nil {
+			fatal(err)
+		}
+	}
 	a, err := qxmap.ArchByName(*archName)
 	if err != nil {
 		fatal(err)
@@ -69,7 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio}
+	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, SATBinaryDescent: *satBinary}
 	if *initial != "" {
 		layout, err := parseLayout(*initial)
 		if err != nil {
@@ -106,8 +130,8 @@ func main() {
 		s := res.Stats
 		fmt.Fprintf(os.Stderr, "pipeline: skeleton=%v solve=%v materialize=%v verify=%v optimize=%v\n",
 			s.SkeletonTime, s.SolveTime, s.MaterializeTime, s.VerifyTime, s.OptimizeTime)
-		fmt.Fprintf(os.Stderr, "solver: %s via %s, cache-hit=%v, sat-solves=%d, sat-conflicts=%d\n",
-			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATConflicts)
+		fmt.Fprintf(os.Stderr, "solver: %s via %s, cache-hit=%v, sat-solves=%d, sat-encodes=%d, sat-conflicts=%d\n",
+			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATEncodes, s.SATConflicts)
 	}
 	if *doRender {
 		fmt.Fprintln(os.Stderr, "\noriginal:")

@@ -19,6 +19,7 @@ type StatsJSON struct {
 	Engine        string `json:"engine"`
 	CacheHit      bool   `json:"cache_hit"`
 	SATSolves     int    `json:"sat_solves"`
+	SATEncodes    int    `json:"sat_encodes"`
 	SATConflicts  int64  `json:"sat_conflicts"`
 }
 
@@ -34,6 +35,7 @@ func (s Stats) JSON() StatsJSON {
 		Engine:        s.Engine,
 		CacheHit:      s.CacheHit,
 		SATSolves:     s.SATSolves,
+		SATEncodes:    s.SATEncodes,
 		SATConflicts:  s.SATConflicts,
 	}
 }

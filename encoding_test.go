@@ -39,6 +39,7 @@ func goldenResult() *Result {
 			Engine:          "sat",
 			CacheHit:        true,
 			SATSolves:       4,
+			SATEncodes:      1,
 			SATConflicts:    123,
 		},
 		Method:  MethodExact,

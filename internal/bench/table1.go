@@ -33,6 +33,12 @@ type Column struct {
 	// PermPoints is the paper's |G'| column: permutation points plus one
 	// for the free initial mapping (strategy columns only; 0 otherwise).
 	PermPoints int
+	// Solves, Encodes and Conflicts expose the SAT engine's counters for
+	// the column (0 for DP and heuristic runs): encode-count regressions
+	// in the incremental descent show up here.
+	Solves    int
+	Encodes   int
+	Conflicts int64
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }
@@ -186,9 +192,12 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 			return nil, Column{}, fmt.Errorf("%s: %w", name, err)
 		}
 		return plan, Column{
-			Cost:    row.OriginalCost + plan.Cost,
-			Added:   plan.Cost,
-			Runtime: plan.Runtime,
+			Cost:      row.OriginalCost + plan.Cost,
+			Added:     plan.Cost,
+			Solves:    plan.SATSolves,
+			Encodes:   plan.SATEncodes,
+			Conflicts: plan.SATConflicts,
+			Runtime:   plan.Runtime,
 		}, nil
 	}
 

@@ -116,8 +116,33 @@ func (b *Builder) ScaleByLit(l sat.Lit, value, width int) BitVec {
 // where the bound has a 0, if x matches the bound on all higher 1-bits then
 // x must have a 0 at position i as well.
 func (b *Builder) AssertLessEqConst(x BitVec, bound int) {
+	b.lessEqConst(x, bound, nil)
+}
+
+// LessEqConstGuard returns a fresh activation literal g together with
+// clauses encoding g → (x ≤ bound): the comparison clauses of
+// AssertLessEqConst, each weakened by ¬g. Assuming g in a Solve call
+// activates the bound; leaving it unassumed (or assuming ¬g) deactivates
+// it without removing clauses, so a tightening-then-relaxing minimization
+// driver can probe many bounds on ONE incremental solver instance while
+// keeping every learnt clause. An infeasible bound (< 0) makes g itself
+// unsatisfiable; a vacuous bound (covering x's whole range) returns an
+// unconstrained literal.
+func (b *Builder) LessEqConstGuard(x BitVec, bound int) sat.Lit {
+	g := b.NewLit()
 	if bound < 0 {
-		b.S.AddClause() // empty clause: unsatisfiable
+		b.S.AddClause(g.Not())
+		return g
+	}
+	b.lessEqConst(x, bound, []sat.Lit{g.Not()})
+	return g
+}
+
+// lessEqConst emits the x ≤ bound clauses, each prefixed by the optional
+// guard disjunct.
+func (b *Builder) lessEqConst(x BitVec, bound int, guard []sat.Lit) {
+	if bound < 0 {
+		b.S.AddClause(guard...) // empty (or guard-only) clause: unsatisfiable
 		return
 	}
 	// If the bound covers the whole range of x the constraint is vacuous
@@ -130,7 +155,7 @@ func (b *Builder) AssertLessEqConst(x BitVec, bound int) {
 		if bound>>uint(i)&1 == 1 {
 			continue
 		}
-		clause := []sat.Lit{x[i].Not()}
+		clause := append(append([]sat.Lit(nil), guard...), x[i].Not())
 		for j := i + 1; j < len(x); j++ {
 			if bound>>uint(j)&1 == 1 {
 				clause = append(clause, x[j].Not())

@@ -203,3 +203,67 @@ func TestArithmeticProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLessEqConstGuardExhaustive: g → (x ≤ bound) must hold exactly when g
+// is assumed, for every bound and every value of a 4-bit vector, all on ONE
+// solver instance — the incremental reuse the guards exist for.
+func TestLessEqConstGuardExhaustive(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := freeVec(b, 4)
+	guards := make([]sat.Lit, 16)
+	for bound := range guards {
+		guards[bound] = b.LessEqConstGuard(x, bound)
+	}
+	for bound := 0; bound < 16; bound++ {
+		for v := 0; v < 16; v++ {
+			assumptions := append(assumeValue(x, v), guards[bound])
+			want := sat.Sat
+			if v > bound {
+				want = sat.Unsat
+			}
+			if got := s.Solve(assumptions...); got != want {
+				t.Fatalf("bound=%d v=%d: %v, want %v", bound, v, got, want)
+			}
+			if want == sat.Unsat && !s.UnsatFromAssumptions() {
+				t.Fatalf("bound=%d v=%d: UNSAT not attributed to assumptions", bound, v)
+			}
+		}
+	}
+	// Without any guard assumed, every value remains reachable: the bound
+	// clauses are inert and the instance is not poisoned.
+	for v := 0; v < 16; v++ {
+		if got := s.Solve(assumeValue(x, v)...); got != sat.Sat {
+			t.Fatalf("unguarded v=%d: %v, want SAT", v, got)
+		}
+	}
+}
+
+// TestLessEqConstGuardInfeasible: a negative bound makes the guard itself
+// unsatisfiable, but only under assumption.
+func TestLessEqConstGuardInfeasible(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := freeVec(b, 3)
+	g := b.LessEqConstGuard(x, -1)
+	if got := s.Solve(g); got != sat.Unsat {
+		t.Fatalf("assumed infeasible guard: %v, want UNSAT", got)
+	}
+	if got := s.Solve(); got != sat.Sat {
+		t.Fatalf("instance poisoned by infeasible guard: %v", got)
+	}
+}
+
+// TestLessEqConstGuardVacuous: a bound covering the whole range constrains
+// nothing.
+func TestLessEqConstGuardVacuous(t *testing.T) {
+	s := sat.NewSolver()
+	b := NewBuilder(s)
+	x := freeVec(b, 3)
+	g := b.LessEqConstGuard(x, 7)
+	for v := 0; v < 8; v++ {
+		if got := s.Solve(append(assumeValue(x, v), g)...); got != sat.Sat {
+			t.Fatalf("vacuous bound v=%d: %v", v, got)
+		}
+	}
+}

@@ -83,6 +83,11 @@ type Encoding struct {
 	CostBits cnf.BitVec
 	// MaxCost is the largest value F can take in this encoding.
 	MaxCost int
+
+	// costGuards memoizes the activation literal per bound handed out by
+	// CostAtMostLit, so repeated probes of the same bound reuse both the
+	// guard variable and its clauses.
+	costGuards map[int]sat.Lit
 }
 
 // Encode builds the CNF instance for the problem on the given builder. The
@@ -295,8 +300,31 @@ func (e *Encoding) buildCost() {
 }
 
 // AssertCostAtMost permanently adds the constraint F ≤ bound. Successive
-// calls must use non-increasing bounds (the minimization driver tightens
-// monotonically).
+// calls must use non-increasing bounds (a permanently tightened instance
+// cannot be relaxed). The incremental minimization driver uses
+// CostAtMostLit instead, which leaves the instance reusable.
 func (e *Encoding) AssertCostAtMost(bound int) {
 	e.B.AssertLessEqConst(e.CostBits, bound)
+}
+
+// CostAtMostLit returns an activation literal g encoding g → (F ≤ bound).
+// Passing g as a Solve assumption enforces the bound for that call only:
+// an UNSAT probe does not poison the instance, and learnt clauses survive
+// across probes of different bounds — the incremental §3.3 descent in
+// internal/exact drives every probe through these guards on one solver.
+// Guards are memoized per bound. A bound ≥ MaxCost is vacuous and returns
+// the constant-true literal.
+func (e *Encoding) CostAtMostLit(bound int) sat.Lit {
+	if bound >= e.MaxCost {
+		return e.B.True()
+	}
+	if g, ok := e.costGuards[bound]; ok {
+		return g
+	}
+	g := e.B.LessEqConstGuard(e.CostBits, bound)
+	if e.costGuards == nil {
+		e.costGuards = make(map[int]sat.Lit)
+	}
+	e.costGuards[bound] = g
+	return g
 }

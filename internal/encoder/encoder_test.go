@@ -301,3 +301,62 @@ func TestEncodeRejectsBadPin(t *testing.T) {
 		t.Error("non-injective pin should be rejected")
 	}
 }
+
+// TestCostGuardRelaxAfterTighten drives one solver + one encoding through a
+// tighten-relax-tighten sequence of bound assumptions: UNSAT under a bound
+// below the optimum must not poison the instance — the same solver must
+// afterwards satisfy the relaxed bound, refute the tight one again, and
+// still solve unbounded.
+func TestCostGuardRelaxAfterTighten(t *testing.T) {
+	s, e := encode(t, Problem{Skeleton: circuit.Figure1b(), Arch: arch.QX4()})
+	if s.Solve() != sat.Sat {
+		t.Fatal("instance should be satisfiable")
+	}
+	sol, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Descend to the optimum via guards only.
+	best := sol
+	for {
+		g := e.CostAtMostLit(best.Cost - 1)
+		if s.Solve(g) != sat.Sat {
+			break
+		}
+		if best, err = e.Decode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if best.Cost != 4 {
+		t.Fatalf("guard descent found %d, want 4 (paper Example 7)", best.Cost)
+	}
+
+	tight := e.CostAtMostLit(best.Cost - 1)
+	relaxed := e.CostAtMostLit(best.Cost)
+	if s.Solve(tight) != sat.Unsat {
+		t.Fatal("bound below optimum must be UNSAT")
+	}
+	if !s.UnsatFromAssumptions() {
+		t.Error("bound UNSAT not attributed to the guard assumption")
+	}
+	if s.Solve(relaxed) != sat.Sat {
+		t.Fatal("relaxing the bound on the same solver must be SAT again")
+	}
+	if sol, err := e.Decode(); err != nil || sol.Cost != best.Cost {
+		t.Fatalf("relaxed model cost = %v/%v, want %d", sol, err, best.Cost)
+	}
+	if s.Solve(tight) != sat.Unsat {
+		t.Fatal("re-tightening must be UNSAT again")
+	}
+	if s.Solve() != sat.Sat {
+		t.Fatal("unbounded solve must still succeed on the same instance")
+	}
+	// Guards are memoized: probing the same bound reuses the literal.
+	if e.CostAtMostLit(best.Cost-1) != tight {
+		t.Error("CostAtMostLit did not memoize the guard")
+	}
+	// A vacuous bound is the constant-true literal.
+	if g := e.CostAtMostLit(e.MaxCost); s.Solve(g) != sat.Sat {
+		t.Error("vacuous bound must not constrain the instance")
+	}
+}

@@ -190,6 +190,7 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 		WorkArch:   p.Arch,
 		PermPoints: len(frames) - 1,
 		Engine:     EngineDP.String(),
+		Minimal:    true, // the DP oracle enumerates the full state space
 		Runtime:    time.Since(start),
 	}, nil
 }

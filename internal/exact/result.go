@@ -29,9 +29,23 @@ type Result struct {
 	Engine string
 	// Solves counts reasoning-engine invocations (SAT engine only).
 	Solves int
+	// Encodes counts encoder.Encode calls behind this result (SAT engine
+	// only; 0 for the DP engine). The incremental descent encodes exactly
+	// once per SolveSAT call, so a plain run reports 1 and a §4.1 subset
+	// run reports one per attempted subset instance (pruned ones
+	// included).
+	Encodes int
 	// Conflicts counts CDCL conflicts across all solver invocations of the
 	// run (SAT engine only; 0 for the DP engine).
 	Conflicts int64
+	// Minimal reports whether Cost is PROVEN minimal for this instance by
+	// the run itself: the SAT descent reached UNSAT below Cost (or Cost is
+	// 0), or the DP/brute oracle ran to completion. A conflict-budgeted
+	// descent that was truncated reports false even when its best model
+	// happens to be optimal. Note this is per-instance proof — a
+	// strategy-restricted instance's proven optimum may still exceed the
+	// unrestricted minimum.
+	Minimal bool
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }

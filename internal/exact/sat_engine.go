@@ -12,30 +12,46 @@ import (
 
 // SATOptions tunes the SAT-based engine.
 type SATOptions struct {
-	// StartBound, when positive, asserts F ≤ StartBound before the first
+	// StartBound, when positive, enforces F ≤ StartBound on the first
 	// solve (e.g. a known upper bound from the DP engine or a heuristic).
 	// Zero or negative disables it; a genuine zero bound is unnecessary
-	// because the descent reaches it anyway. A StartBound below the true
-	// optimum of the (possibly strategy-restricted) instance makes it
-	// unsatisfiable: SolveSAT then fails with ErrUnsatisfiable, which
-	// callers holding an unproven bound should treat as "retry unbounded"
-	// (internal/portfolio does).
+	// because the descent reaches it anyway. The bound is applied as a
+	// guard assumption, never as permanent clauses, so a StartBound below
+	// the true optimum of the (possibly strategy-restricted) instance is
+	// safe by default: the engine detects the failed assumption, relaxes
+	// the bound in place on the same solver, and continues — no caller-side
+	// re-encode is needed (the old "retry unbounded" dance).
 	StartBound int
+	// StrictBound changes the StartBound failure mode: a bound-induced
+	// UNSAT is reported as ErrUnsatisfiable instead of being relaxed. The
+	// §4.1 fan-out sets it to prune subset instances that cannot beat the
+	// shared incumbent cost — for pruning, "no mapping under the bound"
+	// IS the answer.
+	StrictBound bool
 	// BinaryDescent switches the minimization loop from linear descent
-	// (assert cost−1 after each model) to binary search on the bound.
+	// (assume F ≤ cost−1 after each model) to binary search on the bound.
+	// Both modes run on one solver and one encoding, probing bounds via
+	// guard assumptions.
 	BinaryDescent bool
 	// MaxConflicts bounds each individual solver call; 0 means unlimited.
 	// When the budget is exhausted the best model so far is returned with
-	// minimality not guaranteed.
+	// Result.Minimal false (the proof was truncated).
 	MaxConflicts int64
 }
 
 // SolveSAT finds the minimal-cost mapping for the problem using the paper's
 // symbolic formulation and the CDCL solver: solve, decode the model's cost
-// C, assert F ≤ C−1, and repeat until UNSAT — the last model is minimal
-// (§3.3, realized by bound tightening instead of a native optimizer). The
-// context cancels the run: the solver notices within one restart interval
-// and SolveSAT returns ctx.Err() (wrapped).
+// C, enforce F ≤ C−1, and repeat until UNSAT — the last model is minimal
+// (§3.3, realized by bound tightening instead of a native optimizer).
+//
+// The descent is fully incremental: the instance is encoded exactly once
+// (Result.Encodes == 1) and every bound — the caller's StartBound, each
+// linear tightening step, each binary-search midpoint — is enforced by
+// passing the bound's activation literal (Encoding.CostAtMostLit) as a
+// solver assumption. UNSAT probes therefore never poison the instance and
+// learnt clauses survive across all probes. The context cancels the run:
+// the solver notices within one restart interval and SolveSAT returns
+// ctx.Err() (wrapped).
 func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result, error) {
 	start := time.Now()
 	solver := sat.NewSolver()
@@ -49,23 +65,28 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 		WorkArch:   p.Arch,
 		PermPoints: enc.NumPermPoints(),
 		Engine:     EngineSAT.String(),
-	}
-	if opts.StartBound > 0 {
-		enc.AssertCostAtMost(opts.StartBound)
+		Encodes:    1,
 	}
 
 	var best *encoder.Solution
 	if opts.BinaryDescent {
-		best, err = minimizeBinary(ctx, p, solver, enc, res, opts)
+		best, err = minimizeBinary(ctx, solver, enc, res, opts)
 	} else {
-		best, err = minimizeLinear(ctx, solver, enc, res)
+		best, err = minimizeLinear(ctx, solver, enc, res, opts)
 	}
-	res.Conflicts += solver.Stats.Conflicts
+	res.Conflicts = solver.Stats.Conflicts
+	// Failures past this point still return the Result so callers can
+	// aggregate the run's counters (the §4.1 fan-out charges refuted and
+	// truncated subsets to its totals); only a nil error carries a
+	// Solution.
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	if best == nil {
-		return nil, fmt.Errorf("exact: %w (unsatisfiable instance)", ErrUnsatisfiable)
+		if opts.StrictBound && opts.StartBound > 0 {
+			return res, fmt.Errorf("exact: %w (no mapping with cost ≤ %d)", ErrUnsatisfiable, opts.StartBound)
+		}
+		return res, fmt.Errorf("exact: %w (unsatisfiable instance)", ErrUnsatisfiable)
 	}
 	res.Solution = best
 	res.Cost = best.Cost
@@ -73,23 +94,52 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 	return res, nil
 }
 
-// minimizeLinear performs linear bound descent: each satisfying model's
-// cost C is followed by the constraint F ≤ C−1 until UNSAT.
-func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result) (*encoder.Solution, error) {
+// startAssumptions returns the initial bound assumption derived from
+// SATOptions.StartBound (nil when disabled).
+func startAssumptions(enc *encoder.Encoding, opts SATOptions) []sat.Lit {
+	if opts.StartBound <= 0 {
+		return nil
+	}
+	return []sat.Lit{enc.CostAtMostLit(opts.StartBound)}
+}
+
+// relaxable reports whether an Unsat under the current assumptions may be
+// relaxed: no model has been found yet, the only active bound is the
+// caller's unproven StartBound (not a descent-derived one), relaxation is
+// permitted, and the solver blames the assumption rather than the clause
+// set.
+func relaxable(solver *sat.Solver, opts SATOptions, assumed, haveModel bool) bool {
+	return assumed && !haveModel && !opts.StrictBound && solver.UnsatFromAssumptions()
+}
+
+// minimizeLinear performs linear bound descent on one solver instance:
+// each satisfying model's cost C is followed by a probe under the guard
+// assumption F ≤ C−1 until UNSAT, which proves minimality of the last
+// model (Result.Minimal).
+func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
 	var best *encoder.Solution
+	assume := startAssumptions(enc, opts)
 	for {
 		res.Solves++
-		status := solver.SolveContext(ctx)
-		if status == sat.Unknown {
+		status := solver.SolveContext(ctx, assume...)
+		switch status {
+		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("exact: solve canceled: %w", err)
 			}
 			if best == nil {
-				return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
+				return nil, errBudgetExhausted
 			}
-			return best, nil // budget exhausted: best-effort result
-		}
-		if status == sat.Unsat {
+			return best, nil // budget exhausted: best-effort, Minimal stays false
+		case sat.Unsat:
+			if relaxable(solver, opts, len(assume) > 0, best != nil) {
+				// The caller's StartBound undercut the true optimum; drop
+				// the assumption and continue on the same instance, keeping
+				// everything learnt while refuting the bound.
+				assume = nil
+				continue
+			}
+			res.Minimal = true // UNSAT below best proves it (or the instance is UNSAT)
 			return best, nil
 		}
 		sol, err := enc.Decode()
@@ -98,28 +148,36 @@ func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encodi
 		}
 		best = sol
 		if sol.Cost == 0 {
+			res.Minimal = true
 			return best, nil
 		}
-		enc.AssertCostAtMost(sol.Cost - 1)
+		assume = []sat.Lit{enc.CostAtMostLit(sol.Cost - 1)}
 	}
 }
 
 // minimizeBinary performs binary search on the cost bound (the "binary
-// search" alternative mentioned in paper §3.3). Because AssertCostAtMost
-// adds permanent clauses, an UNSAT probe would poison the incremental
-// instance for the still-unexplored bounds above it, so each probe encodes
-// a fresh instance with F ≤ mid asserted up front. SAT probes lower the
-// upper end to the model's cost; UNSAT probes raise the lower end.
-func minimizeBinary(ctx context.Context, p encoder.Problem, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+// search" alternative mentioned in paper §3.3) on the SAME solver and
+// encoding as the initial solve: each midpoint probe assumes the guard
+// literal of F ≤ mid, so an UNSAT probe merely fails an assumption instead
+// of poisoning the instance, and no per-midpoint re-encode is needed. SAT
+// probes lower the upper end to the model's cost; UNSAT probes raise the
+// lower end; convergence proves minimality.
+func minimizeBinary(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+	assume := startAssumptions(enc, opts)
 	res.Solves++
-	status := solver.SolveContext(ctx)
+	status := solver.SolveContext(ctx, assume...)
+	if status == sat.Unsat && relaxable(solver, opts, len(assume) > 0, false) {
+		res.Solves++
+		status = solver.SolveContext(ctx)
+	}
 	if status == sat.Unknown {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("exact: solve canceled: %w", err)
 		}
-		return nil, fmt.Errorf("exact: conflict budget exhausted before any mapping was found")
+		return nil, errBudgetExhausted
 	}
 	if status != sat.Sat {
+		res.Minimal = true // the instance (or strict bound) is proven UNSAT
 		return nil, nil
 	}
 	best, err := enc.Decode()
@@ -129,31 +187,23 @@ func minimizeBinary(ctx context.Context, p encoder.Problem, solver *sat.Solver, 
 	lo := -1 // largest bound proven UNSAT
 	for best.Cost > lo+1 {
 		mid := lo + (best.Cost-lo)/2
-		probeSolver := sat.NewSolver()
-		probeSolver.MaxConflicts = opts.MaxConflicts
-		probeEnc, err := encoder.Encode(ctx, p, cnf.NewBuilder(probeSolver))
-		if err != nil {
-			return nil, err
-		}
-		probeEnc.AssertCostAtMost(mid)
 		res.Solves++
-		status := probeSolver.SolveContext(ctx)
-		res.Conflicts += probeSolver.Stats.Conflicts
-		switch status {
+		switch solver.SolveContext(ctx, enc.CostAtMostLit(mid)) {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("exact: solve canceled: %w", err)
 			}
-			return best, nil // budget exhausted: best-effort result
+			return best, nil // budget exhausted: best-effort, Minimal stays false
 		case sat.Unsat:
 			lo = mid
 		case sat.Sat:
-			sol, err := probeEnc.Decode()
+			sol, err := enc.Decode()
 			if err != nil {
 				return nil, err
 			}
 			best = sol
 		}
 	}
+	res.Minimal = true
 	return best, nil
 }

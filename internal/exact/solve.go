@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -14,9 +17,13 @@ import (
 
 // ErrUnsatisfiable marks a problem with no valid mapping: the interaction
 // graph does not embed in the coupling graph (on any tried subset), or an
-// externally asserted SATOptions.StartBound is below the instance's true
-// optimum. Test with errors.Is.
+// externally asserted strict SATOptions.StartBound is below the instance's
+// true optimum. Test with errors.Is.
 var ErrUnsatisfiable = errors.New("no valid mapping exists")
+
+// errBudgetExhausted marks a SAT run whose conflict budget ran out before
+// any model was found — there is no best-effort result to return.
+var errBudgetExhausted = errors.New("exact: conflict budget exhausted before any mapping was found")
 
 // Engine selects the reasoning backend.
 type Engine int
@@ -66,9 +73,14 @@ type Options struct {
 	// (extension; incompatible with UseSubsets since the pin refers to the
 	// full architecture's physical indices).
 	InitialMapping []int
-	// Parallel solves the §4.1 subset instances concurrently, one
-	// goroutine per connected subset. The result is identical to the
-	// sequential run (ties broken by subset enumeration order).
+	// Parallel solves the §4.1 subset instances concurrently on a worker
+	// pool bounded by GOMAXPROCS. Workers share a best-cost-so-far bound:
+	// with the SAT engine each subset instance starts under the guard
+	// assumption F ≤ best−1, so subsets that cannot beat the incumbent are
+	// refuted cheaply instead of being solved to their own optimum. The
+	// cost is identical to the sequential run; when several subsets tie,
+	// the pruning may select a different (equal-cost) witness mapping than
+	// sequential enumeration order would.
 	Parallel bool
 }
 
@@ -79,7 +91,9 @@ func DefaultOptions() Options {
 
 // Solve maps the skeleton to the architecture under the given options and
 // returns the best result found. An error is returned for malformed inputs
-// or when no valid mapping exists (ErrUnsatisfiable). Cancelling the
+// or when no valid mapping exists (ErrUnsatisfiable). On a SAT-engine
+// failure the accompanying Result, when non-nil, carries only the run's
+// counters (Solves/Encodes/Conflicts) — never a Solution. Cancelling the
 // context aborts the run — including every in-flight §4.1 subset instance —
 // and returns an error wrapping ctx.Err().
 func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*Result, error) {
@@ -93,59 +107,171 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 	if !opts.UseSubsets || sk.NumQubits >= a.NumQubits() {
 		return solveOne(ctx, sk, a, pb, opts)
 	}
+	return solveSubsets(ctx, sk, a, pb, opts)
+}
 
+// solveSubsets runs the §4.1 physical-qubit subset optimization: every
+// connected n-subset of the architecture is solved as an independent
+// instance on a worker pool bounded by GOMAXPROCS (one worker when
+// Options.Parallel is false), and the cheapest result wins.
+//
+// The workers share a best-cost-so-far bound (atomic): a subset picked up
+// after an incumbent of cost B is known starts under the SAT engine's
+// strict guard assumption F ≤ B−1, so instances that cannot win are
+// refuted — usually after a handful of conflicts — instead of being solved
+// to their own optimum, and once a zero-cost incumbent exists the
+// remaining subsets are skipped outright. This cross-instance pruning is
+// sound for the returned cost: a strict-bound UNSAT only ever discards
+// mappings that could not have improved on the incumbent.
+//
+// Error handling: ErrUnsatisfiable means "this subset admits no (winning)
+// mapping — try the others". A conflict-budget exhaustion before any model
+// voids the minimality proof but keeps the fan-out alive: an incumbent in
+// hand is returned as a best-effort result (Minimal false), and only when
+// NO subset yields a model does the budget error surface — never disguised
+// as unsatisfiability. Any other solveOne failure — an encode failure, an
+// unknown engine — is a real error: it cancels the remaining subsets and
+// surfaces verbatim.
+func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
 	start := time.Now()
 	subsets := a.ConnectedSubsets(sk.NumQubits)
 	if len(subsets) == 0 {
 		return nil, fmt.Errorf("exact: %w: no connected subset of %d qubits in %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
+
+	var best atomic.Int64
+	best.Store(math.MaxInt64)
+	var unproven atomic.Bool // a subset's budget ran dry: optimum unconfirmed
+	var solves, encodes, conflicts atomic.Int64
 	results := make([]*Result, len(subsets))
-	if opts.Parallel {
-		var wg sync.WaitGroup
-		for i, subset := range subsets {
-			wg.Add(1)
-			go func(i int, subset []int) {
-				defer wg.Done()
-				sub, back := a.Restrict(subset)
-				r, err := solveOne(ctx, sk, sub, pb, opts)
-				if err != nil {
-					return // subset admits no valid mapping (or run canceled)
-				}
-				r.SubsetBack = back
-				results[i] = r
-			}(i, subset)
+	errs := make([]error, len(subsets))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	solveSubset := func(i int) error {
+		incumbent := best.Load()
+		if incumbent == 0 {
+			return nil // a zero-cost incumbent cannot be beaten; skip
 		}
-		wg.Wait()
-	} else {
-		for i, subset := range subsets {
-			if ctx.Err() != nil {
-				break
+		sub, back := a.Restrict(subsets[i])
+		so := opts
+		if so.Engine == EngineSAT && incumbent != math.MaxInt64 {
+			// b > 0 only excludes incumbents 1..3, which the cost model
+			// cannot produce (F is a sum of 7s and 4s, so the smallest
+			// positive cost is 4); StartBound 0 stays "disabled".
+			if b := int(incumbent) - 1; b > 0 && (so.SAT.StartBound <= 0 || b < so.SAT.StartBound) {
+				so.SAT.StartBound = b
+				so.SAT.StrictBound = true
 			}
-			sub, back := a.Restrict(subset)
-			r, err := solveOne(ctx, sk, sub, pb, opts)
-			if err != nil {
-				// This subset admits no valid mapping (e.g. the interaction
-				// graph does not embed); other subsets may still work.
-				continue
+		}
+		r, err := solveOne(runCtx, sk, sub, pb, so)
+		if r != nil {
+			// Charge the subset's work to the run totals whether it won,
+			// was refuted, or ran out of budget — the counters exist to
+			// expose the real cost, pruned probes included.
+			solves.Add(int64(r.Solves))
+			encodes.Add(int64(r.Encodes))
+			conflicts.Add(r.Conflicts)
+		}
+		if err != nil {
+			if errors.Is(err, ErrUnsatisfiable) {
+				// No mapping on this subset beats the incumbent (or exists
+				// at all); other subsets may still work.
+				return nil
 			}
-			r.SubsetBack = back
-			results[i] = r
+			if errors.Is(err, errBudgetExhausted) {
+				// The budget ran out before this subset produced any
+				// model. It might still have beaten the incumbent, so the
+				// minimality proof is voided — but an incumbent in hand
+				// remains a valid best-effort answer, matching the
+				// engine's own budget semantics; if NO subset yields a
+				// model the budget error surfaces after the loop.
+				unproven.Store(true)
+				return nil
+			}
+			return err
+		}
+		r.SubsetBack = back
+		results[i] = r
+		for {
+			cur := best.Load()
+			if int64(r.Cost) >= cur || best.CompareAndSwap(cur, int64(r.Cost)) {
+				return nil
+			}
 		}
 	}
+
+	workers := 1
+	if opts.Parallel {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > len(subsets) {
+			workers = len(subsets)
+		}
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if runCtx.Err() != nil {
+					continue // drain after cancellation
+				}
+				if err := solveSubset(i); err != nil {
+					errs[i] = err
+					cancel() // a real failure aborts the remaining subsets
+				}
+			}
+		}()
+	}
+	for i := range subsets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exact: solve canceled: %w", err)
 	}
-	var best *Result
-	for _, r := range results {
-		if r != nil && (best == nil || r.Cost < best.Cost) {
-			best = r
+	for _, err := range errs {
+		// Siblings cancelled by another subset's failure report context
+		// errors; the originating error is the one to surface.
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
 		}
 	}
-	if best == nil {
+
+	var win *Result
+	minimal := true
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		minimal = minimal && r.Minimal
+		if win == nil || r.Cost < win.Cost {
+			win = r
+		}
+	}
+	if win == nil {
+		if unproven.Load() {
+			// Every subset either had no mapping or hit the budget; a
+			// budget starvation must not masquerade as unsatisfiability.
+			return nil, errBudgetExhausted
+		}
 		return nil, fmt.Errorf("exact: %w on any connected %d-subset of %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
-	best.Runtime = time.Since(start)
-	return best, nil
+	// The counters aggregate every subset attempt — wins, refutations and
+	// truncated probes alike — and minimality is claimed only when every
+	// solved instance proved its own (pruned subsets are proven by their
+	// strict-bound UNSAT) and no subset's budget ran dry. A zero-cost
+	// winner is trivially optimal whatever happened elsewhere.
+	win.Solves = int(solves.Load())
+	win.Encodes = int(encodes.Load())
+	win.Conflicts = conflicts.Load()
+	win.Minimal = win.Cost == 0 || (minimal && !unproven.Load())
+	win.Runtime = time.Since(start)
+	return win, nil
 }
 
 func solveOne(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {

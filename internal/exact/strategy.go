@@ -15,6 +15,7 @@ package exact
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/circuit"
 )
@@ -40,7 +41,11 @@ const (
 	StrategyTriangle
 )
 
-var strategyNames = map[Strategy]string{
+// strategyNames is the single ordered definition of the strategy names,
+// indexed by the Strategy constants. String, ParseStrategy and Strategies
+// all derive from it, matching the ParseMethod/ParseEngine idiom: ordered
+// (deterministic) scans and errors that enumerate the valid names.
+var strategyNames = [...]string{
 	StrategyAll:      "all",
 	StrategyDisjoint: "disjoint",
 	StrategyOdd:      "odd",
@@ -49,20 +54,28 @@ var strategyNames = map[Strategy]string{
 
 // String returns the strategy's short name.
 func (s Strategy) String() string {
-	if n, ok := strategyNames[s]; ok {
-		return n
+	if s >= 0 && int(s) < len(strategyNames) {
+		return strategyNames[s]
 	}
 	return fmt.Sprintf("strategy(%d)", int(s))
 }
 
-// ParseStrategy converts a short name to a Strategy.
+// Strategies returns the canonical strategy names in constant order — the
+// valid inputs to ParseStrategy (and the CLIs' -strategy flags).
+func Strategies() []string {
+	return append([]string(nil), strategyNames[:]...)
+}
+
+// ParseStrategy converts a short name to a Strategy. The scan over the
+// ordered name table is deterministic, and the error lists every valid
+// name.
 func ParseStrategy(name string) (Strategy, error) {
-	for s, n := range strategyNames {
+	for i, n := range strategyNames {
 		if n == name {
-			return s, nil
+			return Strategy(i), nil
 		}
 	}
-	return 0, fmt.Errorf("exact: unknown strategy %q", name)
+	return 0, fmt.Errorf("exact: unknown strategy %q (valid: %s)", name, strings.Join(Strategies(), ", "))
 }
 
 // PermBefore computes the permutation-point vector for a skeleton under the

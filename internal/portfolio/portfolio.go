@@ -43,7 +43,8 @@ type Options struct {
 	// UpperBound, when positive, supplies an externally known upper bound
 	// on F (e.g. from a heuristic the caller already ran); the bounding
 	// phase is skipped and this value seeds the SAT descent instead. An
-	// unsound bound is safe: a bound-induced UNSAT is retried unbounded.
+	// unsound bound is safe: the SAT engine relaxes the bound assumption
+	// in place when it undercuts the instance's optimum.
 	UpperBound int
 	// Seed seeds the bounding heuristic's random source.
 	Seed int64
@@ -133,11 +134,14 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 }
 
 // race runs both exact engines concurrently and returns the first to
-// produce a valid minimal result, cancelling the other. When a conflict
-// budget is set (SAT.MaxConflicts > 0) the SAT engine's success may be a
-// non-minimal best-effort model, so it is held back until the DP oracle —
-// whose successes are always minimal — either wins the race or fails; this
-// keeps the returned cost deterministic and equal to a lone engine's run.
+// produce a proven-minimal result, cancelling the other. Minimality is
+// judged by what the run itself proved (exact.Result.Minimal): a
+// conflict-budgeted SAT success whose descent was truncated is a
+// best-effort model and is held back until the DP oracle — whose successes
+// are always minimal — either wins the race or fails, while a budgeted
+// descent that completed its UNSAT proof within budget wins immediately.
+// Because every proven-minimal result has the same cost, the returned cost
+// stays deterministic and equal to a lone engine's run.
 func race(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options, bound int) (attempt, error) {
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -150,20 +154,19 @@ func race(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options,
 		}(eng)
 	}
 
-	budgeted := opts.Exact.SAT.MaxConflicts > 0
 	var bestEffort *attempt
 	var errs []error
 	for range engines {
 		at := <-ch
 		if at.err == nil {
-			if at.engine == exact.EngineDP || !budgeted {
-				// Guaranteed minimal: stop the loser. It exits within one
+			if at.res.Minimal {
+				// Proven minimal: stop the loser. It exits within one
 				// restart interval / frame transition and writes to the
 				// buffered channel, so no goroutine blocks behind us.
 				cancel()
 				return at, nil
 			}
-			bestEffort = &at // budgeted SAT: only wins if the oracle fails
+			bestEffort = &at // truncated SAT: only wins if the oracle fails
 			continue
 		}
 		errs = append(errs, fmt.Errorf("%s: %w", at.engine, at.err))
@@ -178,23 +181,19 @@ func race(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options,
 }
 
 // runEngine executes one engine of the race. The SAT engine is seeded with
-// the heuristic upper bound; because restricted strategies (§4.2 odd /
-// triangle) and the §4.1 subset restriction are not guaranteed to admit the
-// heuristic's solution, a bound-induced UNSAT is retried once without the
-// bound before being reported as a genuine failure.
+// the heuristic upper bound. Restricted strategies (§4.2 odd / triangle)
+// and the §4.1 subset restriction are not guaranteed to admit the
+// heuristic's solution, but an unsound bound is harmless: the incremental
+// engine enforces StartBound as a guard assumption and relaxes it in place
+// on the same solver when it proves too tight — the old "retry unbounded"
+// re-encode dance is gone.
 func runEngine(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options, eng exact.Engine, bound int) attempt {
 	eo := opts.Exact
 	eo.Engine = eng
-	seeded := false
 	if eng == exact.EngineSAT && bound > 0 && (eo.SAT.StartBound <= 0 || bound < eo.SAT.StartBound) {
 		eo.SAT.StartBound = bound
-		seeded = true
 	}
 	r, err := exact.Solve(ctx, sk, a, eo)
-	if err != nil && seeded && errors.Is(err, exact.ErrUnsatisfiable) && ctx.Err() == nil {
-		eo.SAT.StartBound = opts.Exact.SAT.StartBound
-		r, err = exact.Solve(ctx, sk, a, eo)
-	}
 	return attempt{res: r, err: err, engine: eng}
 }
 

@@ -222,8 +222,9 @@ func TestFingerprintDistinguishesInstances(t *testing.T) {
 }
 
 // TestBudgetedRaceStaysMinimal guards the race arbitration: with a conflict
-// budget the SAT engine may return a non-minimal best-effort model, which
-// must never outrank the DP oracle's guaranteed minimum.
+// budget the SAT engine may return a truncated best-effort model, which
+// must never outrank the DP oracle's guaranteed minimum — only a run that
+// PROVED its minimum may win the race.
 func TestBudgetedRaceStaysMinimal(t *testing.T) {
 	a := arch.QX4()
 	b, err := revlib.SuiteByName("4gt13_92")
@@ -248,8 +249,8 @@ func TestBudgetedRaceStaysMinimal(t *testing.T) {
 		if got.Cost != want.Cost {
 			t.Errorf("budget %d: cost = %d (winner %s), want minimal %d", budget, got.Cost, got.Winner, want.Cost)
 		}
-		if got.Winner != "dp" {
-			t.Errorf("budget %d: winner = %q, want dp (budgeted SAT must not win while DP succeeds)", budget, got.Winner)
+		if !got.Minimal {
+			t.Errorf("budget %d: winner %q result not proven minimal (truncated SAT must not win while DP succeeds)", budget, got.Winner)
 		}
 	}
 }

@@ -55,6 +55,12 @@ type Solver struct {
 	unsat bool    // empty clause derived at level 0
 	model []lbool // last satisfying assignment
 
+	// unsatAssumptions / failedAssumption record why the last Solve
+	// returned Unsat: a falsified assumption literal (and which one), or
+	// genuine unsatisfiability of the clause set itself.
+	unsatAssumptions bool
+	failedAssumption Lit
+
 	// MaxConflicts, when positive, bounds the total conflicts per Solve
 	// call; exceeding it returns Unknown.
 	MaxConflicts int64
@@ -454,6 +460,8 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // A cancelled or expired context yields Unknown; callers distinguish it
 // from conflict-budget exhaustion via ctx.Err().
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
+	s.unsatAssumptions = false
+	s.failedAssumption = LitUndef
 	if s.unsat {
 		return Unsat
 	}
@@ -502,6 +510,18 @@ func (s *Solver) cancelUntilRoot(st Status) {
 	s.cancelUntil(0)
 }
 
+// UnsatFromAssumptions reports whether the last Solve's Unsat was caused by
+// a falsified assumption literal rather than by the clause set itself. When
+// it returns true the instance may still be satisfiable under weaker (or
+// no) assumptions — the incremental bound descent in internal/exact relies
+// on this to relax an over-tight cost bound without re-encoding.
+func (s *Solver) UnsatFromAssumptions() bool { return s.unsatAssumptions }
+
+// FailedAssumption returns the assumption literal whose falsification
+// caused the last Unsat, or LitUndef when the clause set itself is
+// unsatisfiable (or the last result was not Unsat).
+func (s *Solver) FailedAssumption() Lit { return s.failedAssumption }
+
 // search runs CDCL until a result, a conflict budget exhaustion (returns
 // Unknown to trigger a restart), or an assumption failure.
 func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, maxLearnts int) Status {
@@ -545,7 +565,9 @@ func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, 
 				continue
 			case lFalse:
 				// Conflicts with current clauses: unsatisfiable under
-				// assumptions.
+				// assumptions (the clause set itself may still be SAT).
+				s.unsatAssumptions = true
+				s.failedAssumption = a
 				return Unsat
 			}
 			next = a

@@ -484,3 +484,63 @@ func TestSolveContextPreCancelled(t *testing.T) {
 		t.Errorf("pre-cancelled solve made %d decisions, want 0", s.Stats.Decisions)
 	}
 }
+
+// TestUnsatFromAssumptions distinguishes assumption-caused UNSAT (the
+// instance is still satisfiable without the assumption) from genuine
+// unsatisfiability of the clause set — the bound-relaxation logic of the
+// incremental descent depends on the attribution.
+func TestUnsatFromAssumptions(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Neg(), v[1].Pos()) // v0 → v1
+
+	if got := s.Solve(v[0].Pos(), v[1].Neg()); got != Unsat {
+		t.Fatalf("assume v0 ∧ ¬v1: %v, want UNSAT", got)
+	}
+	if !s.UnsatFromAssumptions() {
+		t.Error("assumption-caused UNSAT not attributed to assumptions")
+	}
+	if fa := s.FailedAssumption(); fa != v[1].Neg() {
+		t.Errorf("FailedAssumption = %v, want %v", fa, v[1].Neg())
+	}
+
+	// A successful solve clears the attribution.
+	if got := s.Solve(v[0].Pos()); got != Sat {
+		t.Fatalf("relaxed solve: %v", got)
+	}
+	if s.UnsatFromAssumptions() || s.FailedAssumption() != LitUndef {
+		t.Error("attribution not cleared by a Sat result")
+	}
+
+	// Genuine unsatisfiability is NOT attributed to assumptions.
+	s.AddClause(v[0].Pos())
+	s.AddClause(v[0].Neg())
+	if got := s.Solve(v[1].Pos()); got != Unsat {
+		t.Fatalf("genuinely unsat: %v", got)
+	}
+	if s.UnsatFromAssumptions() {
+		t.Error("genuine UNSAT misattributed to assumptions")
+	}
+}
+
+// TestUnsatFromAssumptionsLearned: the attribution also holds when the
+// assumption failure is only discovered through conflict analysis (learnt
+// units), not direct propagation of the assumption literals.
+func TestUnsatFromAssumptionsLearned(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 4)
+	// v3 → (v0 ∨ v1), v3 → ¬v0, v3 → ¬v1: assuming v3 is inconsistent,
+	// but only after resolving the three clauses.
+	s.AddClause(v[3].Neg(), v[0].Pos(), v[1].Pos())
+	s.AddClause(v[3].Neg(), v[0].Neg())
+	s.AddClause(v[3].Neg(), v[1].Neg())
+	if got := s.Solve(v[3].Pos(), v[2].Pos()); got != Unsat {
+		t.Fatalf("assume v3: %v, want UNSAT", got)
+	}
+	if !s.UnsatFromAssumptions() {
+		t.Error("learned assumption failure not attributed to assumptions")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("instance must stay satisfiable without assumptions: %v", got)
+	}
+}

@@ -51,8 +51,10 @@ func init() {
 }
 
 // exactFactory builds the factory for one exact-family method. minimal
-// marks methods whose results are guaranteed minimal (the unrestricted §3
-// formulation only); a conflict-budgeted SAT run voids the guarantee.
+// marks methods whose formulation admits the true optimum (the
+// unrestricted §3 formulation only); whether a given run actually proved
+// its optimum is reported by the engine in exact.Result.Minimal, and the
+// Plan claims minimality only when both hold.
 func exactFactory(strategy exact.Strategy, subsets, minimal bool) Factory {
 	return func(cfg Config) (Solver, error) {
 		return exactSolver{cfg: cfg, strategy: strategy, subsets: subsets, minimal: minimal}, nil
@@ -112,10 +114,11 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		Swaps:        er.Solution.SwapCount(),
 		Switches:     er.Solution.SwitchCount(),
 		PermPoints:   er.PermPoints,
-		Minimal:      s.minimal && s.cfg.SAT.MaxConflicts == 0,
+		Minimal:      s.minimal && er.Minimal,
 		Engine:       er.Engine,
 		CacheHit:     cacheHit,
 		SATSolves:    er.Solves,
+		SATEncodes:   er.Encodes,
 		SATConflicts: er.Conflicts,
 		Runtime:      time.Since(start),
 	}, nil

@@ -99,7 +99,10 @@ type Plan struct {
 	// PermPoints is |G'|, the number of in-circuit permutation points the
 	// method considered (exact family only; 0 otherwise).
 	PermPoints int
-	// Minimal reports whether Cost is guaranteed minimal.
+	// Minimal reports whether Cost is guaranteed minimal: the method's
+	// formulation admits the true optimum AND the run itself proved it
+	// (a conflict-budget-truncated descent voids the proof; one that
+	// reached UNSAT within its budget keeps it).
 	Minimal bool
 	// Engine names the backend that produced the plan: "sat" or "dp" for
 	// the exact family (round-tripping with exact.ParseEngine), or the
@@ -107,9 +110,12 @@ type Plan struct {
 	Engine string
 	// CacheHit reports that the plan was served from the portfolio cache.
 	CacheHit bool
-	// SATSolves and SATConflicts count CDCL invocations and conflicts
-	// (SAT engine only; 0 otherwise).
+	// SATSolves, SATEncodes and SATConflicts count CDCL invocations,
+	// CNF encodings and conflicts (SAT engine only; 0 otherwise). The
+	// incremental descent encodes once per instance, so SATEncodes is 1
+	// for a plain exact solve and one per solved subset under §4.1.
 	SATSolves    int
+	SATEncodes   int
 	SATConflicts int64
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration

@@ -228,12 +228,17 @@ type Options struct {
 	// additionally run for small instances).
 	SkipVerify bool
 	// SATStartBound, when positive, seeds the SAT engine's descent with a
-	// known upper bound on F.
+	// known upper bound on F. The bound is enforced as a guard assumption
+	// on the incremental solver; a bound that undercuts the instance's
+	// optimum is relaxed in place rather than failing the solve.
 	SATStartBound int
 	// SATBinaryDescent switches the SAT engine to binary bound search.
+	// Both descent modes encode the instance once and probe bounds via
+	// assumptions (Result.Stats.SATEncodes reports the encode count).
 	SATBinaryDescent bool
 	// SATMaxConflicts bounds each SAT call; 0 = unlimited. Exhausting the
-	// budget returns the best (possibly non-minimal) mapping found.
+	// budget returns the best mapping found; Result.Minimal then reports
+	// whether the truncated descent still managed to prove minimality.
 	SATMaxConflicts int64
 	// InitialLayout, when non-nil, pins the logical→physical layout at
 	// the start of the circuit (exact methods route away from it at SWAP
@@ -280,9 +285,14 @@ type Stats struct {
 	Engine string
 	// CacheHit mirrors Result.CacheHit.
 	CacheHit bool
-	// SATSolves and SATConflicts count CDCL invocations and conflicts
-	// across the solve (SAT engine only).
+	// SATSolves, SATEncodes and SATConflicts count CDCL invocations, CNF
+	// encodings and conflicts across the solve (SAT engine only). The
+	// incremental descent encodes each instance exactly once, whatever the
+	// number of bound probes, so SATEncodes is 1 for a plain exact solve
+	// (one per solved subset under §4.1) — a regression here means the
+	// engine fell back to re-encoding.
 	SATSolves    int
+	SATEncodes   int
 	SATConflicts int64
 }
 
@@ -307,7 +317,11 @@ type Result struct {
 	// method considered (exact methods only; paper's |G'| column counts
 	// one more for the free initial mapping).
 	PermPoints int
-	// Minimal reports whether Cost is guaranteed minimal.
+	// Minimal reports whether Cost is guaranteed minimal: the method's
+	// formulation admits the optimum and the run proved it (a
+	// budget-truncated SAT descent that never reached UNSAT reports
+	// false; one that completed its proof within the budget reports
+	// true).
 	Minimal bool
 	// GatesOptimizedAway counts gates removed by the peephole optimizer
 	// (only when Options.Optimize was set).
@@ -396,6 +410,7 @@ func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.Stats.Engine = plan.Engine
 	res.Stats.CacheHit = plan.CacheHit
 	res.Stats.SATSolves = plan.SATSolves
+	res.Stats.SATEncodes = plan.SATEncodes
 	res.Stats.SATConflicts = plan.SATConflicts
 	if e, err := ParseEngine(plan.Engine); err == nil {
 		res.Engine = e
