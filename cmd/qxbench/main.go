@@ -6,19 +6,24 @@
 // qxmap.MapBatch instead: one concurrent mapping job per benchmark with a
 // bounded worker pool, optional per-job deadlines and fail-soft error
 // collection — the service-style execution path rather than the
-// paper-table harness.
+// paper-table harness. With -json the batch emits a stable perf snapshot
+// (costs, encode/probe/conflict counters, solve times) on stdout, and
+// -baseline compares the run against a committed snapshot, failing on an
+// encode-count regression (sat_encodes ≠ 1), a bound-probe count above the
+// recorded baseline, or a cost change — the CI bench smoke gate.
 //
 // Usage:
 //
 //	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-portfolio]
 //	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
-//	        [-parallel] [-workers 8]
+//	        [-parallel] [-workers 8] [-lower-bound on|off]
 //	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
-//	        [-sat-binary]
+//	        [-sat-binary] [-json] [-baseline BENCH_5.json]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +52,19 @@ func main() {
 	batchMethod := flag.String("batch", "", "map the suite through qxmap.MapBatch with this method ("+strings.Join(qxmap.Methods(), ", ")+") instead of running Table 1")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline in -batch mode (0 = none)")
 	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (-batch mode, SAT engine)")
+	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
+	jsonOut := flag.Bool("json", false, "emit a stable JSON perf snapshot of the batch on stdout (-batch mode)")
+	baseline := flag.String("baseline", "", "compare the batch against this committed perf snapshot and fail on encode/probe/cost regressions (-batch mode)")
 	flag.Parse()
+
+	noLowerBound := false
+	switch *lowerBound {
+	case "on":
+	case "off":
+		noLowerBound = true
+	default:
+		fatal(fmt.Errorf("-lower-bound must be on or off, got %q", *lowerBound))
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -66,7 +83,19 @@ func main() {
 	}
 
 	if *batchMethod != "" {
-		runBatch(ctx, a, *batchMethod, eng, *portfolio, *satBinary, *runs, *names, *workers, *jobTimeout)
+		runBatch(ctx, a, batchConfig{
+			method:       *batchMethod,
+			engine:       eng,
+			portfolio:    *portfolio,
+			satBinary:    *satBinary,
+			noLowerBound: noLowerBound,
+			runs:         *runs,
+			names:        *names,
+			workers:      *workers,
+			jobTimeout:   *jobTimeout,
+			jsonOut:      *jsonOut,
+			baseline:     *baseline,
+		})
 		return
 	}
 
@@ -78,6 +107,7 @@ func main() {
 		Parallel:      *parallel,
 		Workers:       *workers,
 		Portfolio:     *portfolio,
+		NoLowerBound:  noLowerBound,
 	}
 	if *names != "" {
 		cfg.Names = strings.Split(*names, ",")
@@ -96,25 +126,62 @@ func main() {
 	fmt.Print(bench.FormatSummary(bench.Summary(rows)))
 }
 
+// batchConfig carries the -batch mode flags.
+type batchConfig struct {
+	method       string
+	engine       qxmap.Engine
+	portfolio    bool
+	satBinary    bool
+	noLowerBound bool
+	runs         int
+	names        string
+	workers      int
+	jobTimeout   time.Duration
+	jsonOut      bool
+	baseline     string
+}
+
+// snapshotRow is one benchmark's entry in the stable -json perf snapshot.
+// The counters reuse the qxmap wire schema (StatsJSON), so a counter added
+// to Stats flows into the snapshot without a second hand-mirrored type.
+type snapshotRow struct {
+	Name    string          `json:"name"`
+	Cost    int             `json:"cost"`
+	Minimal bool            `json:"minimal"`
+	Stats   qxmap.StatsJSON `json:"stats"`
+}
+
+// batchSnapshot is the -json perf snapshot of a whole batch run — the
+// format committed as BENCH_5.json and compared by -baseline.
+type batchSnapshot struct {
+	Arch       string        `json:"arch"`
+	Method     string        `json:"method"`
+	Engine     string        `json:"engine"`
+	SATBinary  bool          `json:"sat_binary"`
+	Benchmarks []snapshotRow `json:"benchmarks"`
+	TotalCost  int           `json:"total_added_cost"`
+	WallNS     int64         `json:"wall_ns"`
+}
+
 // runBatch maps every suite benchmark as one MapBatch job on a dedicated
 // Mapper instance: the suite fans out across cores, failures (including
 // per-job deadline expiries) are collected per benchmark, and per-stage
-// pipeline timings are reported.
-func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.Engine,
-	portfolio, satBinary bool, runs int, names string, workers int, jobTimeout time.Duration) {
-
-	method, err := qxmap.ParseMethod(methodName)
+// pipeline timings are reported. With jsonOut the run emits the snapshot
+// instead of the table; with baseline it is additionally gated against a
+// committed snapshot.
+func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
+	method, err := qxmap.ParseMethod(cfg.method)
 	if err != nil {
 		fatal(err) // the error lists the valid method names
 	}
-	mapper, err := qxmap.NewMapper(qxmap.WithWorkers(workers))
+	mapper, err := qxmap.NewMapper(qxmap.WithWorkers(cfg.workers))
 	if err != nil {
 		fatal(err)
 	}
 	defer mapper.Close()
 	var selected []string
-	if names != "" {
-		selected = strings.Split(names, ",")
+	if cfg.names != "" {
+		selected = strings.Split(cfg.names, ",")
 	}
 	var jobs []qxmap.Job
 	for _, b := range revlib.Suite() {
@@ -127,10 +194,11 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 			Arch:    a,
 			Opts: qxmap.Options{
 				Method:           method,
-				Engine:           eng,
-				Portfolio:        portfolio,
-				SATBinaryDescent: satBinary,
-				HeuristicRuns:    runs,
+				Engine:           cfg.engine,
+				Portfolio:        cfg.portfolio,
+				SATBinaryDescent: cfg.satBinary,
+				SATNoLowerBound:  cfg.noLowerBound,
+				HeuristicRuns:    cfg.runs,
 				Seed:             1,
 				Lookahead:        0.5,
 			},
@@ -138,32 +206,106 @@ func runBatch(ctx context.Context, a *arch.Arch, methodName string, eng qxmap.En
 	}
 
 	start := time.Now()
-	results := mapper.MapBatch(ctx, jobs, qxmap.BatchOptions{JobTimeout: jobTimeout})
+	results := mapper.MapBatch(ctx, jobs, qxmap.BatchOptions{JobTimeout: cfg.jobTimeout})
 	elapsed := time.Since(start)
 
-	fmt.Printf("%-12s %6s %6s %8s %6s %7s %7s %9s %10s\n",
-		"benchmark", "F", "gates", "engine", "cache", "solves", "encodes", "conflicts", "solve")
+	snap := batchSnapshot{
+		Arch:      a.Name(),
+		Method:    method.String(),
+		Engine:    cfg.engine.String(),
+		SATBinary: cfg.satBinary,
+		WallNS:    elapsed.Nanoseconds(),
+	}
 	failures := 0
-	totalF := 0
 	for _, br := range results {
 		if br.Err != nil {
 			failures++
 			fmt.Fprintf(os.Stderr, "qxbench: %s: %v\n", br.Job.Name, br.Err)
-			fmt.Printf("%-12s %6s\n", br.Job.Name, "FAIL")
 			continue
 		}
 		r := br.Result
-		totalF += r.Cost
-		fmt.Printf("%-12s %6d %6d %8s %6v %7d %7d %9d %10v\n",
-			br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit,
-			r.Stats.SATSolves, r.Stats.SATEncodes, r.Stats.SATConflicts,
-			r.Stats.SolveTime.Round(time.Microsecond))
+		snap.TotalCost += r.Cost
+		snap.Benchmarks = append(snap.Benchmarks, snapshotRow{
+			Name:    br.Job.Name,
+			Cost:    r.Cost,
+			Minimal: r.Minimal,
+			Stats:   r.Stats.JSON(),
+		})
 	}
-	fmt.Printf("\nbatch: %d jobs (%d failed), method=%s, total added gates F=%d, wall-clock %v\n",
-		len(results), failures, method, totalF, elapsed.Round(time.Millisecond))
+
+	if cfg.jsonOut {
+		b, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("%-12s %6s %6s %8s %6s %7s %7s %9s %7s %6s %4s %10s\n",
+			"benchmark", "F", "gates", "engine", "cache", "solves", "encodes", "conflicts", "probes", "jumps", "lb", "solve")
+		for _, br := range results {
+			if br.Err != nil {
+				fmt.Printf("%-12s %6s\n", br.Job.Name, "FAIL")
+				continue
+			}
+			r := br.Result
+			fmt.Printf("%-12s %6d %6d %8s %6v %7d %7d %9d %7d %6d %4d %10v\n",
+				br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit,
+				r.Stats.SATSolves, r.Stats.SATEncodes, r.Stats.SATConflicts,
+				r.Stats.BoundProbes, r.Stats.BoundJumps, r.Stats.LowerBound,
+				r.Stats.SolveTime.Round(time.Microsecond))
+		}
+		fmt.Printf("\nbatch: %d jobs (%d failed), method=%s, total added gates F=%d, wall-clock %v\n",
+			len(results), failures, method, snap.TotalCost, elapsed.Round(time.Millisecond))
+	}
+	if cfg.baseline != "" {
+		if err := compareBaseline(snap, cfg.baseline); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qxbench: baseline %s: no encode, probe or cost regressions\n", cfg.baseline)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// compareBaseline gates the run against a committed snapshot: every
+// benchmark recorded in the baseline must be present in the run (a
+// filtered-away or failed row must not pass the gate vacuously) and must
+// report sat_encodes == 1 per solved instance (the incremental-descent
+// invariant for the plain exact method), a bound-probe count no higher
+// than the baseline's, and an identical cost.
+func compareBaseline(snap batchSnapshot, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base batchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("baseline %s records no benchmarks; the gate would be vacuous", path)
+	}
+	rows := make(map[string]snapshotRow, len(snap.Benchmarks))
+	for _, r := range snap.Benchmarks {
+		rows[r.Name] = r
+	}
+	for _, b := range base.Benchmarks {
+		r, ok := rows[b.Name]
+		if !ok {
+			return fmt.Errorf("baseline regression: %s is in %s but missing from this run (failed or filtered out)", b.Name, path)
+		}
+		if r.Stats.SATEncodes != 1 {
+			return fmt.Errorf("baseline regression: %s encoded %d times, want exactly 1 (incremental descent broke)", b.Name, r.Stats.SATEncodes)
+		}
+		if r.Stats.BoundProbes > b.Stats.BoundProbes {
+			return fmt.Errorf("baseline regression: %s used %d bound probes, baseline %d", b.Name, r.Stats.BoundProbes, b.Stats.BoundProbes)
+		}
+		if r.Cost != b.Cost {
+			return fmt.Errorf("baseline regression: %s cost %d, baseline %d", b.Name, r.Cost, b.Cost)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -39,6 +39,7 @@ func main() {
 	strategyName := flag.String("strategy", "", "permutation-point restriction (paper §4.2) for exact mapping: "+strings.Join(exact.Strategies(), ", ")+" (selects the matching Table-1 method, §4.1 subsets included; only valid with -method exact)")
 	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
 	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (SAT engine)")
+	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
 	seed := flag.Int64("seed", 1, "heuristic random seed")
 	doRender := flag.Bool("render", false, "render original and mapped circuits as ASCII diagrams on stderr")
@@ -94,6 +95,13 @@ func main() {
 		fatal(err)
 	}
 	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, SATBinaryDescent: *satBinary}
+	switch *lowerBound {
+	case "on":
+	case "off":
+		opts.SATNoLowerBound = true
+	default:
+		fatal(fmt.Errorf("-lower-bound must be on or off, got %q", *lowerBound))
+	}
 	if *initial != "" {
 		layout, err := parseLayout(*initial)
 		if err != nil {
@@ -132,6 +140,8 @@ func main() {
 			s.SkeletonTime, s.SolveTime, s.MaterializeTime, s.VerifyTime, s.OptimizeTime)
 		fmt.Fprintf(os.Stderr, "solver: %s via %s, cache-hit=%v, sat-solves=%d, sat-encodes=%d, sat-conflicts=%d\n",
 			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATEncodes, s.SATConflicts)
+		fmt.Fprintf(os.Stderr, "descent: bound-probes=%d, bound-jumps=%d, lower-bound=%d\n",
+			s.BoundProbes, s.BoundJumps, s.LowerBound)
 	}
 	if *doRender {
 		fmt.Fprintln(os.Stderr, "\noriginal:")

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
-//	       [-timeout 60s] [-max-body 8388608]
+//	       [-timeout 60s] [-max-body 8388608] [-lower-bound on|off]
 //
 // Endpoints:
 //
@@ -54,15 +54,27 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request mapping deadline (0 = none); expiry returns 504")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
 	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
+	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	flag.Parse()
 
+	noLowerBound := false
+	switch *lowerBound {
+	case "on":
+	case "off":
+		noLowerBound = true
+	default:
+		fmt.Fprintf(os.Stderr, "qxmapd: -lower-bound must be on or off, got %q\n", *lowerBound)
+		os.Exit(1)
+	}
+
 	s, err := newServer(serverConfig{
-		workers:    *workers,
-		cacheSize:  *cacheSize,
-		portfolio:  *portfolio,
-		reqTimeout: *timeout,
-		maxBody:    *maxBody,
-		maxJobs:    *maxJobs,
+		workers:      *workers,
+		cacheSize:    *cacheSize,
+		portfolio:    *portfolio,
+		reqTimeout:   *timeout,
+		maxBody:      *maxBody,
+		maxJobs:      *maxJobs,
+		noLowerBound: noLowerBound,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qxmapd:", err)

@@ -34,6 +34,10 @@ type serverConfig struct {
 	// and running jobs are never evicted (they are bounded by the
 	// scheduler's queue depth plus the worker count).
 	maxJobs int
+	// noLowerBound disables the SAT engine's admissible lower-bound
+	// seeding for every request served by this instance (the
+	// -lower-bound=off escape hatch).
+	noLowerBound bool
 }
 
 // server is the qxmapd HTTP handler: a thin JSON shell over an
@@ -69,6 +73,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		qxmap.WithWorkers(cfg.workers),
 		qxmap.WithCacheSize(cfg.cacheSize),
 		qxmap.WithPortfolio(cfg.portfolio),
+		qxmap.WithLowerBound(!cfg.noLowerBound),
 		// Bounds async jobs too: the mapper applies this at run start to
 		// any job context that carries no deadline of its own, so a stuck
 		// solve cannot pin a scheduler worker forever. Synchronous

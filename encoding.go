@@ -21,6 +21,9 @@ type StatsJSON struct {
 	SATSolves     int    `json:"sat_solves"`
 	SATEncodes    int    `json:"sat_encodes"`
 	SATConflicts  int64  `json:"sat_conflicts"`
+	BoundProbes   int    `json:"bound_probes"`
+	BoundJumps    int    `json:"bound_jumps"`
+	LowerBound    int    `json:"lower_bound"`
 }
 
 // JSON returns the stable wire encoding of the stats.
@@ -37,6 +40,9 @@ func (s Stats) JSON() StatsJSON {
 		SATSolves:     s.SATSolves,
 		SATEncodes:    s.SATEncodes,
 		SATConflicts:  s.SATConflicts,
+		BoundProbes:   s.BoundProbes,
+		BoundJumps:    s.BoundJumps,
+		LowerBound:    s.LowerBound,
 	}
 }
 

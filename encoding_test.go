@@ -41,6 +41,9 @@ func goldenResult() *Result {
 			SATSolves:       4,
 			SATEncodes:      1,
 			SATConflicts:    123,
+			BoundProbes:     3,
+			BoundJumps:      1,
+			LowerBound:      7,
 		},
 		Method:  MethodExact,
 		Engine:  EngineSAT,

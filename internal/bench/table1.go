@@ -35,10 +35,15 @@ type Column struct {
 	PermPoints int
 	// Solves, Encodes and Conflicts expose the SAT engine's counters for
 	// the column (0 for DP and heuristic runs): encode-count regressions
-	// in the incremental descent show up here.
-	Solves    int
-	Encodes   int
-	Conflicts int64
+	// in the incremental descent show up here. BoundProbes/BoundJumps and
+	// LowerBound instrument the core-guided descent: guarded bound probes,
+	// core-driven multi-step advances, and the admissible seed.
+	Solves      int
+	Encodes     int
+	Conflicts   int64
+	BoundProbes int
+	BoundJumps  int
+	LowerBound  int
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }
@@ -93,6 +98,9 @@ type Config struct {
 	// a cache shared across the whole run. The Engine and SeedSATWithDP
 	// options are then ignored.
 	Portfolio bool
+	// NoLowerBound disables the SAT engine's admissible lower-bound
+	// seeding (the -lower-bound=off escape hatch of cmd/qxbench).
+	NoLowerBound bool
 
 	// cache is the portfolio memo shared by every row of one run.
 	cache *portfolio.Cache
@@ -192,12 +200,15 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 			return nil, Column{}, fmt.Errorf("%s: %w", name, err)
 		}
 		return plan, Column{
-			Cost:      row.OriginalCost + plan.Cost,
-			Added:     plan.Cost,
-			Solves:    plan.SATSolves,
-			Encodes:   plan.SATEncodes,
-			Conflicts: plan.SATConflicts,
-			Runtime:   plan.Runtime,
+			Cost:        row.OriginalCost + plan.Cost,
+			Added:       plan.Cost,
+			Solves:      plan.SATSolves,
+			Encodes:     plan.SATEncodes,
+			Conflicts:   plan.SATConflicts,
+			BoundProbes: plan.BoundProbes,
+			BoundJumps:  plan.BoundJumps,
+			LowerBound:  plan.LowerBound,
+			Runtime:     plan.Runtime,
 		}, nil
 	}
 
@@ -210,6 +221,7 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 
 	exactCfg := func(name string) (solver.Config, error) {
 		scfg := solver.Config{Engine: cfg.Engine}
+		scfg.SAT.NoLowerBound = cfg.NoLowerBound
 		if cfg.Portfolio {
 			scfg.Portfolio = true
 			scfg.Cache = cfg.cache

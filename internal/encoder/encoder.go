@@ -86,8 +86,11 @@ type Encoding struct {
 
 	// costGuards memoizes the activation literal per bound handed out by
 	// CostAtMostLit, so repeated probes of the same bound reuse both the
-	// guard variable and its clauses.
-	costGuards map[int]sat.Lit
+	// guard variable and its clauses; guardBounds is the reverse index, so
+	// an unsat core over guard assumptions can be mapped back to the bounds
+	// it refutes (GuardBound).
+	costGuards  map[int]sat.Lit
+	guardBounds map[sat.Lit]int
 }
 
 // Encode builds the CNF instance for the problem on the given builder. The
@@ -324,7 +327,19 @@ func (e *Encoding) CostAtMostLit(bound int) sat.Lit {
 	g := e.B.LessEqConstGuard(e.CostBits, bound)
 	if e.costGuards == nil {
 		e.costGuards = make(map[int]sat.Lit)
+		e.guardBounds = make(map[sat.Lit]int)
 	}
 	e.costGuards[bound] = g
+	e.guardBounds[g] = bound
 	return g
+}
+
+// GuardBound maps a guard literal minted by CostAtMostLit back to the bound
+// it activates. The incremental descent uses it to translate an unsat core
+// over guard assumptions into the tightest cost bound the conflict actually
+// refuted. Non-guard literals (including the vacuous constant-true literal
+// returned for bounds ≥ MaxCost) report false.
+func (e *Encoding) GuardBound(g sat.Lit) (int, bool) {
+	b, ok := e.guardBounds[g]
+	return b, ok
 }

@@ -360,3 +360,45 @@ func TestCostGuardRelaxAfterTighten(t *testing.T) {
 		t.Error("vacuous bound must not constrain the instance")
 	}
 }
+
+// TestGuardBoundIndex: CostAtMostLit's guards must map back to their bounds
+// through GuardBound, vacuous and foreign literals must not, and an unsat
+// core over several nested guards must resolve to the loosest refuted
+// bound (the core-guided jump the descent relies on).
+func TestGuardBoundIndex(t *testing.T) {
+	s, e := encode(t, Problem{Skeleton: circuit.Figure1b(), Arch: arch.QX4()})
+	if s.Solve() != sat.Sat {
+		t.Fatal("instance should be satisfiable")
+	}
+	g3 := e.CostAtMostLit(3)
+	if b, ok := e.GuardBound(g3); !ok || b != 3 {
+		t.Fatalf("GuardBound(g3) = %d, %v; want 3, true", b, ok)
+	}
+	if _, ok := e.GuardBound(e.B.True()); ok {
+		t.Error("the vacuous constant-true literal must not map to a bound")
+	}
+	if _, ok := e.GuardBound(e.Z[0]); ok {
+		t.Error("a non-guard literal must not map to a bound")
+	}
+
+	// The optimum is 4 (paper Example 7): probing {3, 1, 0} loose→tight is
+	// jointly UNSAT, and the minimized core must name bound 3 — every
+	// probed bound is below the optimum, so the loosest alone is refutable.
+	assume := []sat.Lit{e.CostAtMostLit(3), e.CostAtMostLit(1), e.CostAtMostLit(0)}
+	if s.Solve(assume...) != sat.Unsat || !s.UnsatFromAssumptions() {
+		t.Fatal("bounds below the optimum must be UNSAT via assumptions")
+	}
+	loosest := -1
+	for _, g := range s.UnsatCore() {
+		b, ok := e.GuardBound(g)
+		if !ok {
+			t.Fatalf("core literal %v is not a cost guard", g)
+		}
+		if loosest < 0 || b < loosest {
+			loosest = b
+		}
+	}
+	if loosest != 3 {
+		t.Errorf("minimized core refutes bound %d, want 3 (the loosest probed)", loosest)
+	}
+}

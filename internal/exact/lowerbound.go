@@ -1,0 +1,109 @@
+package exact
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/encoder"
+	"repro/internal/perm"
+)
+
+// admissibleLowerBound computes an admissible lower bound on the cost F of
+// any valid mapping of the problem: 7 times the SWAP lower bound derived
+// from coupling-graph distances (paper §2's cost argument — an interaction
+// whose endpoints sit at physical distance d needs at least d−1 SWAPs —
+// minimized over initial placements in internal/perm), plus 4 times the
+// direction switches forced within single frames. Strategy restrictions
+// only shrink the feasible set, so the bound is admissible for every
+// strategy; a pinned initial mapping restricts the placement minimum to
+// the pin. The SAT descent seeds its refuted-bound floor with this value
+// and stops without a final UNSAT probe once a model meets it.
+func admissibleLowerBound(p encoder.Problem) int {
+	sk, a := p.Skeleton, p.Arch
+	m := a.NumQubits()
+	dist := make([][]int, m)
+	for i := range dist {
+		dist[i] = make([]int, m)
+		for j := range dist[i] {
+			dist[i][j] = a.Distance(i, j)
+		}
+	}
+	pairs := interactionPairs(sk)
+	swapLB := 0
+	if p.InitialMapping != nil {
+		// The run must start at the pin; a disconnected pair (−1) means the
+		// instance is unsatisfiable, which the solve itself will surface.
+		// An invalid pin is left for the encoder's validation to reject.
+		if len(p.InitialMapping) != sk.NumQubits || !p.InitialMapping.Valid(m) {
+			return 0
+		}
+		if lb := perm.PlacementLowerBound(dist, p.InitialMapping, pairs); lb > 0 {
+			swapLB = lb
+		}
+	} else {
+		swapLB = perm.InteractionLowerBound(dist, sk.NumQubits, pairs)
+	}
+	return encoder.SwapCost*swapLB + encoder.HCost*forcedSwitches(p)
+}
+
+// interactionPairs returns the distinct unordered logical-qubit pairs the
+// skeleton's CNOTs act on.
+func interactionPairs(sk *circuit.Skeleton) []perm.Edge {
+	seen := make(map[perm.Edge]bool)
+	var out []perm.Edge
+	for _, g := range sk.Gates {
+		e := perm.Edge{A: g.Control, B: g.Target}.Normalize()
+		if !seen[e] {
+			seen[e] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// forcedSwitches lower-bounds the direction switches: within one frame the
+// mapping is fixed, so on an architecture without any bidirectional
+// coupling a logical pair whose frame runs x forward and y reversed CNOTs
+// pays at least min(x, y) switches whatever edge it is mapped to. Frames
+// with a single gate (the minimality-guaranteeing §3 configuration) never
+// contribute; the §4.2 restricted strategies can.
+func forcedSwitches(p encoder.Problem) int {
+	for _, pr := range p.Arch.Pairs() {
+		if p.Arch.Allows(pr.Target, pr.Control) {
+			return 0 // a bidirectional edge could host any pair for free
+		}
+	}
+	type dirs struct{ fwd, rev int }
+	count := 0
+	var frame map[perm.Edge]*dirs
+	flush := func() {
+		for _, d := range frame {
+			if d.fwd < d.rev {
+				count += d.fwd
+			} else {
+				count += d.rev
+			}
+		}
+	}
+	for k, g := range p.Skeleton.Gates {
+		if k == 0 || p.PermAllowed(k) {
+			if frame != nil {
+				flush()
+			}
+			frame = make(map[perm.Edge]*dirs)
+		}
+		e := perm.Edge{A: g.Control, B: g.Target}
+		d := frame[e.Normalize()]
+		if d == nil {
+			d = &dirs{}
+			frame[e.Normalize()] = d
+		}
+		if e == e.Normalize() {
+			d.fwd++
+		} else {
+			d.rev++
+		}
+	}
+	if frame != nil {
+		flush()
+	}
+	return count
+}

@@ -1,0 +1,212 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/encoder"
+	"repro/internal/revlib"
+)
+
+// TestLowerBoundAdmissibleTable1: on every Table-1 benchmark and strategy,
+// the admissible lower bound must never exceed the DP oracle's proven
+// optimum (full architecture and §4.1 subsets alike).
+func TestLowerBoundAdmissibleTable1(t *testing.T) {
+	a := arch.QX4()
+	for _, b := range revlib.Suite() {
+		sk, err := circuit.ExtractSkeleton(b.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, s := range []Strategy{StrategyAll, StrategyDisjoint, StrategyOdd, StrategyTriangle} {
+			pb := PermBefore(sk, s)
+			lb := admissibleLowerBound(encoder.Problem{Skeleton: sk, Arch: a, PermBefore: pb})
+			dp, err := Solve(bg, sk, a, Options{Engine: EngineDP, Strategy: s})
+			if err != nil {
+				continue // restricted instance may be unsatisfiable
+			}
+			if lb > dp.Cost {
+				t.Errorf("%s/%v: lower bound %d exceeds the optimum %d", b.Name, s, lb, dp.Cost)
+			}
+		}
+	}
+}
+
+// TestLowerBoundAdmissibleRandom: property check on random small skeletons
+// over several architectures, including the subset-restricted instances the
+// §4.1 fan-out generates.
+func TestLowerBoundAdmissibleRandom(t *testing.T) {
+	archs := []*arch.Arch{arch.QX4(), arch.Linear(4), arch.Ring(5)}
+	for seed := int64(0); seed < 40; seed++ {
+		a := archs[seed%int64(len(archs))]
+		n := 2 + int(seed%3)
+		if n > a.NumQubits() {
+			n = a.NumQubits()
+		}
+		sk := randomSkeleton(seed, n, 3+int(seed%6))
+		for _, s := range []Strategy{StrategyAll, StrategyOdd} {
+			pb := PermBefore(sk, s)
+			lb := admissibleLowerBound(encoder.Problem{Skeleton: sk, Arch: a, PermBefore: pb})
+			dp, err := Solve(bg, sk, a, Options{Engine: EngineDP, Strategy: s})
+			if err != nil {
+				continue
+			}
+			if lb > dp.Cost {
+				t.Errorf("seed %d arch %s strategy %v: lower bound %d exceeds optimum %d", seed, a.Name(), s, lb, dp.Cost)
+			}
+		}
+		// Subset instances: every connected n-subset restriction.
+		for _, sub := range a.ConnectedSubsets(n) {
+			ra, _ := a.Restrict(sub)
+			pb := PermBefore(sk, StrategyAll)
+			lb := admissibleLowerBound(encoder.Problem{Skeleton: sk, Arch: ra, PermBefore: pb})
+			p := encoder.Problem{Skeleton: sk, Arch: ra, PermBefore: pb}
+			dp, err := SolveDP(bg, p)
+			if err != nil {
+				continue
+			}
+			if lb > dp.Cost {
+				t.Errorf("seed %d subset %v: lower bound %d exceeds optimum %d", seed, sub, lb, dp.Cost)
+			}
+		}
+	}
+}
+
+// TestLowerBoundAdmissiblePinned: the pinned-placement variant of the bound
+// must stay below the pinned optimum.
+func TestLowerBoundAdmissiblePinned(t *testing.T) {
+	a := arch.QX4()
+	pins := [][]int{{0, 1, 2}, {2, 1, 0}, {4, 3, 2}, {0, 2, 4}}
+	for seed := int64(0); seed < 12; seed++ {
+		sk := randomSkeleton(seed, 3, 5)
+		pin := pins[seed%int64(len(pins))]
+		pb := PermBefore(sk, StrategyAll)
+		lb := admissibleLowerBound(encoder.Problem{Skeleton: sk, Arch: a, PermBefore: pb, InitialMapping: pin})
+		dp, err := Solve(bg, sk, a, Options{Engine: EngineDP, InitialMapping: pin})
+		if err != nil {
+			continue
+		}
+		if lb > dp.Cost {
+			t.Errorf("seed %d pin %v: lower bound %d exceeds optimum %d", seed, pin, lb, dp.Cost)
+		}
+	}
+}
+
+// TestLowerBoundSeedingReported: a SAT run must report the lower bound it
+// seeded, and disabling it must zero the report while preserving the cost.
+func TestLowerBoundSeedingReported(t *testing.T) {
+	lin := arch.Linear(3)
+	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2}, [2]int{0, 2}) // triangle on a line: forced SWAPs
+	pb := PermBefore(sk, StrategyAll)
+	lb := admissibleLowerBound(encoder.Problem{Skeleton: sk, Arch: lin, PermBefore: pb})
+	if lb <= 0 {
+		t.Fatalf("expected a positive lower bound for a triangle on a line, got %d", lb)
+	}
+	seeded, err := Solve(bg, sk, lin, Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.LowerBound != lb {
+		t.Errorf("Result.LowerBound = %d, want %d", seeded.LowerBound, lb)
+	}
+	off, err := Solve(bg, sk, lin, Options{Engine: EngineSAT, SAT: SATOptions{NoLowerBound: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.LowerBound != 0 {
+		t.Errorf("NoLowerBound run reports LowerBound = %d, want 0", off.LowerBound)
+	}
+	if seeded.Cost != off.Cost || !seeded.Minimal || !off.Minimal {
+		t.Errorf("seeding changed the result: seeded %d/%v vs off %d/%v",
+			seeded.Cost, seeded.Minimal, off.Cost, off.Minimal)
+	}
+}
+
+// TestCoreGuidedDescentParity: every descent configuration — linear/binary,
+// with and without core jumps and lower-bound seeding — must agree with the
+// DP oracle and the brute enumerator on the minimal cost, prove minimality,
+// and encode exactly once.
+func TestCoreGuidedDescentParity(t *testing.T) {
+	a := arch.QX4()
+	for seed := int64(0); seed < 10; seed++ {
+		n := 2 + int(seed%2)
+		gates := 2 + int(seed%3)
+		sk := randomSkeleton(seed, n, gates)
+		brute, err := SolveBrute(encoder.Problem{Skeleton: sk, Arch: a})
+		if err != nil {
+			continue
+		}
+		for _, binary := range []bool{false, true} {
+			for _, baseline := range []bool{false, true} {
+				opts := SATOptions{BinaryDescent: binary, NoCoreJumps: baseline, NoLowerBound: baseline}
+				r, err := Solve(bg, sk, a, Options{Engine: EngineSAT, SAT: opts})
+				if err != nil {
+					t.Fatalf("seed %d binary=%v baseline=%v: %v", seed, binary, baseline, err)
+				}
+				if r.Cost != brute {
+					t.Errorf("seed %d binary=%v baseline=%v: cost %d, brute %d", seed, binary, baseline, r.Cost, brute)
+				}
+				if !r.Minimal {
+					t.Errorf("seed %d binary=%v baseline=%v: minimality proof lost", seed, binary, baseline)
+				}
+				if r.Encodes != 1 {
+					t.Errorf("seed %d binary=%v baseline=%v: Encodes = %d, want 1", seed, binary, baseline, r.Encodes)
+				}
+			}
+		}
+	}
+}
+
+// TestCoreJumpsAndSeedingCutProbes is the acceptance check of the
+// core-guided descent: on Table-1 benchmarks, binary descent with core
+// jumps and lower-bound seeding must perform strictly fewer bound probes in
+// total than the single-bound unseeded baseline (the PR 4 behavior), while
+// reporting identical DP-verified costs, Encodes == 1 and Minimal == true
+// per instance.
+func TestCoreJumpsAndSeedingCutProbes(t *testing.T) {
+	a := arch.QX4()
+	names := []string{"3_17_13", "ex-1_166", "ham3_102", "4gt11_84"}
+	totalNew, totalBase := 0, 0
+	for _, name := range names {
+		b, err := revlib.SuiteByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := circuit.ExtractSkeleton(b.Circuit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := Solve(bg, sk, a, Options{Engine: EngineDP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(opts SATOptions) *Result {
+			r, err := Solve(bg, sk, a, Options{Engine: EngineSAT, SAT: opts})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if r.Cost != dp.Cost {
+				t.Fatalf("%s: SAT cost %d, DP cost %d", name, r.Cost, dp.Cost)
+			}
+			if r.Encodes != 1 {
+				t.Errorf("%s: Encodes = %d, want 1", name, r.Encodes)
+			}
+			if !r.Minimal {
+				t.Errorf("%s: minimality proof lost", name)
+			}
+			return r
+		}
+		guided := run(SATOptions{BinaryDescent: true})
+		baseline := run(SATOptions{BinaryDescent: true, NoCoreJumps: true, NoLowerBound: true})
+		if guided.BoundProbes > baseline.BoundProbes {
+			t.Errorf("%s: guided descent used %d probes, baseline %d", name, guided.BoundProbes, baseline.BoundProbes)
+		}
+		totalNew += guided.BoundProbes
+		totalBase += baseline.BoundProbes
+	}
+	if totalNew >= totalBase {
+		t.Errorf("guided descent used %d total bound probes, baseline %d — want strictly fewer", totalNew, totalBase)
+	}
+	t.Logf("bound probes: guided %d vs baseline %d", totalNew, totalBase)
+}

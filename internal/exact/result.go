@@ -32,12 +32,27 @@ type Result struct {
 	// Encodes counts encoder.Encode calls behind this result (SAT engine
 	// only; 0 for the DP engine). The incremental descent encodes exactly
 	// once per SolveSAT call, so a plain run reports 1 and a §4.1 subset
-	// run reports one per attempted subset instance (pruned ones
-	// included).
+	// run reports one per attempted subset instance — except subsets whose
+	// admissible lower bound already exceeded the shared incumbent's strict
+	// bound, which are refuted without encoding at all.
 	Encodes int
 	// Conflicts counts CDCL conflicts across all solver invocations of the
 	// run (SAT engine only; 0 for the DP engine).
 	Conflicts int64
+	// BoundProbes counts solver invocations that probed a cost bound via
+	// guard assumptions — the descent steps proper, excluding unbounded
+	// initial solves (SAT engine only). A §4.1 run aggregates the probes of
+	// every attempted subset.
+	BoundProbes int
+	// BoundJumps counts UNSAT probes where core analysis paid off: the
+	// minimized assumption core refuted a looser bound than the tightest
+	// one assumed, so the floor advanced past what the probe's conjunction
+	// alone implies (SAT engine only).
+	BoundJumps int
+	// LowerBound is the admissible lower bound on F that seeded the
+	// descent (0 when disabled or trivial; SAT engine only). For a §4.1
+	// run it is the winning subset's own bound.
+	LowerBound int
 	// Minimal reports whether Cost is PROVEN minimal for this instance by
 	// the run itself: the SAT descent reached UNSAT below Cost (or Cost is
 	// 0), or the DP/brute oracle ran to completion. A conflict-budgeted

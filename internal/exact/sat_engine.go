@@ -3,6 +3,7 @@ package exact
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cnf"
@@ -37,6 +38,24 @@ type SATOptions struct {
 	// When the budget is exhausted the best model so far is returned with
 	// Result.Minimal false (the proof was truncated).
 	MaxConflicts int64
+	// LowerBound, when positive, is an admissible lower bound on F: the
+	// descent treats every bound below it as already refuted (seeding the
+	// binary search's lower end) and accepts a model matching it without a
+	// final UNSAT probe. An inadmissible value (above the true optimum)
+	// silently voids the minimality guarantee, so only pass proven bounds.
+	// When zero, the engine computes the coupling-graph distance bound
+	// itself (see NoLowerBound).
+	LowerBound int
+	// NoLowerBound disables the automatic admissible lower-bound
+	// computation when LowerBound is zero — the escape hatch behind the
+	// CLIs' -lower-bound=off flags, and the baseline configuration for
+	// probe-count comparisons.
+	NoLowerBound bool
+	// NoCoreJumps restricts every descent probe to a single bound guard,
+	// disabling the unsat-core-guided multi-bound probing. With
+	// NoLowerBound it reproduces the pre-core bound-per-probe descent;
+	// kept as an escape hatch and for regression benchmarking.
+	NoCoreJumps bool
 }
 
 // SolveSAT finds the minimal-cost mapping for the problem using the paper's
@@ -49,11 +68,39 @@ type SATOptions struct {
 // linear tightening step, each binary-search midpoint — is enforced by
 // passing the bound's activation literal (Encoding.CostAtMostLit) as a
 // solver assumption. UNSAT probes therefore never poison the instance and
-// learnt clauses survive across all probes. The context cancels the run:
-// the solver notices within one restart interval and SolveSAT returns
-// ctx.Err() (wrapped).
+// learnt clauses survive across all probes.
+//
+// Two mechanisms cut the number of probes further. The descent's lower end
+// is seeded with an admissible lower bound from the coupling-graph distance
+// sum (Result.LowerBound): bounds below it are never probed, and a model
+// meeting it is accepted as minimal without the closing UNSAT call. And
+// unless NoCoreJumps is set, each probe assumes the primary bound plus one
+// or two optimistic bounds below it; on UNSAT the solver's minimized
+// assumption core (sat.Solver.UnsatCore) names the loosest bound that is
+// actually inconsistent, so a single call can refute a whole range
+// (Result.BoundJumps counts these multi-step advances).
+//
+// The context cancels the run: the solver notices within a few hundred
+// conflicts and SolveSAT returns ctx.Err() (wrapped).
 func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result, error) {
 	start := time.Now()
+	lb := opts.LowerBound
+	if lb <= 0 {
+		lb = 0
+		if !opts.NoLowerBound {
+			lb = admissibleLowerBound(p)
+		}
+	}
+	if opts.StrictBound && opts.StartBound > 0 && lb > opts.StartBound {
+		// The admissible lower bound already exceeds the strict cap: no
+		// mapping under the bound exists, no encode or probe needed. The
+		// §4.1 fan-out hits this when a subset's geometry cannot beat the
+		// shared incumbent.
+		res := &Result{WorkArch: p.Arch, Engine: EngineSAT.String(), LowerBound: lb, Minimal: true}
+		return res, fmt.Errorf("exact: %w (admissible lower bound %d exceeds the strict bound %d)",
+			ErrUnsatisfiable, lb, opts.StartBound)
+	}
+
 	solver := sat.NewSolver()
 	solver.MaxConflicts = opts.MaxConflicts
 	b := cnf.NewBuilder(solver)
@@ -66,13 +113,14 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 		PermPoints: enc.NumPermPoints(),
 		Engine:     EngineSAT.String(),
 		Encodes:    1,
+		LowerBound: lb,
 	}
 
 	var best *encoder.Solution
 	if opts.BinaryDescent {
-		best, err = minimizeBinary(ctx, solver, enc, res, opts)
+		best, err = minimizeBinary(ctx, solver, enc, res, opts, lb)
 	} else {
-		best, err = minimizeLinear(ctx, solver, enc, res, opts)
+		best, err = minimizeLinear(ctx, solver, enc, res, opts, lb)
 	}
 	res.Conflicts = solver.Stats.Conflicts
 	// Failures past this point still return the Result so callers can
@@ -112,15 +160,66 @@ func relaxable(solver *sat.Solver, opts SATOptions, assumed, haveModel bool) boo
 	return assumed && !haveModel && !opts.StrictBound && solver.UnsatFromAssumptions()
 }
 
-// minimizeLinear performs linear bound descent on one solver instance:
-// each satisfying model's cost C is followed by a probe under the guard
-// assumption F ≤ C−1 until UNSAT, which proves minimality of the last
-// model (Result.Minimal).
-func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+// probeAssumptions builds the guard set for probing `bound` given `lo`, the
+// largest bound already refuted: the primary guard first, then (unless core
+// jumps are disabled) up to two optimistic bounds halfway and quarter-way
+// down towards lo. The order matters: the solver's core minimization tries
+// to remove later assumptions first, so listing loose→tight steers the
+// minimized core towards the loosest refutable bound — the biggest jump.
+func probeAssumptions(enc *encoder.Encoding, bound, lo int, opts SATOptions) []sat.Lit {
+	assume := []sat.Lit{enc.CostAtMostLit(bound)}
+	if opts.NoCoreJumps {
+		return assume
+	}
+	if b1 := lo + (bound-lo)/2; b1 > lo && b1 < bound {
+		assume = append(assume, enc.CostAtMostLit(b1))
+		if b2 := lo + (b1-lo)/2; b2 > lo && b2 < b1 {
+			assume = append(assume, enc.CostAtMostLit(b2))
+		}
+	}
+	return assume
+}
+
+// coreRefutedBound translates the solver's minimized unsat core back into
+// the loosest cost bound proven unsatisfiable. The guards are nested (the
+// conjunction of a core equals its tightest bound), so a core that kept
+// only the loosest assumed guard refutes the whole probed range in one
+// call. It returns the refuted bound and whether core analysis improved on
+// the trivial reading of the probe (the tightest assumed bound) — a
+// core-guided jump.
+func coreRefutedBound(solver *sat.Solver, enc *encoder.Encoding, assumed []sat.Lit) (int, bool) {
+	minAssumed := math.MaxInt
+	for _, g := range assumed {
+		if b, ok := enc.GuardBound(g); ok && b < minAssumed {
+			minAssumed = b
+		}
+	}
+	refuted := math.MaxInt
+	for _, g := range solver.UnsatCore() {
+		if b, ok := enc.GuardBound(g); ok && b < refuted {
+			refuted = b
+		}
+	}
+	if refuted == math.MaxInt {
+		refuted = minAssumed // defensive: no guard survived into the core
+	}
+	return refuted, minAssumed != math.MaxInt && refuted > minAssumed
+}
+
+// minimizeLinear performs linear bound descent on one solver instance: each
+// satisfying model's cost C is followed by a probe under the guard
+// assumption F ≤ C−1 (plus optimistic bounds below it) until UNSAT proves
+// minimality of the last model, the model cost reaches the admissible lower
+// bound, or the refuted floor `lo` climbs to meet C−1.
+func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
 	var best *encoder.Solution
+	lo := lb - 1 // largest bound known unsatisfiable (admissibility of lb)
 	assume := startAssumptions(enc, opts)
 	for {
 		res.Solves++
+		if len(assume) > 0 {
+			res.BoundProbes++
+		}
 		status := solver.SolveContext(ctx, assume...)
 		switch status {
 		case sat.Unknown:
@@ -139,32 +238,57 @@ func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encodi
 				assume = nil
 				continue
 			}
-			res.Minimal = true // UNSAT below best proves it (or the instance is UNSAT)
-			return best, nil
+			if best == nil {
+				res.Minimal = true // the instance (or strict bound) is proven UNSAT
+				return nil, nil
+			}
+			// The probe may have carried optimistic bounds below the
+			// primary F ≤ C−1; the core names the loosest bound actually
+			// refuted. Only when that reaches C−1 is the model proven
+			// minimal — otherwise raise the floor and re-probe.
+			refuted, jumped := coreRefutedBound(solver, enc, assume)
+			if jumped {
+				res.BoundJumps++
+			}
+			if refuted > lo {
+				lo = refuted
+			}
+			if lo >= best.Cost-1 {
+				res.Minimal = true
+				return best, nil
+			}
+			assume = probeAssumptions(enc, best.Cost-1, lo, opts)
+			continue
 		}
 		sol, err := enc.Decode()
 		if err != nil {
 			return nil, err
 		}
 		best = sol
-		if sol.Cost == 0 {
+		if sol.Cost-1 <= lo {
+			// The model meets the admissible lower bound (or the refuted
+			// floor): minimal without a closing UNSAT probe.
 			res.Minimal = true
 			return best, nil
 		}
-		assume = []sat.Lit{enc.CostAtMostLit(sol.Cost - 1)}
+		assume = probeAssumptions(enc, sol.Cost-1, lo, opts)
 	}
 }
 
 // minimizeBinary performs binary search on the cost bound (the "binary
 // search" alternative mentioned in paper §3.3) on the SAME solver and
-// encoding as the initial solve: each midpoint probe assumes the guard
-// literal of F ≤ mid, so an UNSAT probe merely fails an assumption instead
-// of poisoning the instance, and no per-midpoint re-encode is needed. SAT
-// probes lower the upper end to the model's cost; UNSAT probes raise the
-// lower end; convergence proves minimality.
-func minimizeBinary(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions) (*encoder.Solution, error) {
+// encoding as the initial solve. The lower end starts at the admissible
+// lower bound instead of −1, each midpoint probe additionally assumes one
+// or two optimistic bounds below the midpoint, and an UNSAT probe advances
+// the lower end to the loosest bound in the solver's minimized assumption
+// core — one call can refute a whole range. SAT probes lower the upper end
+// to the model's cost; convergence proves minimality.
+func minimizeBinary(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
 	assume := startAssumptions(enc, opts)
 	res.Solves++
+	if len(assume) > 0 {
+		res.BoundProbes++
+	}
 	status := solver.SolveContext(ctx, assume...)
 	if status == sat.Unsat && relaxable(solver, opts, len(assume) > 0, false) {
 		res.Solves++
@@ -184,18 +308,26 @@ func minimizeBinary(ctx context.Context, solver *sat.Solver, enc *encoder.Encodi
 	if err != nil {
 		return nil, err
 	}
-	lo := -1 // largest bound proven UNSAT
+	lo := lb - 1 // largest bound refuted: seeded by admissibility, raised by cores
 	for best.Cost > lo+1 {
 		mid := lo + (best.Cost-lo)/2
+		assume := probeAssumptions(enc, mid, lo, opts)
 		res.Solves++
-		switch solver.SolveContext(ctx, enc.CostAtMostLit(mid)) {
+		res.BoundProbes++
+		switch solver.SolveContext(ctx, assume...) {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("exact: solve canceled: %w", err)
 			}
 			return best, nil // budget exhausted: best-effort, Minimal stays false
 		case sat.Unsat:
-			lo = mid
+			refuted, jumped := coreRefutedBound(solver, enc, assume)
+			if jumped {
+				res.BoundJumps++
+			}
+			if refuted > lo {
+				lo = refuted
+			}
 		case sat.Sat:
 			sol, err := enc.Decode()
 			if err != nil {

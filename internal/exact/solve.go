@@ -142,7 +142,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	var best atomic.Int64
 	best.Store(math.MaxInt64)
 	var unproven atomic.Bool // a subset's budget ran dry: optimum unconfirmed
-	var solves, encodes, conflicts atomic.Int64
+	var solves, encodes, conflicts, boundProbes, boundJumps atomic.Int64
 	results := make([]*Result, len(subsets))
 	errs := make([]error, len(subsets))
 	runCtx, cancel := context.WithCancel(ctx)
@@ -172,6 +172,8 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 			solves.Add(int64(r.Solves))
 			encodes.Add(int64(r.Encodes))
 			conflicts.Add(r.Conflicts)
+			boundProbes.Add(int64(r.BoundProbes))
+			boundJumps.Add(int64(r.BoundJumps))
 		}
 		if err != nil {
 			if errors.Is(err, ErrUnsatisfiable) {
@@ -269,6 +271,8 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	win.Solves = int(solves.Load())
 	win.Encodes = int(encodes.Load())
 	win.Conflicts = conflicts.Load()
+	win.BoundProbes = int(boundProbes.Load())
+	win.BoundJumps = int(boundJumps.Load())
 	win.Minimal = win.Cost == 0 || (minimal && !unproven.Load())
 	win.Runtime = time.Since(start)
 	return win, nil

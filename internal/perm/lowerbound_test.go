@@ -1,0 +1,74 @@
+package perm
+
+import "testing"
+
+// lineDist builds the hop-distance matrix of a path graph on m nodes.
+func lineDist(m int) [][]int {
+	d := make([][]int, m)
+	for i := range d {
+		d[i] = make([]int, m)
+		for j := range d[i] {
+			if i > j {
+				d[i][j] = i - j
+			} else {
+				d[i][j] = j - i
+			}
+		}
+	}
+	return d
+}
+
+func TestPlacementLowerBound(t *testing.T) {
+	d := lineDist(5)
+	// Logical 0 at one end, logical 1 at the other: distance 4 → 3 swaps.
+	if got := PlacementLowerBound(d, Mapping{0, 4}, []Edge{{A: 0, B: 1}}); got != 3 {
+		t.Errorf("single distant pair: %d, want 3", got)
+	}
+	// Adjacent pair: no deficit.
+	if got := PlacementLowerBound(d, Mapping{0, 1}, []Edge{{A: 0, B: 1}}); got != 0 {
+		t.Errorf("adjacent pair: %d, want 0", got)
+	}
+	// Two disjoint distant pairs: matching sum 1+1 → ⌈2/2⌉ = 1, but the
+	// single-pair bound is also 1; both pairs at distance 2.
+	if got := PlacementLowerBound(d, Mapping{0, 2, 4, 2}, nil); got != 0 {
+		t.Errorf("no pairs: %d, want 0", got)
+	}
+	// Disconnected pair reports −1.
+	disc := [][]int{{0, -1}, {-1, 0}}
+	if got := PlacementLowerBound(disc, Mapping{0, 1}, []Edge{{A: 0, B: 1}}); got != -1 {
+		t.Errorf("disconnected pair: %d, want -1", got)
+	}
+}
+
+func TestInteractionLowerBoundTriangleOnLine(t *testing.T) {
+	// A triangle interaction graph cannot embed in a path: any placement
+	// leaves one pair at distance ≥ 2, so at least one SWAP is forced.
+	d := lineDist(3)
+	pairs := []Edge{{A: 0, B: 1}, {A: 1, B: 2}, {A: 0, B: 2}}
+	if got := InteractionLowerBound(d, 3, pairs); got != 1 {
+		t.Errorf("triangle on a line: %d, want 1", got)
+	}
+	// A path interaction graph embeds: bound 0.
+	if got := InteractionLowerBound(d, 3, pairs[:2]); got != 0 {
+		t.Errorf("path on a line: %d, want 0", got)
+	}
+}
+
+func TestInteractionLowerBoundMatching(t *testing.T) {
+	// Star K1,4 on a 5-path: the center must be adjacent to 4 leaves but a
+	// path has degree ≤ 2, so at least two pairs start at distance ≥ 2.
+	d := lineDist(5)
+	pairs := []Edge{{A: 0, B: 1}, {A: 0, B: 2}, {A: 0, B: 3}, {A: 0, B: 4}}
+	if got := InteractionLowerBound(d, 5, pairs); got < 1 {
+		t.Errorf("K1,4 on a path: %d, want ≥ 1", got)
+	}
+}
+
+func TestInteractionLowerBoundTooLarge(t *testing.T) {
+	// Oversized placement spaces fall back to the trivial bound.
+	d := lineDist(16)
+	pairs := []Edge{{A: 0, B: 1}}
+	if got := InteractionLowerBound(d, 12, pairs); got != 0 {
+		t.Errorf("oversized space: %d, want 0", got)
+	}
+}

@@ -5,7 +5,11 @@
 //     the instance (skeleton, architecture, strategy, subsets, pin),
 //  2. runs the cheap stochastic heuristic to obtain an upper bound on the
 //     cost F and seeds the SAT engine's descent with it
-//     (exact.SATOptions.StartBound), and
+//     (exact.SATOptions.StartBound) — the engine independently derives an
+//     admissible lower bound from coupling-graph distances
+//     (exact.SATOptions.LowerBound), so the descent is squeezed from both
+//     ends: the heuristic caps the first model, the distance bound floors
+//     the final UNSAT proof — and
 //  3. races the SAT and DP exact engines concurrently: the first engine to
 //     return a valid minimal result wins and the loser is cancelled via
 //     context, which it notices within one restart interval (SAT) or one

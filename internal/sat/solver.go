@@ -57,9 +57,12 @@ type Solver struct {
 
 	// unsatAssumptions / failedAssumption record why the last Solve
 	// returned Unsat: a falsified assumption literal (and which one), or
-	// genuine unsatisfiability of the clause set itself.
+	// genuine unsatisfiability of the clause set itself. unsatCore is the
+	// minimized subset of the assumptions that final-conflict analysis
+	// proved jointly inconsistent with the clause set.
 	unsatAssumptions bool
 	failedAssumption Lit
+	unsatCore        []Lit
 
 	// MaxConflicts, when positive, bounds the total conflicts per Solve
 	// call; exceeding it returns Unknown.
@@ -455,13 +458,28 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 }
 
 // SolveContext is Solve with cancellation support: the context is checked
-// at every restart boundary (each restart is bounded by 100·luby(i)
-// conflicts, so cancellation takes effect within one restart interval).
-// A cancelled or expired context yields Unknown; callers distinguish it
-// from conflict-budget exhaustion via ctx.Err().
+// at every restart boundary and additionally every ctxCheckConflicts
+// conflicts within a restart, so cancellation takes effect promptly even
+// inside the long late-Luby restart intervals. A cancelled or expired
+// context yields Unknown; callers distinguish it from conflict-budget
+// exhaustion via ctx.Err().
+//
+// When the result is Unsat because of the assumptions, the minimized
+// inconsistent subset of the assumptions is available from UnsatCore.
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
+	st := s.solveLimited(ctx, assumptions, s.MaxConflicts)
+	if st == Unsat && s.unsatAssumptions && len(s.unsatCore) > 1 {
+		s.minimizeCore(ctx, assumptions)
+	}
+	return st
+}
+
+// solveLimited runs the restart loop under the given conflict budget
+// (0 = unlimited) without core minimization.
+func (s *Solver) solveLimited(ctx context.Context, assumptions []Lit, maxConflicts int64) Status {
 	s.unsatAssumptions = false
 	s.failedAssumption = LitUndef
+	s.unsatCore = nil
 	if s.unsat {
 		return Unsat
 	}
@@ -482,14 +500,14 @@ func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 		}
 		restart++
 		budget := 100 * luby(restart)
-		st := s.search(assumptions, budget, &totalConflicts, maxLearnts)
+		st := s.search(ctx, assumptions, budget, &totalConflicts, maxConflicts, maxLearnts)
 		switch st {
 		case Sat, Unsat:
 			s.cancelUntilRoot(st)
 			return st
 		}
 		s.Stats.Restarts++
-		if s.MaxConflicts > 0 && totalConflicts >= s.MaxConflicts {
+		if maxConflicts > 0 && totalConflicts >= maxConflicts {
 			s.cancelUntil(0)
 			return Unknown
 		}
@@ -522,9 +540,138 @@ func (s *Solver) UnsatFromAssumptions() bool { return s.unsatAssumptions }
 // unsatisfiable (or the last result was not Unsat).
 func (s *Solver) FailedAssumption() Lit { return s.failedAssumption }
 
+// UnsatCore returns the minimized unsat core over the assumptions of the
+// last Solve: a subset of the assumption literals whose conjunction is
+// already inconsistent with the clause set. It is non-empty exactly when
+// UnsatFromAssumptions reports true. Final-conflict analysis walks the
+// implication graph from the falsified assumption back to assumption-level
+// decisions (collecting only the assumptions that actually participated in
+// the conflict), and the result is then shrunk by recursive literal-removal
+// minimization: each literal is tentatively dropped and the rest re-solved
+// under a small conflict budget on the same instance — removal attempts run
+// in reverse assumption order, so callers probing nested constraints should
+// pass the weakest (most likely redundant-making) assumptions first.
+//
+// The returned slice is owned by the solver and valid until the next Solve.
+func (s *Solver) UnsatCore() []Lit { return s.unsatCore }
+
+// analyzeFinal computes the subset of the current assumptions that implies
+// ¬p, given that assumption p was found falsified while re-establishing the
+// assumption levels. It walks the trail from the top down to the first
+// decision, expanding reasons of marked variables; marked decisions are
+// assumption literals (the only decisions below the failure point) and join
+// the core alongside p itself.
+func (s *Solver) analyzeFinal(p Lit) []Lit {
+	core := []Lit{p}
+	if s.decisionLevel() == 0 {
+		return core
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if r := s.reason[v]; r == nil {
+			// A decision below the failure point is an assumption, recorded
+			// on the trail exactly as it was passed to Solve.
+			core = append(core, s.trail[i])
+		} else {
+			for _, l := range r.lits {
+				if s.level[l.Var()] > 0 {
+					s.seen[l.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+	return core
+}
+
+// minimizeCoreConflicts bounds each literal-removal probe of the core
+// minimization. A probe that exceeds it keeps its literal — minimization
+// only ever shrinks a correct core, so truncation stays sound.
+const minimizeCoreConflicts = 1000
+
+// minimizeCore shrinks unsatCore by recursive literal removal: drop one
+// literal, re-solve the remainder under a conflict budget on the same
+// instance (learnt clauses make these probes cheap), and on Unsat adopt the
+// probe's own — possibly much smaller — core. Candidates are tried in
+// reverse order of the original assumption list. Total minimization work is
+// bounded: each probe gets at most minimizeCoreConflicts conflicts, and the
+// whole pass stops once it has spent either MaxConflicts (when the caller
+// budgeted the solve — minimization must not blow a latency contract) or a
+// few probes' worth of conflicts, whichever is smaller.
+func (s *Solver) minimizeCore(ctx context.Context, assumptions []Lit) {
+	pos := make(map[Lit]int, len(assumptions))
+	for i, a := range assumptions {
+		pos[a] = i
+	}
+	core := append([]Lit(nil), s.unsatCore...)
+	sort.Slice(core, func(i, j int) bool { return pos[core[i]] > pos[core[j]] })
+	failed := s.failedAssumption
+
+	perProbe := int64(minimizeCoreConflicts)
+	allowance := 8 * perProbe
+	if s.MaxConflicts > 0 && s.MaxConflicts < allowance {
+		allowance = s.MaxConflicts
+	}
+	if perProbe > allowance {
+		perProbe = allowance
+	}
+	spent := s.Stats.Conflicts
+
+	for i := 0; i < len(core) && len(core) > 1; {
+		if s.Stats.Conflicts-spent >= allowance {
+			break // minimization allowance exhausted; the core stays sound
+		}
+		trial := make([]Lit, 0, len(core)-1)
+		trial = append(trial, core[:i]...)
+		trial = append(trial, core[i+1:]...)
+		st := s.solveLimited(ctx, trial, perProbe)
+		switch {
+		case st == Unsat && s.unsatAssumptions:
+			// Still inconsistent without core[i]; adopt the probe's core
+			// (a subset of trial, possibly dropping several literals) and
+			// rescan from the front.
+			core = append(core[:0], s.unsatCore...)
+			sort.Slice(core, func(a, b int) bool { return pos[core[a]] > pos[core[b]] })
+			i = 0
+		case st == Unsat:
+			// The probe derived genuine unsatisfiability of the clause set:
+			// no assumption subset is to blame anymore.
+			s.unsatAssumptions = false
+			s.failedAssumption = LitUndef
+			s.unsatCore = nil
+			return
+		default:
+			i++ // Sat or budget/ctx truncation: the literal stays
+		}
+	}
+
+	// Restore the attribution the probes overwrote.
+	s.unsatAssumptions = true
+	s.unsatCore = core
+	s.failedAssumption = core[0]
+	for _, l := range core {
+		if l == failed {
+			s.failedAssumption = failed
+			break
+		}
+	}
+}
+
+// ctxCheckConflicts is the conflict interval at which an in-flight search
+// polls the context. Restart boundaries alone are not enough: late Luby
+// restarts run thousands of conflicts, so a long probe could outlive its
+// deadline by seconds.
+const ctxCheckConflicts = 256
+
 // search runs CDCL until a result, a conflict budget exhaustion (returns
-// Unknown to trigger a restart), or an assumption failure.
-func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, maxLearnts int) Status {
+// Unknown to trigger a restart), a context cancellation (also Unknown; the
+// caller re-checks ctx), or an assumption failure.
+func (s *Solver) search(ctx context.Context, assumptions []Lit, budget int64, totalConflicts *int64, maxConflicts int64, maxLearnts int) Status {
 	var conflicts int64
 	for {
 		confl := s.propagate()
@@ -547,7 +694,11 @@ func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, 
 			if len(s.learnts) >= maxLearnts+len(s.trail) {
 				s.reduceDB()
 			}
-			if conflicts >= budget || (s.MaxConflicts > 0 && *totalConflicts >= s.MaxConflicts) {
+			if conflicts >= budget || (maxConflicts > 0 && *totalConflicts >= maxConflicts) {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if conflicts%ctxCheckConflicts == 0 && ctx.Err() != nil {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -566,8 +717,11 @@ func (s *Solver) search(assumptions []Lit, budget int64, totalConflicts *int64, 
 			case lFalse:
 				// Conflicts with current clauses: unsatisfiable under
 				// assumptions (the clause set itself may still be SAT).
+				// Final-conflict analysis pins down which assumptions
+				// actually participated.
 				s.unsatAssumptions = true
 				s.failedAssumption = a
+				s.unsatCore = s.analyzeFinal(a)
 				return Unsat
 			}
 			next = a

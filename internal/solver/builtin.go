@@ -120,6 +120,9 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		SATSolves:    er.Solves,
 		SATEncodes:   er.Encodes,
 		SATConflicts: er.Conflicts,
+		BoundProbes:  er.BoundProbes,
+		BoundJumps:   er.BoundJumps,
+		LowerBound:   er.LowerBound,
 		Runtime:      time.Since(start),
 	}, nil
 }

@@ -117,6 +117,15 @@ type Plan struct {
 	SATSolves    int
 	SATEncodes   int
 	SATConflicts int64
+	// BoundProbes and BoundJumps instrument the SAT descent: probes are
+	// solver calls that tested a cost bound via guard assumptions, jumps
+	// are UNSAT probes whose minimized assumption core refuted a looser
+	// bound than the tightest assumed, skipping several descent steps.
+	BoundProbes int
+	BoundJumps  int
+	// LowerBound is the admissible lower bound on F that seeded the SAT
+	// descent (0 when disabled, trivial, or not a SAT run).
+	LowerBound int
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }

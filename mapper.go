@@ -186,6 +186,18 @@ func WithOptimize(on bool) Option {
 	}
 }
 
+// WithLowerBound sets the default for the SAT engine's admissible
+// lower-bound seeding: on (the default) derives a coupling-graph distance
+// bound that seeds the descent's lower end; off disables it
+// (Options.SATNoLowerBound) — costs are unchanged, only more bound probes
+// are spent.
+func WithLowerBound(on bool) Option {
+	return func(c *mapperConfig) error {
+		c.opts.SATNoLowerBound = !on
+		return nil
+	}
+}
+
 // WithHeuristicRuns sets the default number of stochastic-heuristic seeds.
 func WithHeuristicRuns(n int) Option {
 	return func(c *mapperConfig) error {

@@ -240,6 +240,11 @@ type Options struct {
 	// budget returns the best mapping found; Result.Minimal then reports
 	// whether the truncated descent still managed to prove minimality.
 	SATMaxConflicts int64
+	// SATNoLowerBound disables the admissible lower bound the SAT engine
+	// otherwise derives from coupling-graph distances to seed its descent
+	// (Stats.LowerBound) — the library face of the CLIs' -lower-bound=off
+	// escape hatch. Costs are unaffected; only the probe count grows.
+	SATNoLowerBound bool
 	// InitialLayout, when non-nil, pins the logical→physical layout at
 	// the start of the circuit (exact methods route away from it at SWAP
 	// cost if beneficial; the heuristic starts its search from it).
@@ -294,6 +299,17 @@ type Stats struct {
 	SATSolves    int
 	SATEncodes   int
 	SATConflicts int64
+	// BoundProbes and BoundJumps instrument the SAT descent: probes are
+	// solver calls that tested a cost bound via guard assumptions; jumps
+	// are UNSAT probes whose minimized assumption core refuted a looser
+	// bound than the tightest assumed, letting one call skip several
+	// descent steps.
+	BoundProbes int
+	BoundJumps  int
+	// LowerBound is the admissible lower bound on F (from the
+	// coupling-graph distance sum) that seeded the SAT descent; 0 when
+	// trivial, disabled via Options.SATNoLowerBound, or not a SAT run.
+	LowerBound int
 }
 
 // Result is the outcome of a Map call.
@@ -412,6 +428,9 @@ func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.Stats.SATSolves = plan.SATSolves
 	res.Stats.SATEncodes = plan.SATEncodes
 	res.Stats.SATConflicts = plan.SATConflicts
+	res.Stats.BoundProbes = plan.BoundProbes
+	res.Stats.BoundJumps = plan.BoundJumps
+	res.Stats.LowerBound = plan.LowerBound
 	if e, err := ParseEngine(plan.Engine); err == nil {
 		res.Engine = e
 	}
@@ -480,6 +499,7 @@ func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 			StartBound:    opts.SATStartBound,
 			BinaryDescent: opts.SATBinaryDescent,
 			MaxConflicts:  opts.SATMaxConflicts,
+			NoLowerBound:  opts.SATNoLowerBound,
 		},
 		HeuristicRuns: opts.HeuristicRuns,
 		Seed:          opts.Seed,

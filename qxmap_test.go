@@ -423,3 +423,40 @@ func TestMapContextCancelled(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsDescentCountersFlow: the SAT descent's BoundProbes/BoundJumps/
+// LowerBound counters must surface in Result.Stats, and SATNoLowerBound
+// must zero the reported seed without changing the cost.
+func TestStatsDescentCountersFlow(t *testing.T) {
+	c := NewCircuit(4)
+	c.AddCNOT(0, 1)
+	c.AddCNOT(2, 3)
+	c.AddCNOT(0, 2)
+	c.AddCNOT(1, 3)
+	c.AddCNOT(0, 3)
+	c.AddCNOT(1, 2)
+	seeded, err := Map(c, QX4(), Options{Engine: EngineSAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded.Stats.BoundProbes == 0 {
+		t.Error("SAT run reported no bound probes")
+	}
+	if seeded.Stats.LowerBound <= 0 {
+		t.Errorf("K4 interactions on QX4 should have a positive lower bound, got %d", seeded.Stats.LowerBound)
+	}
+	off, err := Map(c, QX4(), Options{Engine: EngineSAT, SATNoLowerBound: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Stats.LowerBound != 0 {
+		t.Errorf("SATNoLowerBound run reported LowerBound = %d, want 0", off.Stats.LowerBound)
+	}
+	if off.Cost != seeded.Cost || !off.Minimal || !seeded.Minimal {
+		t.Errorf("lower-bound seeding changed the outcome: %d/%v vs %d/%v",
+			seeded.Cost, seeded.Minimal, off.Cost, off.Minimal)
+	}
+	if seeded.Stats.SATEncodes != 1 || off.Stats.SATEncodes != 1 {
+		t.Errorf("encodes = %d/%d, want 1/1", seeded.Stats.SATEncodes, off.Stats.SATEncodes)
+	}
+}
