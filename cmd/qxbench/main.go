@@ -10,7 +10,8 @@
 // (costs, encode/probe/conflict counters, solve times) on stdout, and
 // -baseline compares the run against a committed snapshot, failing on an
 // encode-count regression (sat_encodes ≠ 1), a bound-probe count above the
-// recorded baseline, or a cost change — the CI bench smoke gate.
+// recorded baseline, a cost change, or a lost minimality proof — the CI
+// bench smoke gate.
 //
 // Usage:
 //
@@ -18,7 +19,7 @@
 //	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
 //	        [-parallel] [-workers 8] [-lower-bound on|off]
 //	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
-//	        [-sat-binary] [-json] [-baseline BENCH_5.json]
+//	        [-sat-binary] [-sat-threads 4] [-json] [-baseline BENCH_5.json]
 package main
 
 import (
@@ -52,6 +53,7 @@ func main() {
 	batchMethod := flag.String("batch", "", "map the suite through qxmap.MapBatch with this method ("+strings.Join(qxmap.Methods(), ", ")+") instead of running Table 1")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline in -batch mode (0 = none)")
 	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (-batch mode, SAT engine)")
+	satThreads := flag.Int("sat-threads", 1, "clause-sharing SAT portfolio width (capped at GOMAXPROCS); >1 trades run-to-run witness determinism for parallel speed")
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	jsonOut := flag.Bool("json", false, "emit a stable JSON perf snapshot of the batch on stdout (-batch mode)")
 	baseline := flag.String("baseline", "", "compare the batch against this committed perf snapshot and fail on encode/probe/cost regressions (-batch mode)")
@@ -88,6 +90,7 @@ func main() {
 			engine:       eng,
 			portfolio:    *portfolio,
 			satBinary:    *satBinary,
+			satThreads:   *satThreads,
 			noLowerBound: noLowerBound,
 			runs:         *runs,
 			names:        *names,
@@ -108,6 +111,7 @@ func main() {
 		Workers:       *workers,
 		Portfolio:     *portfolio,
 		NoLowerBound:  noLowerBound,
+		SATThreads:    *satThreads,
 	}
 	if *names != "" {
 		cfg.Names = strings.Split(*names, ",")
@@ -132,6 +136,7 @@ type batchConfig struct {
 	engine       qxmap.Engine
 	portfolio    bool
 	satBinary    bool
+	satThreads   int
 	noLowerBound bool
 	runs         int
 	names        string
@@ -197,6 +202,7 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 				Engine:           cfg.engine,
 				Portfolio:        cfg.portfolio,
 				SATBinaryDescent: cfg.satBinary,
+				SATThreads:       cfg.satThreads,
 				SATNoLowerBound:  cfg.noLowerBound,
 				HeuristicRuns:    cfg.runs,
 				Seed:             1,
@@ -273,7 +279,8 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 // filtered-away or failed row must not pass the gate vacuously) and must
 // report sat_encodes == 1 per solved instance (the incremental-descent
 // invariant for the plain exact method), a bound-probe count no higher
-// than the baseline's, and an identical cost.
+// than the baseline's, an identical cost, and no lost minimality proof (a
+// row the baseline proved minimal must stay proven).
 func compareBaseline(snap batchSnapshot, path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -303,6 +310,9 @@ func compareBaseline(snap batchSnapshot, path string) error {
 		}
 		if r.Cost != b.Cost {
 			return fmt.Errorf("baseline regression: %s cost %d, baseline %d", b.Name, r.Cost, b.Cost)
+		}
+		if b.Minimal && !r.Minimal {
+			return fmt.Errorf("baseline regression: %s lost its minimality proof (baseline proved minimal)", b.Name)
 		}
 	}
 	return nil

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	qxmap [-arch ibmqx4] [-method exact] [-strategy all|disjoint|odd|triangle]
-//	      [-engine sat|dp] [-sat-binary] [-portfolio] [-timeout 30s]
+//	      [-engine sat|dp] [-sat-binary] [-sat-threads 4] [-portfolio] [-timeout 30s]
 //	      [-runs 5] [-render] [-stats] [-json] [-o out.qasm] input.qasm
 //
 // With input "-", the program reads from standard input. The mapped
@@ -39,6 +39,7 @@ func main() {
 	strategyName := flag.String("strategy", "", "permutation-point restriction (paper §4.2) for exact mapping: "+strings.Join(exact.Strategies(), ", ")+" (selects the matching Table-1 method, §4.1 subsets included; only valid with -method exact)")
 	engineName := flag.String("engine", "sat", "exact engine: sat (paper methodology) or dp")
 	satBinary := flag.Bool("sat-binary", false, "binary bound search instead of linear descent (SAT engine)")
+	satThreads := flag.Int("sat-threads", 1, "clause-sharing SAT portfolio width (capped at GOMAXPROCS); >1 trades run-to-run witness determinism for parallel speed")
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	runs := flag.Int("runs", 5, "heuristic runs (method=heuristic)")
 	seed := flag.Int64("seed", 1, "heuristic random seed")
@@ -94,7 +95,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, SATBinaryDescent: *satBinary}
+	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, SATBinaryDescent: *satBinary, SATThreads: *satThreads}
 	switch *lowerBound {
 	case "on":
 	case "off":
@@ -142,6 +143,10 @@ func main() {
 			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATEncodes, s.SATConflicts)
 		fmt.Fprintf(os.Stderr, "descent: bound-probes=%d, bound-jumps=%d, lower-bound=%d\n",
 			s.BoundProbes, s.BoundJumps, s.LowerBound)
+		if s.SATThreads > 1 {
+			fmt.Fprintf(os.Stderr, "portfolio: sat-threads=%d, shared-clauses=%d\n",
+				s.SATThreads, s.SharedClauses)
+		}
 	}
 	if *doRender {
 		fmt.Fprintln(os.Stderr, "\noriginal:")

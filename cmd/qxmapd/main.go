@@ -6,6 +6,7 @@
 //
 //	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
 //	       [-timeout 60s] [-max-body 8388608] [-lower-bound on|off]
+//	       [-sat-threads 4]
 //
 // Endpoints:
 //
@@ -55,6 +56,7 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
 	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
+	satThreads := flag.Int("sat-threads", 1, "clause-sharing SAT portfolio width per solve (capped at GOMAXPROCS); >1 trades witness determinism for parallel speed")
 	flag.Parse()
 
 	noLowerBound := false
@@ -75,6 +77,7 @@ func main() {
 		maxBody:      *maxBody,
 		maxJobs:      *maxJobs,
 		noLowerBound: noLowerBound,
+		satThreads:   *satThreads,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qxmapd:", err)

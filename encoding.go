@@ -24,6 +24,8 @@ type StatsJSON struct {
 	BoundProbes   int    `json:"bound_probes"`
 	BoundJumps    int    `json:"bound_jumps"`
 	LowerBound    int    `json:"lower_bound"`
+	SATThreads    int    `json:"sat_threads"`
+	SharedClauses int64  `json:"shared_clauses"`
 }
 
 // JSON returns the stable wire encoding of the stats.
@@ -43,6 +45,8 @@ func (s Stats) JSON() StatsJSON {
 		BoundProbes:   s.BoundProbes,
 		BoundJumps:    s.BoundJumps,
 		LowerBound:    s.LowerBound,
+		SATThreads:    s.SATThreads,
+		SharedClauses: s.SharedClauses,
 	}
 }
 

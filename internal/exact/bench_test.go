@@ -1,0 +1,27 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/revlib"
+)
+
+func BenchmarkMiller11SAT(b *testing.B) {
+	bm, err := revlib.SuiteByName("miller_11")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk, err := circuit.ExtractSkeleton(bm.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.QX4()
+	for i := 0; i < b.N; i++ {
+		r, err := Solve(bg, sk, a, Options{Engine: EngineSAT, SAT: SATOptions{BinaryDescent: true}})
+		if err != nil || r.Cost != 26 {
+			b.Fatalf("cost=%v err=%v", r, err)
+		}
+	}
+}

@@ -49,6 +49,13 @@ type Result struct {
 	// one assumed, so the floor advanced past what the probe's conjunction
 	// alone implies (SAT engine only).
 	BoundJumps int
+	// SATThreads is the portfolio width the SAT engine solved with (1 for
+	// the plain deterministic solver; 0 for the DP engine).
+	SATThreads int
+	// SharedClauses counts learnt clauses imported across portfolio workers
+	// during the run (sat.Stats.SharedImports aggregated over all workers;
+	// 0 when SATThreads ≤ 1). A §4.1 run sums every subset's imports.
+	SharedClauses int64
 	// LowerBound is the admissible lower bound on F that seeded the
 	// descent (0 when disabled or trivial; SAT engine only). For a §4.1
 	// run it is the winning subset's own bound.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/cnf"
@@ -56,6 +57,24 @@ type SATOptions struct {
 	// NoLowerBound it reproduces the pre-core bound-per-probe descent;
 	// kept as an escape hatch and for regression benchmarking.
 	NoCoreJumps bool
+	// Threads, when > 1, runs every solver call as a clause-sharing
+	// portfolio of that many diversified goroutine workers over the one
+	// incremental encoding (sat.Pool), capped at runtime.GOMAXPROCS (an
+	// oversubscribed portfolio only steals cycles from its own winner).
+	// The minimal cost and the minimality proof are unaffected, but the
+	// witness mapping may differ between runs — the default (≤ 1) keeps
+	// the fully deterministic single solver.
+	Threads int
+}
+
+// satProber is the solving surface the bound descent needs; both the plain
+// *sat.Solver and the portfolio *sat.Pool implement it, so the descent,
+// core jumps and guard relaxation run unchanged on either.
+type satProber interface {
+	SolveContext(ctx context.Context, assumptions ...sat.Lit) sat.Status
+	UnsatFromAssumptions() bool
+	UnsatCore() []sat.Lit
+	Snapshot() sat.Stats
 }
 
 // SolveSAT finds the minimal-cost mapping for the problem using the paper's
@@ -101,12 +120,29 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 			ErrUnsatisfiable, lb, opts.StartBound)
 	}
 
-	solver := sat.NewSolver()
-	solver.MaxConflicts = opts.MaxConflicts
+	solver := sat.New(sat.Options{MaxConflicts: opts.MaxConflicts})
 	b := cnf.NewBuilder(solver)
 	enc, err := encoder.Encode(ctx, p, b)
 	if err != nil {
 		return nil, err
+	}
+	threads := opts.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	// Portfolio workers are CPU-bound; spawning more than the runtime can
+	// schedule in parallel is pure overhead (every worker burns cycles the
+	// winner needs), so the width is capped at GOMAXPROCS. Result.SATThreads
+	// reports the effective width.
+	if max := runtime.GOMAXPROCS(0); threads > max {
+		threads = max
+	}
+	var prober satProber = solver
+	if threads > 1 {
+		// The pool clones the fully built encoding lazily at the first
+		// probe and installs the winning worker's model/core back into the
+		// master, so enc.Decode and the guard bookkeeping stay untouched.
+		prober = sat.NewPool(solver, threads)
 	}
 	res := &Result{
 		WorkArch:   p.Arch,
@@ -114,15 +150,18 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 		Engine:     EngineSAT.String(),
 		Encodes:    1,
 		LowerBound: lb,
+		SATThreads: threads,
 	}
 
 	var best *encoder.Solution
 	if opts.BinaryDescent {
-		best, err = minimizeBinary(ctx, solver, enc, res, opts, lb)
+		best, err = minimizeBinary(ctx, prober, enc, res, opts, lb)
 	} else {
-		best, err = minimizeLinear(ctx, solver, enc, res, opts, lb)
+		best, err = minimizeLinear(ctx, prober, enc, res, opts, lb)
 	}
-	res.Conflicts = solver.Stats.Conflicts
+	snap := prober.Snapshot()
+	res.Conflicts = snap.Conflicts
+	res.SharedClauses = snap.SharedImports
 	// Failures past this point still return the Result so callers can
 	// aggregate the run's counters (the §4.1 fan-out charges refuted and
 	// truncated subsets to its totals); only a nil error carries a
@@ -156,7 +195,7 @@ func startAssumptions(enc *encoder.Encoding, opts SATOptions) []sat.Lit {
 // caller's unproven StartBound (not a descent-derived one), relaxation is
 // permitted, and the solver blames the assumption rather than the clause
 // set.
-func relaxable(solver *sat.Solver, opts SATOptions, assumed, haveModel bool) bool {
+func relaxable(solver satProber, opts SATOptions, assumed, haveModel bool) bool {
 	return assumed && !haveModel && !opts.StrictBound && solver.UnsatFromAssumptions()
 }
 
@@ -187,7 +226,7 @@ func probeAssumptions(enc *encoder.Encoding, bound, lo int, opts SATOptions) []s
 // call. It returns the refuted bound and whether core analysis improved on
 // the trivial reading of the probe (the tightest assumed bound) — a
 // core-guided jump.
-func coreRefutedBound(solver *sat.Solver, enc *encoder.Encoding, assumed []sat.Lit) (int, bool) {
+func coreRefutedBound(solver satProber, enc *encoder.Encoding, assumed []sat.Lit) (int, bool) {
 	minAssumed := math.MaxInt
 	for _, g := range assumed {
 		if b, ok := enc.GuardBound(g); ok && b < minAssumed {
@@ -211,7 +250,7 @@ func coreRefutedBound(solver *sat.Solver, enc *encoder.Encoding, assumed []sat.L
 // assumption F ≤ C−1 (plus optimistic bounds below it) until UNSAT proves
 // minimality of the last model, the model cost reaches the admissible lower
 // bound, or the refuted floor `lo` climbs to meet C−1.
-func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
+func minimizeLinear(ctx context.Context, solver satProber, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
 	var best *encoder.Solution
 	lo := lb - 1 // largest bound known unsatisfiable (admissibility of lb)
 	assume := startAssumptions(enc, opts)
@@ -283,7 +322,7 @@ func minimizeLinear(ctx context.Context, solver *sat.Solver, enc *encoder.Encodi
 // the lower end to the loosest bound in the solver's minimized assumption
 // core — one call can refute a whole range. SAT probes lower the upper end
 // to the model's cost; convergence proves minimality.
-func minimizeBinary(ctx context.Context, solver *sat.Solver, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
+func minimizeBinary(ctx context.Context, solver satProber, enc *encoder.Encoding, res *Result, opts SATOptions, lb int) (*encoder.Solution, error) {
 	assume := startAssumptions(enc, opts)
 	res.Solves++
 	if len(assume) > 0 {

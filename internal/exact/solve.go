@@ -142,7 +142,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	var best atomic.Int64
 	best.Store(math.MaxInt64)
 	var unproven atomic.Bool // a subset's budget ran dry: optimum unconfirmed
-	var solves, encodes, conflicts, boundProbes, boundJumps atomic.Int64
+	var solves, encodes, conflicts, boundProbes, boundJumps, sharedClauses atomic.Int64
 	results := make([]*Result, len(subsets))
 	errs := make([]error, len(subsets))
 	runCtx, cancel := context.WithCancel(ctx)
@@ -174,6 +174,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 			conflicts.Add(r.Conflicts)
 			boundProbes.Add(int64(r.BoundProbes))
 			boundJumps.Add(int64(r.BoundJumps))
+			sharedClauses.Add(r.SharedClauses)
 		}
 		if err != nil {
 			if errors.Is(err, ErrUnsatisfiable) {
@@ -273,6 +274,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	win.Conflicts = conflicts.Load()
 	win.BoundProbes = int(boundProbes.Load())
 	win.BoundJumps = int(boundJumps.Load())
+	win.SharedClauses = sharedClauses.Load()
 	win.Minimal = win.Cost == 0 || (minimal && !unproven.Load())
 	win.Runtime = time.Since(start)
 	return win, nil

@@ -1,0 +1,47 @@
+package sat
+
+import "testing"
+
+// BenchmarkPigeonhole87 measures raw CDCL throughput on the PHP(8,7) UNSAT
+// proof — the standard stress profile for propagation, conflict analysis and
+// clause-database maintenance.
+func BenchmarkPigeonhole87(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		pigeonhole(s, 8, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("PHP(8,7) must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkIncrementalAssumptions measures the incremental probing pattern
+// of the exact engine: one instance, repeated solves under tightening
+// assumption sets.
+func BenchmarkIncrementalAssumptions(b *testing.B) {
+	const pigeons, holes = 7, 9
+	for i := 0; i < b.N; i++ {
+		s := NewSolver()
+		pigeonhole(s, pigeons, holes)
+		guards := newVars(s, holes)
+		for h := 0; h < holes; h++ {
+			// Guard h forbids hole h for every pigeon, so assuming the first
+			// k guards shrinks the instance to PHP(7, 9−k) — the descending
+			// bound-probe pattern of the exact engine.
+			for p := 0; p < pigeons; p++ {
+				s.AddClause(guards[h].Neg(), Var(p*holes+h).Neg())
+			}
+		}
+		var assumptions []Lit
+		for k := 1; k <= 3; k++ {
+			assumptions = append(assumptions, guards[k-1].Pos())
+			want := Sat
+			if holes-k < pigeons {
+				want = Unsat
+			}
+			if got := s.Solve(assumptions...); got != want {
+				b.Fatalf("PHP(7,%d) = %v, want %v", holes-k, got, want)
+			}
+		}
+	}
+}

@@ -171,15 +171,16 @@ func (c *conflictCancelCtx) Deadline() (time.Time, bool) { return time.Time{}, f
 func (c *conflictCancelCtx) Done() <-chan struct{}       { return nil }
 func (c *conflictCancelCtx) Value(any) any               { return nil }
 func (c *conflictCancelCtx) Err() error {
-	if c.s.Stats.Conflicts >= c.limit {
+	if c.s.Snapshot().Conflicts >= c.limit {
 		return context.Canceled
 	}
 	return nil
 }
 
 // TestSolveContextCancellationLatency: once the context reports expiry, the
-// solver must stop within ctxCheckConflicts conflicts — not merely at the
-// next restart boundary, whose late-Luby budgets run thousands of conflicts.
+// solver must stop within Options.CtxPollConflicts conflicts — not merely at
+// the next restart boundary, whose late-Luby budgets run thousands of
+// conflicts.
 func TestSolveContextCancellationLatency(t *testing.T) {
 	s := NewSolver()
 	pigeonhole(s, 10, 9) // hard UNSAT: far more conflicts than the limit
@@ -188,10 +189,11 @@ func TestSolveContextCancellationLatency(t *testing.T) {
 	if got := s.SolveContext(ctx); got != Unknown {
 		t.Fatalf("cancelled solve = %v, want Unknown", got)
 	}
-	if over := s.Stats.Conflicts - limit; over > ctxCheckConflicts {
-		t.Errorf("solver ran %d conflicts past cancellation, want ≤ %d", over, ctxCheckConflicts)
+	poll := int64((Options{}).withDefaults().CtxPollConflicts)
+	if over := s.Snapshot().Conflicts - limit; over > poll {
+		t.Errorf("solver ran %d conflicts past cancellation, want ≤ %d", over, poll)
 	}
-	if s.Stats.Conflicts < limit {
-		t.Fatalf("instance finished in %d conflicts; raise the hardness of the test instance", s.Stats.Conflicts)
+	if got := s.Snapshot().Conflicts; got < limit {
+		t.Fatalf("instance finished in %d conflicts; raise the hardness of the test instance", got)
 	}
 }

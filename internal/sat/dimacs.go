@@ -128,7 +128,7 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 		}
 	}
 	for _, c := range s.clauses {
-		for _, l := range c.lits {
+		for _, l := range s.ca.lits(c) {
 			if err := writeLit(l); err != nil {
 				return err
 			}

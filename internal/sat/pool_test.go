@@ -1,0 +1,180 @@
+package sat
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolSatAndUnsat: the portfolio must agree with the single-thread
+// answer on both polarities and expose a valid witness through the master.
+func TestPoolSatAndUnsat(t *testing.T) {
+	sat := NewPool(func() *Solver { s := NewSolver(); pigeonhole(s, 5, 5); return s }(), 4)
+	if got := sat.Solve(); got != Sat {
+		t.Fatalf("PHP(5,5) portfolio = %v, want SAT", got)
+	}
+	unsat := NewPool(func() *Solver { s := NewSolver(); pigeonhole(s, 6, 5); return s }(), 4)
+	if got := unsat.Solve(); got != Unsat {
+		t.Fatalf("PHP(6,5) portfolio = %v, want UNSAT", got)
+	}
+	if unsat.UnsatFromAssumptions() {
+		t.Error("genuine UNSAT misattributed to assumptions")
+	}
+}
+
+// TestPoolAssumptionCore: a portfolio UNSAT under assumptions must install
+// the winning worker's minimized core into the master's query surface.
+func TestPoolAssumptionCore(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 4)
+	s.AddClause(v[0].Neg(), v[1].Pos()) // v0 → v1
+	s.AddClause(v[1].Neg(), v[2].Pos()) // v1 → v2
+	p := NewPool(s, 4)
+	if got := p.Solve(v[3].Pos(), v[0].Pos(), v[2].Neg()); got != Unsat {
+		t.Fatalf("portfolio = %v, want UNSAT", got)
+	}
+	if !p.UnsatFromAssumptions() {
+		t.Fatal("UNSAT not attributed to assumptions")
+	}
+	core := p.UnsatCore()
+	members := coreSet([]Lit{v[3].Pos(), v[0].Pos(), v[2].Neg()})
+	if len(core) == 0 {
+		t.Fatal("empty core")
+	}
+	for _, l := range core {
+		if !members[l] {
+			t.Fatalf("core literal %v is not an assumption", l)
+		}
+	}
+	if members[v[3].Pos()] && len(core) == 3 {
+		t.Errorf("core %v not minimized: irrelevant v3 retained", core)
+	}
+	// The master remains usable and consistent after adoption.
+	if got := p.Solve(v[0].Pos()); got != Sat {
+		t.Fatalf("relaxed portfolio solve = %v, want SAT", got)
+	}
+	if !p.Value(v[2]) {
+		t.Error("implication chain lost after portfolio adoption")
+	}
+}
+
+// TestPoolClauseSharing: on a hard UNSAT instance the workers must actually
+// exchange learnt clauses — exports accepted into peer inboxes and imports
+// installed at restart boundaries.
+func TestPoolClauseSharing(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	p := NewPool(s, 4)
+	if got := p.Solve(); got != Unsat {
+		t.Fatalf("PHP(8,7) portfolio = %v, want UNSAT", got)
+	}
+	snap := p.Snapshot()
+	if snap.SharedExports == 0 {
+		t.Error("no clauses exported on a multi-thousand-conflict instance")
+	}
+	if snap.SharedImports == 0 {
+		t.Error("no clauses imported on a multi-thousand-conflict instance")
+	}
+	if snap.Conflicts == 0 || snap.Learnt == 0 {
+		t.Errorf("implausible aggregate stats: %+v", snap)
+	}
+}
+
+// TestPoolCancellation: a pre-expired context must stop every worker with
+// Unknown, and the pool must stay fully usable afterwards.
+func TestPoolCancellation(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 8, 7)
+	p := NewPool(s, 4)
+	ctx, cancel := context.WithCancel(bgCtx)
+	cancel()
+	if got := p.SolveContext(ctx); got != Unknown {
+		t.Fatalf("cancelled portfolio = %v, want Unknown", got)
+	}
+	if got := p.SolveContext(bgCtx); got != Unsat {
+		t.Fatalf("portfolio after cancellation = %v, want UNSAT", got)
+	}
+}
+
+// TestPoolConcurrentCancelHammer exercises the racy corners — concurrent
+// export/import traffic while an external goroutine cancels mid-search —
+// repeatedly, so `go test -race` patrols the sharing channels and the
+// winner-adoption path. Any status is legal under a racing cancel; the
+// invariants are no data race, no deadlock, and a correct definitive answer
+// once the noise stops.
+func TestPoolConcurrentCancelHammer(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		s := NewSolver()
+		pigeonhole(s, 8, 7)
+		p := NewPool(s, 4)
+		ctx, cancel := context.WithCancel(bgCtx)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			time.Sleep(d)
+			cancel()
+		}(time.Duration(round) * 2 * time.Millisecond)
+		if got := p.SolveContext(ctx); got == Sat {
+			t.Fatalf("round %d: PHP(8,7) reported SAT", round)
+		}
+		wg.Wait()
+		cancel()
+		if got := p.SolveContext(bgCtx); got != Unsat {
+			t.Fatalf("round %d: post-cancel solve = %v, want UNSAT", round, got)
+		}
+	}
+}
+
+// TestPoolIncrementalGrowth drives the sync cursors: the master's encoding
+// grows (new vars, clauses, root units) between portfolio solves, exactly
+// like the exact engine's lazily materialized cost bounds.
+func TestPoolIncrementalGrowth(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 3)
+	s.AddClause(v[0].Pos(), v[1].Pos(), v[2].Pos())
+	p := NewPool(s, 3)
+	if got := p.Solve(); got != Sat {
+		t.Fatalf("initial portfolio solve = %v", got)
+	}
+	// Grow: a new variable, clauses tying it down, and a narrowing unit.
+	w := s.NewVar()
+	s.AddClause(w.Neg(), v[0].Neg())
+	s.AddClause(w.Pos()) // root unit after propagation
+	if got := p.Solve(); got != Sat {
+		t.Fatalf("portfolio after growth = %v, want SAT", got)
+	}
+	if p.Value(v[0]) || !p.Value(w) {
+		t.Error("model ignores the narrowed instance")
+	}
+	s.AddClause(v[1].Neg())
+	s.AddClause(v[2].Neg())
+	if got := p.Solve(); got != Unsat {
+		t.Fatalf("portfolio after contradiction = %v, want UNSAT", got)
+	}
+	// Once the master is root-unsat every further solve short-circuits.
+	if got := p.Solve(); got != Unsat {
+		t.Fatalf("portfolio on dead master = %v, want UNSAT", got)
+	}
+}
+
+// TestPoolSingleThreadPassThrough: threads ≤ 1 must behave exactly like the
+// bare master — no clones, no channels, bit-for-bit deterministic.
+func TestPoolSingleThreadPassThrough(t *testing.T) {
+	s := NewSolver()
+	pigeonhole(s, 6, 5)
+	p := NewPool(s, 1)
+	if got := p.Solve(); got != Unsat {
+		t.Fatalf("pass-through = %v, want UNSAT", got)
+	}
+	if p.workers != nil {
+		t.Error("threads=1 pool spawned workers")
+	}
+	ref := NewSolver()
+	pigeonhole(ref, 6, 5)
+	ref.Solve()
+	if a, b := p.Snapshot().Conflicts, ref.Snapshot().Conflicts; a != b {
+		t.Errorf("pass-through diverged from bare master: %d vs %d conflicts", a, b)
+	}
+}

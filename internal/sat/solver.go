@@ -5,22 +5,15 @@ import (
 	"sort"
 )
 
-// clause is a disjunction of literals. The first two literals are the
-// watched ones.
-type clause struct {
-	lits     []Lit
-	learnt   bool
-	activity float64
-}
-
 // watcher pairs a watching clause with a blocker literal: if the blocker is
 // already true the clause is satisfied and need not be inspected.
 type watcher struct {
-	c       *clause
+	ref     ClauseRef
 	blocker Lit
 }
 
-// Stats accumulates solver statistics across Solve calls.
+// Stats is a value snapshot of solver counters, obtained from
+// Solver.Snapshot. Counters accumulate across Solve calls.
 type Stats struct {
 	Decisions    int64
 	Propagations int64
@@ -28,19 +21,58 @@ type Stats struct {
 	Restarts     int64
 	Learnt       int64
 	Removed      int64
+	// Subsumed counts learnt clauses deleted by on-the-fly self-subsumption
+	// during conflict analysis.
+	Subsumed int64
+	// ArenaGCs counts compacting garbage collections of the clause arena.
+	ArenaGCs int64
+	// SharedExports / SharedImports count clauses exchanged with portfolio
+	// peers (exports actually accepted by the channel, imports installed).
+	SharedExports int64
+	SharedImports int64
+	// LBDHist buckets learnt clauses by LBD at learn time:
+	// 1, 2, 3, 4–5, 6–9, 10+.
+	LBDHist [6]int64
 }
 
-// Solver is an incremental CDCL SAT solver. Create with NewSolver, allocate
-// variables with NewVar, add clauses with AddClause, and call Solve
-// (optionally under assumptions). After Sat, query the model with Value.
+// lbdBucket maps an LBD value to its LBDHist index.
+func lbdBucket(lbd int) int {
+	switch {
+	case lbd <= 1:
+		return 0
+	case lbd == 2:
+		return 1
+	case lbd == 3:
+		return 2
+	case lbd <= 5:
+		return 3
+	case lbd <= 9:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// Solver is an incremental CDCL SAT solver. Create with New (or NewSolver
+// for defaults), allocate variables with NewVar, add clauses with AddClause,
+// and call Solve (optionally under assumptions). After Sat, query the model
+// with Value.
+//
+// Clauses live in a flat int32 arena (see arena.go) and are addressed by
+// ClauseRef; watcher lists and reason slots hold refs, and reduceDB
+// compacts the slab once enough of it is tombstoned.
 type Solver struct {
-	clauses []*clause
-	learnts []*clause
+	opts Options
+	rng  xorshift64
+
+	ca      arena
+	clauses []ClauseRef // problem clauses
+	learnts []ClauseRef
 	watches [][]watcher
 
 	assigns  []lbool
 	polarity []bool // saved phase per variable
-	reason   []*clause
+	reason   []ClauseRef
 	level    []int32
 	trail    []Lit
 	trailLim []int
@@ -51,6 +83,11 @@ type Solver struct {
 	claInc   float64
 	order    *varHeap
 	seen     []byte
+
+	// levelMark/lbdStamp implement O(size) LBD computation: a level counts
+	// once per stamp epoch.
+	levelMark []int64
+	lbdStamp  int64
 
 	unsat bool    // empty clause derived at level 0
 	model []lbool // last satisfying assignment
@@ -64,19 +101,32 @@ type Solver struct {
 	failedAssumption Lit
 	unsatCore        []Lit
 
-	// MaxConflicts, when positive, bounds the total conflicts per Solve
-	// call; exceeding it returns Unknown.
-	MaxConflicts int64
+	// Portfolio hooks (set by Pool, nil for a standalone solver): export
+	// offers a freshly learnt clause to peers and reports whether it was
+	// accepted; importLearnts returns peer clauses to install, called only
+	// at restart boundaries (decision level 0).
+	export        func(lits []Lit, lbd int) bool
+	importLearnts func() [][]Lit
 
-	Stats Stats
+	stats Stats
 }
 
-// NewSolver returns an empty solver.
-func NewSolver() *Solver {
-	s := &Solver{varInc: 1, claInc: 1}
+// New returns an empty solver configured by opts (zero fields take the
+// documented defaults).
+func New(opts Options) *Solver {
+	o := opts.withDefaults()
+	s := &Solver{opts: o, rng: newRng(o.Seed), varInc: 1, claInc: 1}
 	s.order = newVarHeap(&s.activity)
 	return s
 }
+
+// NewSolver returns an empty solver with default options; it is equivalent
+// to New(Options{}).
+func NewSolver() *Solver { return New(Options{}) }
+
+// Snapshot returns a copy of the solver's counters. The copy is decoupled:
+// later solving does not mutate it.
+func (s *Solver) Snapshot() Stats { return s.stats }
 
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return len(s.assigns) }
@@ -89,7 +139,7 @@ func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, false)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, NilRef)
 	s.level = append(s.level, 0)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -150,26 +200,41 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.unsat = true
 		return false
 	case 1:
-		s.enqueue(out[0], nil)
-		if s.propagate() != nil {
+		s.enqueue(out[0], NilRef)
+		if s.propagate() != NilRef {
 			s.unsat = true
 			return false
 		}
 		return true
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
+	c := s.ca.alloc(out, false)
 	s.clauses = append(s.clauses, c)
 	s.watchClause(c)
 	return true
 }
 
-func (s *Solver) watchClause(c *clause) {
-	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, c.lits[0]})
+func (s *Solver) watchClause(c ClauseRef) {
+	ls := s.ca.lits(c)
+	s.watches[ls[0].Not()] = append(s.watches[ls[0].Not()], watcher{c, ls[1]})
+	s.watches[ls[1].Not()] = append(s.watches[ls[1].Not()], watcher{c, ls[0]})
+}
+
+func (s *Solver) detachClause(c ClauseRef) {
+	ls := s.ca.lits(c)
+	for _, wl := range [2]Lit{ls[0].Not(), ls[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.ref == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
 }
 
 // enqueue assigns literal l (making it true) with the given reason clause.
-func (s *Solver) enqueue(l Lit, from *clause) {
+func (s *Solver) enqueue(l Lit, from ClauseRef) {
 	v := l.Var()
 	s.assigns[v] = boolToLbool(l.IsPos())
 	s.polarity[v] = l.IsPos()
@@ -179,40 +244,41 @@ func (s *Solver) enqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation over the two-watched-literal scheme.
-// It returns a conflicting clause, or nil if no conflict occurred.
-func (s *Solver) propagate() *clause {
+// It returns a conflicting clause ref, or NilRef if no conflict occurred.
+func (s *Solver) propagate() ClauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p became true; the literal ¬p is now false
 		s.qhead++
-		s.Stats.Propagations++
+		s.stats.Propagations++
 		falseLit := p.Not()
 		// Clauses watching a literal w live in watches[w.Not()], so the
 		// clauses watching ¬p are found under watches[p].
 		ws := s.watches[p]
 		kept := ws[:0]
-		var confl *clause
+		confl := NilRef
 		for wi := 0; wi < len(ws); wi++ {
 			w := ws[wi]
 			if s.value(w.blocker) == lTrue {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
+			c := w.ref
+			ls := s.ca.lits(c)
 			// Ensure the falsified literal is at position 1.
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if ls[0] == falseLit {
+				ls[0], ls[1] = ls[1], ls[0]
 			}
-			first := c.lits[0]
+			first := ls[0]
 			if first != w.blocker && s.value(first) == lTrue {
 				kept = append(kept, watcher{c, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+			for k := 2; k < len(ls); k++ {
+				if s.value(ls[k]) != lFalse {
+					ls[1], ls[k] = ls[k], ls[1]
+					s.watches[ls[1].Not()] = append(s.watches[ls[1].Not()], watcher{c, first})
 					found = true
 					break
 				}
@@ -234,11 +300,11 @@ func (s *Solver) propagate() *clause {
 			s.enqueue(first, c)
 		}
 		s.watches[p] = kept
-		if confl != nil {
+		if confl != NilRef {
 			return confl
 		}
 	}
-	return nil
+	return NilRef
 }
 
 // cancelUntil backtracks to the given decision level, unassigning variables
@@ -251,7 +317,7 @@ func (s *Solver) cancelUntil(lvl int) {
 	for i := len(s.trail) - 1; i >= limit; i-- {
 		v := s.trail[i].Var()
 		s.assigns[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = NilRef
 		s.order.push(v)
 	}
 	s.trail = s.trail[:limit]
@@ -272,11 +338,13 @@ func (s *Solver) bumpVar(v Var) {
 	s.order.update(v)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
+// bumpClause increases a learnt clause's activity.
+func (s *Solver) bumpClause(c ClauseRef) {
+	act := s.ca.activity(c) + s.claInc
+	s.ca.setActivity(c, act)
+	if act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.activity *= 1e-20
+			s.ca.setActivity(lc, s.ca.activity(lc)*1e-20)
 		}
 		s.claInc *= 1e-20
 	}
@@ -287,20 +355,56 @@ const (
 	clauseDecay = 1 / 0.999
 )
 
+// clauseLBD computes the literal block distance of a clause whose literals
+// are all assigned: the number of distinct non-zero decision levels.
+func (s *Solver) clauseLBD(lits []Lit) int {
+	s.lbdStamp++
+	lbd := 0
+	for _, l := range lits {
+		lvl := int(s.level[l.Var()])
+		if lvl == 0 {
+			continue
+		}
+		for lvl >= len(s.levelMark) {
+			s.levelMark = append(s.levelMark, 0)
+		}
+		if s.levelMark[lvl] != s.lbdStamp {
+			s.levelMark[lvl] = s.lbdStamp
+			lbd++
+		}
+	}
+	if lbd == 0 {
+		lbd = 1
+	}
+	return lbd
+}
+
 // analyze performs first-UIP conflict analysis, returning the learnt clause
-// (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+// (asserting literal first), the backtrack level, and the clause's LBD
+// (computed here, while every literal is still assigned).
+func (s *Solver) analyze(confl ClauseRef) ([]Lit, int, int) {
 	learnt := []Lit{LitUndef} // slot 0 for the asserting literal
 	pathC := 0
 	p := LitUndef
 	index := len(s.trail) - 1
 	for {
-		s.bumpClause(confl)
+		ls := s.ca.lits(confl)
+		if s.ca.learnt(confl) {
+			s.bumpClause(confl)
+			// Glucose-style refresh: a reused clause whose literals now
+			// span fewer levels is promoted toward the core tier. Clauses
+			// already at core LBD can't be demoted, so skip the recompute.
+			if s.ca.lbd(confl) > coreLBD {
+				if lbd := s.clauseLBD(ls); lbd < s.ca.lbd(confl) {
+					s.ca.setLBD(confl, lbd)
+				}
+			}
+		}
 		start := 0
 		if p != LitUndef {
 			start = 1 // skip the asserting literal of the reason clause
 		}
-		for _, q := range confl.lits[start:] {
+		for _, q := range ls[start:] {
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.bumpVar(v)
@@ -338,6 +442,7 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		}
 	}
 	learnt = minimized
+	lbd := s.clauseLBD(learnt)
 
 	// Compute backtrack level: the second-highest level in the clause.
 	btLevel := 0
@@ -354,17 +459,17 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	for _, q := range toClear {
 		s.seen[q.Var()] = 0
 	}
-	return learnt, btLevel
+	return learnt, btLevel, lbd
 }
 
 // litRedundant reports whether literal q in a learnt clause is implied by
 // the other marked literals (one-step self-subsumption).
 func (s *Solver) litRedundant(q Lit) bool {
 	r := s.reason[q.Var()]
-	if r == nil {
+	if r == NilRef {
 		return false
 	}
-	for _, l := range r.lits {
+	for _, l := range s.ca.lits(r) {
 		if l == q.Not() {
 			continue
 		}
@@ -376,55 +481,160 @@ func (s *Solver) litRedundant(q Lit) bool {
 	return true
 }
 
-// recordLearnt installs a learnt clause and enqueues its asserting literal.
-func (s *Solver) recordLearnt(learnt []Lit) {
-	s.Stats.Learnt++
-	if len(learnt) == 1 {
-		s.enqueue(learnt[0], nil)
+// otfSubsumeMaxSize bounds the subset check of on-the-fly self-subsumption;
+// beyond it the quadratic literal comparison stops paying for itself.
+const otfSubsumeMaxSize = 32
+
+// otfSubsume deletes the conflicting clause when the freshly learnt clause
+// strictly subsumes it (every learnt literal occurs in it). Sound because
+// the learnt clause is implied by the formula, so replacing a superset by
+// it preserves equivalence. Restricted to learnt-tier conflicts: problem
+// clauses must survive verbatim for WriteDIMACS and NumClauses, and
+// core-tier learnts (LBD ≤ coreLBD) are spared — they encode tight
+// cross-level structure whose deletion measurably degrades the search even
+// when a logically stronger clause replaces them. A conflicting clause has
+// all literals false, hence is never a reason.
+func (s *Solver) otfSubsume(confl ClauseRef, learnt []Lit) {
+	if !s.ca.learnt(confl) || s.ca.lbd(confl) <= coreLBD {
 		return
 	}
-	c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+	cl := s.ca.lits(confl)
+	if len(learnt) >= len(cl) || len(cl) > otfSubsumeMaxSize {
+		return
+	}
+	for _, q := range learnt {
+		found := false
+		for _, l := range cl {
+			if l == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+	}
+	s.detachClause(confl)
+	s.ca.markDeleted(confl)
+	s.stats.Subsumed++
+}
+
+// shareMaxLBD / shareMaxSize gate portfolio clause export: only short,
+// low-glue learnts are worth a peer's propagation cycles.
+const (
+	shareMaxLBD  = 4
+	shareMaxSize = 30
+)
+
+// recordLearnt installs a learnt clause with the given LBD and enqueues its
+// asserting literal.
+func (s *Solver) recordLearnt(learnt []Lit, lbd int) {
+	s.stats.Learnt++
+	s.stats.LBDHist[lbdBucket(lbd)]++
+	if s.export != nil && lbd <= shareMaxLBD && len(learnt) <= shareMaxSize {
+		if s.export(append([]Lit(nil), learnt...), lbd) {
+			s.stats.SharedExports++
+		}
+	}
+	if len(learnt) == 1 {
+		s.enqueue(learnt[0], NilRef)
+		return
+	}
+	c := s.ca.alloc(learnt, true)
+	s.ca.setLBD(c, lbd)
 	s.learnts = append(s.learnts, c)
 	s.bumpClause(c)
 	s.watchClause(c)
 	s.enqueue(learnt[0], c)
 }
 
-// reduceDB removes roughly half of the learnt clauses, keeping binary
-// clauses, locked (reason) clauses and the most active ones.
-func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(i, j int) bool {
-		return s.learnts[i].activity > s.learnts[j].activity
-	})
-	keep := s.learnts[:0]
-	limit := len(s.learnts) / 2
-	for i, c := range s.learnts {
-		locked := s.reason[c.lits[0].Var()] == c && s.value(c.lits[0]) == lTrue
-		if len(c.lits) == 2 || locked || i < limit {
-			keep = append(keep, c)
-		} else {
-			s.detachClause(c)
-			s.Stats.Removed++
-		}
-	}
-	s.learnts = keep
+// coreLBD is the tier boundary: learnt clauses at or below this glue are
+// kept forever (they encode tight cross-level structure and re-derive
+// themselves anyway if deleted).
+const coreLBD = 3
+
+// locked reports whether c is the reason of its first literal's assignment.
+func (s *Solver) locked(c ClauseRef) bool {
+	l0 := s.ca.lits(c)[0]
+	return s.value(l0) == lTrue && s.reason[l0.Var()] == c
 }
 
-func (s *Solver) detachClause(c *clause) {
-	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
-		ws := s.watches[wl]
-		for i, w := range ws {
-			if w.c == c {
-				ws[i] = ws[len(ws)-1]
-				s.watches[wl] = ws[:len(ws)-1]
-				break
+// reduceDB removes roughly half of the reducible learnt clauses. The core
+// tier (LBD ≤ coreLBD), binary clauses, and locked (reason) clauses are
+// exempt; the rest is ranked by (LBD ascending, activity descending) and the
+// worse half is tombstoned. A compacting GC runs when enough of the arena
+// is dead.
+func (s *Solver) reduceDB() {
+	cands := make([]ClauseRef, 0, len(s.learnts))
+	for _, c := range s.learnts {
+		if s.ca.deleted(c) || s.ca.size(c) == 2 || s.ca.lbd(c) <= coreLBD || s.locked(c) {
+			continue
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		li, lj := s.ca.lbd(cands[i]), s.ca.lbd(cands[j])
+		if li != lj {
+			return li < lj
+		}
+		return s.ca.activity(cands[i]) > s.ca.activity(cands[j])
+	})
+	for _, c := range cands[len(cands)/2:] {
+		s.detachClause(c)
+		s.ca.markDeleted(c)
+		s.stats.Removed++
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !s.ca.deleted(c) {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	if s.ca.wasted > len(s.ca.data)/4 {
+		s.garbageCollect()
+	}
+}
+
+// garbageCollect compacts the clause arena: live clauses are copied into a
+// fresh slab in clause-list order, reason slots are remapped through the
+// forwarding map, and watcher lists are rebuilt from the relocated watch
+// pairs (positions 0 and 1 are preserved by relocation, so the two-watched
+// invariant carries over even mid-search).
+func (s *Solver) garbageCollect() {
+	var dst arena
+	dst.data = make([]Lit, 0, len(s.ca.data)-s.ca.wasted)
+	forward := s.ca.gcInto(&dst, &s.clauses, &s.learnts)
+	for v := range s.reason {
+		if r := s.reason[v]; r != NilRef {
+			s.reason[v] = forward[r]
+		}
+	}
+	for i := range s.watches {
+		s.watches[i] = s.watches[i][:0]
+	}
+	s.ca = dst
+	for _, c := range s.clauses {
+		s.watchClause(c)
+	}
+	for _, c := range s.learnts {
+		s.watchClause(c)
+	}
+	s.stats.ArenaGCs++
+}
+
+// pickBranchVar selects the next decision variable: usually the activity
+// maximum, with an Options.RandomVarFreq chance of a uniformly random
+// unassigned variable (portfolio diversification).
+func (s *Solver) pickBranchVar() Var {
+	if s.opts.RandomVarFreq > 0 && s.rng.chance(s.opts.RandomVarFreq) {
+		for t := 0; t < 8; t++ {
+			v := Var(s.rng.intn(len(s.assigns)))
+			if s.assigns[v] == lUndef {
+				return v
 			}
 		}
 	}
-}
-
-// pickBranchVar selects the next decision variable by activity.
-func (s *Solver) pickBranchVar() Var {
 	for !s.order.empty() {
 		v := s.order.pop()
 		if s.assigns[v] == lUndef {
@@ -432,6 +642,20 @@ func (s *Solver) pickBranchVar() Var {
 		}
 	}
 	return -1
+}
+
+// decisionPhase selects the phase for a decision on v per Options.Polarity.
+func (s *Solver) decisionPhase(v Var) bool {
+	switch s.opts.Polarity {
+	case PolarityTrue:
+		return true
+	case PolarityFalse:
+		return false
+	case PolarityRandom:
+		return s.rng.next()&1 == 1
+	default:
+		return s.polarity[v]
+	}
 }
 
 // luby computes the Luby restart sequence element for 0-based index x:
@@ -452,13 +676,14 @@ func luby(x int64) int64 {
 
 // Solve determines satisfiability of the clause set under the given
 // assumption literals. It returns Sat, Unsat, or Unknown (only if
-// MaxConflicts was exceeded). The model after Sat is read with Value.
+// Options.MaxConflicts was exceeded). The model after Sat is read with
+// Value.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	return s.SolveContext(context.Background(), assumptions...)
 }
 
 // SolveContext is Solve with cancellation support: the context is checked
-// at every restart boundary and additionally every ctxCheckConflicts
+// at every restart boundary and additionally every Options.CtxPollConflicts
 // conflicts within a restart, so cancellation takes effect promptly even
 // inside the long late-Luby restart intervals. A cancelled or expired
 // context yields Unknown; callers distinguish it from conflict-budget
@@ -467,7 +692,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // When the result is Unsat because of the assumptions, the minimized
 // inconsistent subset of the assumptions is available from UnsatCore.
 func (s *Solver) SolveContext(ctx context.Context, assumptions ...Lit) Status {
-	st := s.solveLimited(ctx, assumptions, s.MaxConflicts)
+	st := s.solveLimited(ctx, assumptions, s.opts.MaxConflicts)
 	if st == Unsat && s.unsatAssumptions && len(s.unsatCore) > 1 {
 		s.minimizeCore(ctx, assumptions)
 	}
@@ -484,35 +709,93 @@ func (s *Solver) solveLimited(ctx context.Context, assumptions []Lit, maxConflic
 		return Unsat
 	}
 	s.cancelUntil(0)
-	if s.propagate() != nil {
+	if s.propagate() != NilRef {
 		s.unsat = true
 		return Unsat
 	}
 
 	var totalConflicts int64
 	restart := int64(-1)
-	maxLearnts := len(s.clauses)/3 + 100
+	geomBudget := float64(s.opts.RestartBase)
+	maxLearnts := len(s.clauses)/3 + s.opts.ReduceBase
 
 	for {
 		if ctx.Err() != nil {
 			s.cancelUntil(0)
 			return Unknown
 		}
+		// Restart boundary: the trail is at level 0, the only point where
+		// peer clauses can be installed without backtracking bookkeeping.
+		if s.importLearnts != nil && !s.drainImports() {
+			s.unsat = true
+			return Unsat
+		}
 		restart++
-		budget := 100 * luby(restart)
+		var budget int64
+		if s.opts.Restart == RestartGeometric {
+			budget = int64(geomBudget)
+			geomBudget *= s.opts.RestartFactor
+		} else {
+			budget = int64(s.opts.RestartBase) * luby(restart)
+		}
 		st := s.search(ctx, assumptions, budget, &totalConflicts, maxConflicts, maxLearnts)
 		switch st {
 		case Sat, Unsat:
 			s.cancelUntilRoot(st)
 			return st
 		}
-		s.Stats.Restarts++
+		s.stats.Restarts++
 		if maxConflicts > 0 && totalConflicts >= maxConflicts {
 			s.cancelUntil(0)
 			return Unknown
 		}
 		maxLearnts += maxLearnts / 10
 	}
+}
+
+// drainImports installs clauses offered by portfolio peers. Called at
+// decision level 0 only. Returns false if an import (necessarily sound —
+// learnt clauses never depend on assumptions) exposed level-0
+// unsatisfiability.
+func (s *Solver) drainImports() bool {
+	for _, lits := range s.importLearnts() {
+		if !s.addImported(lits) {
+			return false
+		}
+	}
+	return true
+}
+
+// addImported installs one peer-learnt clause at level 0, applying the same
+// normalization as AddClause but storing the clause in the learnt tier so
+// the problem clause set (NumClauses, WriteDIMACS) is unchanged.
+func (s *Solver) addImported(lits []Lit) bool {
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l.Var() < 0 || int(l.Var()) >= s.NumVars() {
+			return true // references a variable this solver hasn't synced yet
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		out = append(out, l)
+	}
+	s.stats.SharedImports++
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		s.enqueue(out[0], NilRef)
+		return s.propagate() == NilRef
+	}
+	c := s.ca.alloc(out, true)
+	s.ca.setLBD(c, len(out)) // pessimistic; refreshed on first reuse
+	s.learnts = append(s.learnts, c)
+	s.watchClause(c)
+	return true
 }
 
 // cancelUntilRoot backtracks to level 0 after a Solve, preserving the model
@@ -572,12 +855,12 @@ func (s *Solver) analyzeFinal(p Lit) []Lit {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if r := s.reason[v]; r == nil {
+		if r := s.reason[v]; r == NilRef {
 			// A decision below the failure point is an assumption, recorded
 			// on the trail exactly as it was passed to Solve.
 			core = append(core, s.trail[i])
 		} else {
-			for _, l := range r.lits {
+			for _, l := range s.ca.lits(r) {
 				if s.level[l.Var()] > 0 {
 					s.seen[l.Var()] = 1
 				}
@@ -600,9 +883,9 @@ const minimizeCoreConflicts = 1000
 // probe's own — possibly much smaller — core. Candidates are tried in
 // reverse order of the original assumption list. Total minimization work is
 // bounded: each probe gets at most minimizeCoreConflicts conflicts, and the
-// whole pass stops once it has spent either MaxConflicts (when the caller
-// budgeted the solve — minimization must not blow a latency contract) or a
-// few probes' worth of conflicts, whichever is smaller.
+// whole pass stops once it has spent either Options.MaxConflicts (when the
+// caller budgeted the solve — minimization must not blow a latency
+// contract) or a few probes' worth of conflicts, whichever is smaller.
 func (s *Solver) minimizeCore(ctx context.Context, assumptions []Lit) {
 	pos := make(map[Lit]int, len(assumptions))
 	for i, a := range assumptions {
@@ -614,16 +897,16 @@ func (s *Solver) minimizeCore(ctx context.Context, assumptions []Lit) {
 
 	perProbe := int64(minimizeCoreConflicts)
 	allowance := 8 * perProbe
-	if s.MaxConflicts > 0 && s.MaxConflicts < allowance {
-		allowance = s.MaxConflicts
+	if s.opts.MaxConflicts > 0 && s.opts.MaxConflicts < allowance {
+		allowance = s.opts.MaxConflicts
 	}
 	if perProbe > allowance {
 		perProbe = allowance
 	}
-	spent := s.Stats.Conflicts
+	spent := s.stats.Conflicts
 
 	for i := 0; i < len(core) && len(core) > 1; {
-		if s.Stats.Conflicts-spent >= allowance {
+		if s.stats.Conflicts-spent >= allowance {
 			break // minimization allowance exhausted; the core stays sound
 		}
 		trial := make([]Lit, 0, len(core)-1)
@@ -662,33 +945,29 @@ func (s *Solver) minimizeCore(ctx context.Context, assumptions []Lit) {
 	}
 }
 
-// ctxCheckConflicts is the conflict interval at which an in-flight search
-// polls the context. Restart boundaries alone are not enough: late Luby
-// restarts run thousands of conflicts, so a long probe could outlive its
-// deadline by seconds.
-const ctxCheckConflicts = 256
-
 // search runs CDCL until a result, a conflict budget exhaustion (returns
 // Unknown to trigger a restart), a context cancellation (also Unknown; the
 // caller re-checks ctx), or an assumption failure.
 func (s *Solver) search(ctx context.Context, assumptions []Lit, budget int64, totalConflicts *int64, maxConflicts int64, maxLearnts int) Status {
 	var conflicts int64
+	ctxPoll := int64(s.opts.CtxPollConflicts)
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != NilRef {
 			conflicts++
 			*totalConflicts++
-			s.Stats.Conflicts++
+			s.stats.Conflicts++
 			if s.decisionLevel() == 0 {
 				s.unsat = true
 				return Unsat
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.otfSubsume(confl, learnt)
 			// Never backtrack past the assumption levels' prefix that
 			// remains consistent; cancelUntil handles any level, and the
 			// assumption re-decision logic below re-establishes them.
 			s.cancelUntil(btLevel)
-			s.recordLearnt(learnt)
+			s.recordLearnt(learnt, lbd)
 			s.varInc *= varDecay
 			s.claInc *= clauseDecay
 			if len(s.learnts) >= maxLearnts+len(s.trail) {
@@ -698,7 +977,7 @@ func (s *Solver) search(ctx context.Context, assumptions []Lit, budget int64, to
 				s.cancelUntil(0)
 				return Unknown
 			}
-			if conflicts%ctxCheckConflicts == 0 && ctx.Err() != nil {
+			if conflicts%ctxPoll == 0 && ctx.Err() != nil {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -732,10 +1011,10 @@ func (s *Solver) search(ctx context.Context, assumptions []Lit, budget int64, to
 			if v < 0 {
 				return Sat // all variables assigned
 			}
-			s.Stats.Decisions++
-			next = v.Lit(s.polarity[v])
+			s.stats.Decisions++
+			next = v.Lit(s.decisionPhase(v))
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(next, nil)
+		s.enqueue(next, NilRef)
 	}
 }

@@ -192,15 +192,15 @@ func TestIncrementalAddAfterSolve(t *testing.T) {
 }
 
 func TestMaxConflictsReturnsUnknown(t *testing.T) {
-	s := NewSolver()
-	s.MaxConflicts = 1
+	s := New(Options{MaxConflicts: 1})
 	pigeonhole(s, 8, 7)
 	if got := s.Solve(); got != Unknown {
 		t.Fatalf("budgeted solve = %v, want Unknown", got)
 	}
-	// Removing the budget must complete.
-	s.MaxConflicts = 0
-	if got := s.Solve(); got != Unsat {
+	// The same instance without a budget must complete.
+	u := NewSolver()
+	pigeonhole(u, 8, 7)
+	if got := u.Solve(); got != Unsat {
 		t.Fatalf("unbudgeted solve = %v", got)
 	}
 }
@@ -368,8 +368,8 @@ func TestStatsAccumulate(t *testing.T) {
 	s := NewSolver()
 	pigeonhole(s, 6, 5)
 	s.Solve()
-	if s.Stats.Conflicts == 0 || s.Stats.Decisions == 0 || s.Stats.Propagations == 0 {
-		t.Errorf("stats not accumulated: %+v", s.Stats)
+	if st := s.Snapshot(); st.Conflicts == 0 || st.Decisions == 0 || st.Propagations == 0 {
+		t.Errorf("stats not accumulated: %+v", st)
 	}
 }
 
@@ -480,8 +480,8 @@ func TestSolveContextPreCancelled(t *testing.T) {
 	if got := s.SolveContext(ctx); got != Unknown {
 		t.Fatalf("pre-cancelled solve = %v, want Unknown", got)
 	}
-	if s.Stats.Decisions != 0 {
-		t.Errorf("pre-cancelled solve made %d decisions, want 0", s.Stats.Decisions)
+	if d := s.Snapshot().Decisions; d != 0 {
+		t.Errorf("pre-cancelled solve made %d decisions, want 0", d)
 	}
 }
 

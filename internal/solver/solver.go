@@ -126,6 +126,11 @@ type Plan struct {
 	// LowerBound is the admissible lower bound on F that seeded the SAT
 	// descent (0 when disabled, trivial, or not a SAT run).
 	LowerBound int
+	// SATThreads is the clause-sharing portfolio width the SAT engine ran
+	// with (1 for the plain solver; 0 when not a SAT run), and
+	// SharedClauses the learnt clauses imported across its workers.
+	SATThreads    int
+	SharedClauses int64
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }

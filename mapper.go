@@ -198,6 +198,17 @@ func WithLowerBound(on bool) Option {
 	}
 }
 
+// WithSATThreads sets the default clause-sharing portfolio width for the
+// SAT engine (Options.SATThreads): n > 1 solves every instance with n
+// diversified goroutine workers sharing low-LBD learnt clauses; n ≤ 1 (the
+// default) keeps the fully deterministic single solver.
+func WithSATThreads(n int) Option {
+	return func(c *mapperConfig) error {
+		c.opts.SATThreads = n
+		return nil
+	}
+}
+
 // WithHeuristicRuns sets the default number of stochastic-heuristic seeds.
 func WithHeuristicRuns(n int) Option {
 	return func(c *mapperConfig) error {

@@ -245,6 +245,12 @@ type Options struct {
 	// (Stats.LowerBound) — the library face of the CLIs' -lower-bound=off
 	// escape hatch. Costs are unaffected; only the probe count grows.
 	SATNoLowerBound bool
+	// SATThreads, when > 1, runs every SAT engine solve as a clause-sharing
+	// portfolio of that many diversified goroutine workers over the one
+	// incremental encoding (the CLIs' -sat-threads flag). The cost and
+	// minimality proof are unchanged; the witness mapping may differ
+	// between runs. Default (≤ 1) keeps the deterministic single solver.
+	SATThreads int
 	// InitialLayout, when non-nil, pins the logical→physical layout at
 	// the start of the circuit (exact methods route away from it at SWAP
 	// cost if beneficial; the heuristic starts its search from it).
@@ -310,6 +316,12 @@ type Stats struct {
 	// coupling-graph distance sum) that seeded the SAT descent; 0 when
 	// trivial, disabled via Options.SATNoLowerBound, or not a SAT run.
 	LowerBound int
+	// SATThreads is the portfolio width the SAT engine solved with (1 for
+	// the plain solver, 0 when not a SAT run); SharedClauses counts learnt
+	// clauses imported across the portfolio's workers (0 when SATThreads
+	// ≤ 1).
+	SATThreads    int
+	SharedClauses int64
 }
 
 // Result is the outcome of a Map call.
@@ -431,6 +443,8 @@ func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.Stats.BoundProbes = plan.BoundProbes
 	res.Stats.BoundJumps = plan.BoundJumps
 	res.Stats.LowerBound = plan.LowerBound
+	res.Stats.SATThreads = plan.SATThreads
+	res.Stats.SharedClauses = plan.SharedClauses
 	if e, err := ParseEngine(plan.Engine); err == nil {
 		res.Engine = e
 	}
@@ -500,6 +514,7 @@ func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 			BinaryDescent: opts.SATBinaryDescent,
 			MaxConflicts:  opts.SATMaxConflicts,
 			NoLowerBound:  opts.SATNoLowerBound,
+			Threads:       opts.SATThreads,
 		},
 		HeuristicRuns: opts.HeuristicRuns,
 		Seed:          opts.Seed,
