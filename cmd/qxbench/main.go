@@ -20,6 +20,12 @@
 //	        [-parallel] [-workers 8] [-lower-bound on|off]
 //	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
 //	        [-sat-binary] [-sat-threads 4] [-json] [-baseline BENCH_5.json]
+//	        [-probe-budget BENCH_6.json]
+//
+// -probe-budget additionally caps the run's TOTAL bound probes at another
+// snapshot's total (requiring identical per-benchmark costs): the
+// cross-method gate proving the §4.1 shared-instance fan-out spends no
+// more probes than the plain exact descent it generalizes.
 package main
 
 import (
@@ -57,6 +63,7 @@ func main() {
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	jsonOut := flag.Bool("json", false, "emit a stable JSON perf snapshot of the batch on stdout (-batch mode)")
 	baseline := flag.String("baseline", "", "compare the batch against this committed perf snapshot and fail on encode/probe/cost regressions (-batch mode)")
+	probeBudget := flag.String("probe-budget", "", "cap the run's TOTAL bound probes at this snapshot's total, requiring identical per-benchmark costs — the cross-method gate proving the §4.1 shared instance spends no more probes than the plain exact descent (-batch mode)")
 	flag.Parse()
 
 	noLowerBound := false
@@ -98,6 +105,7 @@ func main() {
 			jobTimeout:   *jobTimeout,
 			jsonOut:      *jsonOut,
 			baseline:     *baseline,
+			probeBudget:  *probeBudget,
 		})
 		return
 	}
@@ -144,6 +152,7 @@ type batchConfig struct {
 	jobTimeout   time.Duration
 	jsonOut      bool
 	baseline     string
+	probeBudget  string
 }
 
 // snapshotRow is one benchmark's entry in the stable -json perf snapshot.
@@ -246,18 +255,19 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 		}
 		fmt.Println(string(b))
 	} else {
-		fmt.Printf("%-12s %6s %6s %8s %6s %7s %7s %9s %7s %6s %4s %10s\n",
-			"benchmark", "F", "gates", "engine", "cache", "solves", "encodes", "conflicts", "probes", "jumps", "lb", "solve")
+		fmt.Printf("%-12s %6s %6s %8s %6s %7s %7s %9s %7s %6s %4s %7s %6s %7s %10s\n",
+			"benchmark", "F", "gates", "engine", "cache", "solves", "encodes", "conflicts", "probes", "jumps", "lb", "pruned", "orbit", "famref", "solve")
 		for _, br := range results {
 			if br.Err != nil {
 				fmt.Printf("%-12s %6s\n", br.Job.Name, "FAIL")
 				continue
 			}
 			r := br.Result
-			fmt.Printf("%-12s %6d %6d %8s %6v %7d %7d %9d %7d %6d %4d %10v\n",
+			fmt.Printf("%-12s %6d %6d %8s %6v %7d %7d %9d %7d %6d %4d %7d %6d %7d %10v\n",
 				br.Job.Name, r.Cost, r.TotalGates(), r.Stats.Engine, r.CacheHit,
 				r.Stats.SATSolves, r.Stats.SATEncodes, r.Stats.SATConflicts,
 				r.Stats.BoundProbes, r.Stats.BoundJumps, r.Stats.LowerBound,
+				r.Stats.SubsetsPruned, r.Stats.OrbitHits, r.Stats.CoreFamilyRefutations,
 				r.Stats.SolveTime.Round(time.Microsecond))
 		}
 		fmt.Printf("\nbatch: %d jobs (%d failed), method=%s, total added gates F=%d, wall-clock %v\n",
@@ -268,6 +278,12 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "qxbench: baseline %s: no encode, probe or cost regressions\n", cfg.baseline)
+	}
+	if cfg.probeBudget != "" {
+		if err := compareProbeBudget(snap, cfg.probeBudget); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "qxbench: probe budget %s: total bound probes within budget at identical costs\n", cfg.probeBudget)
 	}
 	if failures > 0 {
 		os.Exit(1)
@@ -314,6 +330,53 @@ func compareBaseline(snap batchSnapshot, path string) error {
 		if b.Minimal && !r.Minimal {
 			return fmt.Errorf("baseline regression: %s lost its minimality proof (baseline proved minimal)", b.Name)
 		}
+		// §4.1 fan-out instrumentation: a baseline that recorded pruned
+		// subsets or orbit transfers must keep them — a drop to below the
+		// recorded level means the lower-bound pruning or the automorphism
+		// orbit machinery silently stopped firing.
+		if got, want := r.Stats.SubsetsPruned+r.Stats.OrbitHits, b.Stats.SubsetsPruned+b.Stats.OrbitHits; got < want {
+			return fmt.Errorf("baseline regression: %s retired %d subsets without probes (pruned+orbit), baseline %d", b.Name, got, want)
+		}
+	}
+	return nil
+}
+
+// compareProbeBudget gates the run's TOTAL bound-probe spend against
+// another committed snapshot — typically the plain exact method's baseline,
+// proving the §4.1 shared-instance fan-out covers every connected subset
+// without spending more probes than a single-architecture descent. The
+// comparison is only meaningful at identical answers, so per-benchmark
+// costs must match the budget snapshot exactly.
+func compareProbeBudget(snap batchSnapshot, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base batchSnapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("probe budget %s: %w", path, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("probe budget %s records no benchmarks; the gate would be vacuous", path)
+	}
+	rows := make(map[string]snapshotRow, len(snap.Benchmarks))
+	for _, r := range snap.Benchmarks {
+		rows[r.Name] = r
+	}
+	budget, spent := 0, 0
+	for _, b := range base.Benchmarks {
+		r, ok := rows[b.Name]
+		if !ok {
+			return fmt.Errorf("probe budget: %s is in %s but missing from this run", b.Name, path)
+		}
+		if r.Cost != b.Cost {
+			return fmt.Errorf("probe budget: %s cost %d, budget snapshot %d — probe totals are only comparable at identical costs", b.Name, r.Cost, b.Cost)
+		}
+		budget += b.Stats.BoundProbes
+		spent += r.Stats.BoundProbes
+	}
+	if spent > budget {
+		return fmt.Errorf("probe budget regression: run spent %d bound probes, budget %s allows %d", spent, path, budget)
 	}
 	return nil
 }

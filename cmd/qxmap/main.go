@@ -143,6 +143,10 @@ func main() {
 			s.Solver, s.Engine, s.CacheHit, s.SATSolves, s.SATEncodes, s.SATConflicts)
 		fmt.Fprintf(os.Stderr, "descent: bound-probes=%d, bound-jumps=%d, lower-bound=%d\n",
 			s.BoundProbes, s.BoundJumps, s.LowerBound)
+		if s.SubsetsPruned > 0 || s.OrbitHits > 0 || s.CoreFamilyRefutations > 0 {
+			fmt.Fprintf(os.Stderr, "subsets: pruned=%d, core-family-refutations=%d, orbit-hits=%d\n",
+				s.SubsetsPruned, s.CoreFamilyRefutations, s.OrbitHits)
+		}
 		if s.SATThreads > 1 {
 			fmt.Fprintf(os.Stderr, "portfolio: sat-threads=%d, shared-clauses=%d\n",
 				s.SATThreads, s.SharedClauses)

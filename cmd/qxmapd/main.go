@@ -21,6 +21,9 @@
 //
 // Responses reuse the stable JSON encodings of the qxmap package
 // (ResultJSON, BatchReportJSON) — identical to cmd/qxmap -json output.
+// The per-result stats block includes the §4.1 shared-instance fan-out
+// counters (subsets_pruned, core_family_refutations, orbit_hits) alongside
+// the SAT descent counters.
 // Synchronous work is bounded by -timeout (expiry returns 504); shutdown
 // on SIGINT/SIGTERM is graceful: the listener drains before the mapper and
 // its async jobs are stopped.

@@ -24,29 +24,37 @@ type StatsJSON struct {
 	BoundProbes   int    `json:"bound_probes"`
 	BoundJumps    int    `json:"bound_jumps"`
 	LowerBound    int    `json:"lower_bound"`
-	SATThreads    int    `json:"sat_threads"`
-	SharedClauses int64  `json:"shared_clauses"`
+	// SubsetsPruned, CoreFamilyRefutations and OrbitHits instrument the
+	// §4.1 shared-instance subset fan-out (all 0 outside it).
+	SubsetsPruned         int   `json:"subsets_pruned"`
+	CoreFamilyRefutations int   `json:"core_family_refutations"`
+	OrbitHits             int   `json:"orbit_hits"`
+	SATThreads            int   `json:"sat_threads"`
+	SharedClauses         int64 `json:"shared_clauses"`
 }
 
 // JSON returns the stable wire encoding of the stats.
 func (s Stats) JSON() StatsJSON {
 	return StatsJSON{
-		SkeletonNS:    s.SkeletonTime.Nanoseconds(),
-		SolveNS:       s.SolveTime.Nanoseconds(),
-		MaterializeNS: s.MaterializeTime.Nanoseconds(),
-		VerifyNS:      s.VerifyTime.Nanoseconds(),
-		OptimizeNS:    s.OptimizeTime.Nanoseconds(),
-		Solver:        s.Solver,
-		Engine:        s.Engine,
-		CacheHit:      s.CacheHit,
-		SATSolves:     s.SATSolves,
-		SATEncodes:    s.SATEncodes,
-		SATConflicts:  s.SATConflicts,
-		BoundProbes:   s.BoundProbes,
-		BoundJumps:    s.BoundJumps,
-		LowerBound:    s.LowerBound,
-		SATThreads:    s.SATThreads,
-		SharedClauses: s.SharedClauses,
+		SkeletonNS:            s.SkeletonTime.Nanoseconds(),
+		SolveNS:               s.SolveTime.Nanoseconds(),
+		MaterializeNS:         s.MaterializeTime.Nanoseconds(),
+		VerifyNS:              s.VerifyTime.Nanoseconds(),
+		OptimizeNS:            s.OptimizeTime.Nanoseconds(),
+		Solver:                s.Solver,
+		Engine:                s.Engine,
+		CacheHit:              s.CacheHit,
+		SATSolves:             s.SATSolves,
+		SATEncodes:            s.SATEncodes,
+		SATConflicts:          s.SATConflicts,
+		BoundProbes:           s.BoundProbes,
+		BoundJumps:            s.BoundJumps,
+		LowerBound:            s.LowerBound,
+		SubsetsPruned:         s.SubsetsPruned,
+		CoreFamilyRefutations: s.CoreFamilyRefutations,
+		OrbitHits:             s.OrbitHits,
+		SATThreads:            s.SATThreads,
+		SharedClauses:         s.SharedClauses,
 	}
 }
 

@@ -1,0 +1,137 @@
+package arch
+
+import "sort"
+
+// DefaultAutomorphismLimit bounds automorphism enumeration: once a group
+// exceeds it, Automorphisms stops early and returns what it has. Any set of
+// valid automorphisms yields sound (if coarser) orbits, so the cap trades
+// orbit sharpness for bounded work on pathological graphs (e.g. an edgeless
+// architecture, whose group is all of S_m).
+const DefaultAutomorphismLimit = 1024
+
+// Automorphisms enumerates permutations σ of the physical qubits that
+// preserve the DIRECTED coupling map: (i,j) ∈ CM ⇔ (σ(i),σ(j)) ∈ CM.
+// Directions matter — the H-gate cost of a CNOT depends on which way an
+// edge points — so only direction-preserving symmetries may transfer
+// mapping costs between subsets.
+//
+// The search is a VF2-style backtracking over vertex images, pruned by the
+// (in-degree, out-degree) invariant and by adjacency consistency with all
+// previously assigned vertices. The identity is always first; limit ≤ 0
+// means DefaultAutomorphismLimit. Each returned σ is a slice with σ[i] the
+// image of physical qubit i.
+func (a *Arch) Automorphisms(limit int) [][]int {
+	if limit <= 0 {
+		limit = DefaultAutomorphismLimit
+	}
+	m := a.m
+	indeg := make([]int, m)
+	outdeg := make([]int, m)
+	for _, p := range a.pairs {
+		outdeg[p.Control]++
+		indeg[p.Target]++
+	}
+
+	var out [][]int
+	sigma := make([]int, m)
+	used := make([]bool, m)
+	var rec func(v int) bool // returns false once the limit is hit
+	rec = func(v int) bool {
+		if v == m {
+			out = append(out, append([]int(nil), sigma...))
+			return len(out) < limit
+		}
+		for w := 0; w < m; w++ {
+			if used[w] || indeg[w] != indeg[v] || outdeg[w] != outdeg[v] {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if a.allowed[u][v] != a.allowed[sigma[u]][w] || a.allowed[v][u] != a.allowed[w][sigma[u]] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			sigma[v] = w
+			used[w] = true
+			more := rec(v + 1)
+			used[w] = false
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// SubsetOrbits buckets subsets (each a sorted slice of physical qubit
+// indices, as returned by ConnectedSubsets) into orbits of the given
+// automorphisms: two subsets land in one orbit when some composition of the
+// automorphisms maps one onto the other. Since an automorphism preserves the
+// directed coupling map, every subset in an orbit induces an isomorphic
+// coupling graph and therefore has the same optimal mapping cost — solving
+// one representative proves the whole orbit (paper §4.1 fan-out with
+// symmetry-orbit proof transfer).
+//
+// The result groups subset INDICES; each group is ordered with the
+// representative first (the member with the lexicographically smallest qubit
+// set), and groups appear in first-member order for determinism. With only
+// the identity automorphism every subset is its own singleton orbit.
+func SubsetOrbits(subsets [][]int, autos [][]int) [][]int {
+	canon := func(s []int) string {
+		best := ""
+		img := make([]int, len(s))
+		for _, sigma := range autos {
+			for i, q := range s {
+				img[i] = sigma[q]
+			}
+			sort.Ints(img)
+			key := subsetKey(img)
+			if best == "" || key < best {
+				best = key
+			}
+		}
+		if best == "" {
+			best = subsetKey(s) // no automorphisms supplied: identity orbit
+		}
+		return best
+	}
+
+	byKey := make(map[string]int) // canonical key → orbit index
+	var orbits [][]int
+	for i, s := range subsets {
+		key := canon(s)
+		oi, ok := byKey[key]
+		if !ok {
+			oi = len(orbits)
+			byKey[key] = oi
+			orbits = append(orbits, nil)
+		}
+		orbits[oi] = append(orbits[oi], i)
+	}
+	// Put the lexicographically smallest member first as the representative.
+	for _, orbit := range orbits {
+		rep := 0
+		for j := 1; j < len(orbit); j++ {
+			if subsetKey(subsets[orbit[j]]) < subsetKey(subsets[orbit[rep]]) {
+				rep = j
+			}
+		}
+		orbit[0], orbit[rep] = orbit[rep], orbit[0]
+	}
+	return orbits
+}
+
+// subsetKey builds a comparable key from a sorted qubit set.
+func subsetKey(s []int) string {
+	buf := make([]byte, 0, 2*len(s))
+	for _, q := range s {
+		buf = append(buf, byte(q>>8), byte(q))
+	}
+	return string(buf)
+}

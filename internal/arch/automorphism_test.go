@@ -1,0 +1,190 @@
+package arch
+
+import (
+	"sort"
+	"testing"
+)
+
+// isAutomorphism checks σ preserves the directed coupling map of a.
+func isAutomorphism(a *Arch, sigma []int) bool {
+	m := a.NumQubits()
+	if len(sigma) != m {
+		return false
+	}
+	seen := make([]bool, m)
+	for _, w := range sigma {
+		if w < 0 || w >= m || seen[w] {
+			return false
+		}
+		seen[w] = true
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			if a.Allows(i, j) != a.Allows(sigma[i], sigma[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAutomorphismsAreValidAndIncludeIdentity(t *testing.T) {
+	for _, a := range []*Arch{QX4(), QX5(), Ring(6), Grid(2, 2), Linear(5), Tokyo()} {
+		autos := a.Automorphisms(0)
+		if len(autos) == 0 {
+			t.Fatalf("%s: no automorphisms returned (identity expected)", a.Name())
+		}
+		hasIdentity := false
+		for _, sigma := range autos {
+			if !isAutomorphism(a, sigma) {
+				t.Errorf("%s: %v is not an automorphism", a.Name(), sigma)
+			}
+			id := true
+			for i, w := range sigma {
+				if i != w {
+					id = false
+					break
+				}
+			}
+			hasIdentity = hasIdentity || id
+		}
+		if !hasIdentity {
+			t.Errorf("%s: identity missing from %d automorphisms", a.Name(), len(autos))
+		}
+	}
+}
+
+func TestRingAutomorphismsAreTheRotations(t *testing.T) {
+	// The directed m-ring's symmetries are exactly the m rotations:
+	// reflections reverse edge directions and are excluded.
+	for _, m := range []int{3, 5, 6, 8} {
+		autos := Ring(m).Automorphisms(0)
+		if len(autos) != m {
+			t.Fatalf("ring%d: got %d automorphisms, want %d rotations", m, len(autos), m)
+		}
+		for _, sigma := range autos {
+			shift := sigma[0]
+			for i, w := range sigma {
+				if w != (i+shift)%m {
+					t.Fatalf("ring%d: %v is not a rotation", m, sigma)
+				}
+			}
+		}
+	}
+}
+
+func TestGrid2x2Automorphisms(t *testing.T) {
+	// Edges 0→1, 0→2, 1→3, 2→3: the only non-trivial symmetry is the
+	// diagonal flip swapping qubits 1 and 2.
+	autos := Grid(2, 2).Automorphisms(0)
+	if len(autos) != 2 {
+		t.Fatalf("grid2x2: got %d automorphisms, want 2", len(autos))
+	}
+}
+
+func TestAsymmetricArchsHaveTrivialGroup(t *testing.T) {
+	// QX4's degree profile pins every vertex; a directed path reverses
+	// under reflection. Both must report only the identity.
+	for _, a := range []*Arch{QX4(), Linear(5)} {
+		autos := a.Automorphisms(0)
+		if len(autos) != 1 {
+			t.Fatalf("%s: got %d automorphisms, want identity only", a.Name(), len(autos))
+		}
+	}
+}
+
+func TestAutomorphismsRespectLimit(t *testing.T) {
+	// An edgeless architecture's group is all of S_m; the limit must cap
+	// enumeration without losing validity.
+	a := MustNew("edgeless", 5, nil)
+	autos := a.Automorphisms(10)
+	if len(autos) != 10 {
+		t.Fatalf("got %d automorphisms, want exactly the limit 10", len(autos))
+	}
+	for _, sigma := range autos {
+		if !isAutomorphism(a, sigma) {
+			t.Fatalf("%v is not an automorphism", sigma)
+		}
+	}
+}
+
+func TestSubsetOrbitsRingCollapsesToOne(t *testing.T) {
+	a := Ring(6)
+	subsets := a.ConnectedSubsets(3)
+	if len(subsets) != 6 {
+		t.Fatalf("ring6 has %d connected 3-subsets, want 6 arcs", len(subsets))
+	}
+	orbits := SubsetOrbits(subsets, a.Automorphisms(0))
+	if len(orbits) != 1 {
+		t.Fatalf("got %d orbits, want 1 (all arcs rotate onto each other): %v", len(orbits), orbits)
+	}
+	if len(orbits[0]) != 6 {
+		t.Fatalf("orbit has %d members, want 6", len(orbits[0]))
+	}
+	rep := subsets[orbits[0][0]]
+	if rep[0] != 0 || rep[1] != 1 || rep[2] != 2 {
+		t.Fatalf("representative %v, want the lexicographically smallest arc [0 1 2]", rep)
+	}
+}
+
+func TestSubsetOrbitsAsymmetricNegative(t *testing.T) {
+	// With a trivial automorphism group every subset is its own orbit.
+	a := QX4()
+	subsets := a.ConnectedSubsets(3)
+	orbits := SubsetOrbits(subsets, a.Automorphisms(0))
+	if len(orbits) != len(subsets) {
+		t.Fatalf("got %d orbits for %d subsets; trivial group must not merge any", len(orbits), len(subsets))
+	}
+	for _, orbit := range orbits {
+		if len(orbit) != 1 {
+			t.Fatalf("orbit %v has %d members, want singleton", orbit, len(orbit))
+		}
+	}
+}
+
+func TestSubsetOrbitsMembersAreIsomorphic(t *testing.T) {
+	// Structural sanity: all members of an orbit induce coupling graphs
+	// with identical (in-degree, out-degree) profiles.
+	for _, a := range []*Arch{Ring(6), Grid(2, 2), QX5()} {
+		autos := a.Automorphisms(0)
+		for n := 2; n <= 3; n++ {
+			subsets := a.ConnectedSubsets(n)
+			for _, orbit := range SubsetOrbits(subsets, autos) {
+				want := degreeProfile(a, subsets[orbit[0]])
+				for _, mi := range orbit[1:] {
+					if got := degreeProfile(a, subsets[mi]); got != want {
+						t.Fatalf("%s n=%d: orbit members %v and %v have profiles %q vs %q",
+							a.Name(), n, subsets[orbit[0]], subsets[mi], want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func degreeProfile(a *Arch, subset []int) string {
+	sub, _ := a.Restrict(subset)
+	m := sub.NumQubits()
+	var profile []int
+	for i := 0; i < m; i++ {
+		in, out := 0, 0
+		for j := 0; j < m; j++ {
+			if sub.Allows(j, i) {
+				in++
+			}
+			if sub.Allows(i, j) {
+				out++
+			}
+		}
+		profile = append(profile, in*100+out)
+	}
+	sort.Ints(profile)
+	key := ""
+	for _, p := range profile {
+		key += string(rune('0'+p/100)) + string(rune('0'+p%100)) + ","
+	}
+	return key
+}

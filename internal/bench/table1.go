@@ -44,6 +44,14 @@ type Column struct {
 	BoundProbes int
 	BoundJumps  int
 	LowerBound  int
+	// SubsetsPruned, CoreFamilyRefutations and OrbitHits instrument the
+	// §4.1 shared-instance subset fan-out (0 for non-subset columns):
+	// subsets retired by their admissible lower bound, UNSAT probes that
+	// refuted the whole pending family at once, and subsets proven by their
+	// automorphism-orbit representative.
+	SubsetsPruned         int
+	CoreFamilyRefutations int
+	OrbitHits             int
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }
@@ -203,15 +211,18 @@ func RunRow(ctx context.Context, b revlib.Benchmark, cfg Config) (Row, error) {
 			return nil, Column{}, fmt.Errorf("%s: %w", name, err)
 		}
 		return plan, Column{
-			Cost:        row.OriginalCost + plan.Cost,
-			Added:       plan.Cost,
-			Solves:      plan.SATSolves,
-			Encodes:     plan.SATEncodes,
-			Conflicts:   plan.SATConflicts,
-			BoundProbes: plan.BoundProbes,
-			BoundJumps:  plan.BoundJumps,
-			LowerBound:  plan.LowerBound,
-			Runtime:     plan.Runtime,
+			Cost:                  row.OriginalCost + plan.Cost,
+			Added:                 plan.Cost,
+			Solves:                plan.SATSolves,
+			Encodes:               plan.SATEncodes,
+			Conflicts:             plan.SATConflicts,
+			BoundProbes:           plan.BoundProbes,
+			BoundJumps:            plan.BoundJumps,
+			LowerBound:            plan.LowerBound,
+			SubsetsPruned:         plan.SubsetsPruned,
+			CoreFamilyRefutations: plan.CoreFamilyRefutations,
+			OrbitHits:             plan.OrbitHits,
+			Runtime:               plan.Runtime,
 		}, nil
 	}
 

@@ -58,6 +58,24 @@ func (b *Builder) Equiv(a, c sat.Lit) {
 	b.S.AddClause(a, c.Not())
 }
 
+// AddGuardedClause asserts g → (l₁ ∨ l₂ ∨ …): the clause weakened by ¬g.
+// Assuming g in a Solve call activates the clause for that call only, so one
+// instance can carry many alternative constraint sets (e.g. one per §4.1
+// subset) selected by assumption — the shared-instance analogue of the bound
+// guards minted by LessEqConstGuard.
+func (b *Builder) AddGuardedClause(g sat.Lit, lits ...sat.Lit) {
+	clause := make([]sat.Lit, 0, len(lits)+1)
+	clause = append(clause, g.Not())
+	clause = append(clause, lits...)
+	b.S.AddClause(clause...)
+}
+
+// GuardedEquiv asserts g → (a ↔ c).
+func (b *Builder) GuardedEquiv(g, a, c sat.Lit) {
+	b.S.AddClause(g.Not(), a.Not(), c)
+	b.S.AddClause(g.Not(), a, c.Not())
+}
+
 // And returns a literal equivalent to the conjunction of lits.
 // Constant inputs are simplified away.
 func (b *Builder) And(lits ...sat.Lit) sat.Lit {

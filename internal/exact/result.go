@@ -58,8 +58,26 @@ type Result struct {
 	SharedClauses int64
 	// LowerBound is the admissible lower bound on F that seeded the
 	// descent (0 when disabled or trivial; SAT engine only). For a §4.1
-	// run it is the winning subset's own bound.
+	// run it is the bound the shared descent's floor was seeded from —
+	// the minimum over the attempted subsets' own bounds.
 	LowerBound int
+	// SubsetsPruned counts §4.1 subsets retired without any solver probe of
+	// their own: their admissible lower bound showed they could not beat
+	// the incumbent (or an externally asserted strict bound), so they were
+	// dropped from the shared instance's pending family. 0 outside the
+	// subset fan-out.
+	SubsetsPruned int
+	// CoreFamilyRefutations counts UNSAT probes on the shared §4.1
+	// instance whose assumption core refuted the whole pending subset
+	// family at once — one conflict analysis standing in for a per-subset
+	// round of probes. 0 outside the subset fan-out.
+	CoreFamilyRefutations int
+	// OrbitHits counts §4.1 subsets whose result was transferred from
+	// their coupling-graph automorphism orbit's representative instead of
+	// being re-proven: symmetric architectures (rings, grids) collapse
+	// many subsets onto one proof. 0 on asymmetric architectures and
+	// outside the subset fan-out.
+	OrbitHits int
 	// Minimal reports whether Cost is PROVEN minimal for this instance by
 	// the run itself: the SAT descent reached UNSAT below Cost (or Cost is
 	// 0), or the DP/brute oracle ran to completion. A conflict-budgeted

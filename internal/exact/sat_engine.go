@@ -59,12 +59,53 @@ type SATOptions struct {
 	NoCoreJumps bool
 	// Threads, when > 1, runs every solver call as a clause-sharing
 	// portfolio of that many diversified goroutine workers over the one
-	// incremental encoding (sat.Pool), capped at runtime.GOMAXPROCS (an
+	// incremental encoding (sat.Pool), capped by the ThreadBudget so that
+	// workers × portfolio width never exceeds runtime.GOMAXPROCS (an
 	// oversubscribed portfolio only steals cycles from its own winner).
 	// The minimal cost and the minimality proof are unaffected, but the
 	// witness mapping may differ between runs — the default (≤ 1) keeps
 	// the fully deterministic single solver.
 	Threads int
+	// Budget caps the run's total parallelism. Workers is the number of
+	// concurrent solver lanes the CALLER runs (e.g. the DP fan-out's
+	// subset workers); SolveSAT multiplies its portfolio width into the
+	// same budget, so lanes × width ≤ GOMAXPROCS holds end to end instead
+	// of each layer claiming GOMAXPROCS independently. The zero value
+	// means one lane.
+	Budget ThreadBudget
+}
+
+// ThreadBudget is the process-wide parallelism budget shared by every layer
+// of a solve: subset/probe worker lanes × SAT portfolio width must not
+// exceed runtime.GOMAXPROCS. Each layer fills in its dimension and calls
+// Clamp; the portfolio width shrinks first (a narrower portfolio still
+// answers correctly), then the lane count.
+type ThreadBudget struct {
+	// Workers is the number of concurrent solver lanes (≥ 1 after Clamp).
+	Workers int
+	// Threads is the clause-sharing portfolio width per lane (≥ 1 after
+	// Clamp).
+	Threads int
+}
+
+// Clamp normalizes the budget so Workers ≥ 1, Threads ≥ 1 and
+// Workers × Threads ≤ runtime.GOMAXPROCS(0), shrinking Threads before
+// Workers.
+func (tb ThreadBudget) Clamp() ThreadBudget {
+	if tb.Workers < 1 {
+		tb.Workers = 1
+	}
+	if tb.Threads < 1 {
+		tb.Threads = 1
+	}
+	max := runtime.GOMAXPROCS(0)
+	if tb.Workers > max {
+		tb.Workers = max
+	}
+	for tb.Threads > 1 && tb.Workers*tb.Threads > max {
+		tb.Threads--
+	}
+	return tb
 }
 
 // satProber is the solving surface the bound descent needs; both the plain
@@ -75,6 +116,15 @@ type satProber interface {
 	UnsatFromAssumptions() bool
 	UnsatCore() []sat.Lit
 	Snapshot() sat.Stats
+}
+
+// boundGuards is the cost-guard surface the descent helpers need; both the
+// single-architecture *encoder.Encoding and the shared §4.1
+// *encoder.MultiEncoding provide it, so bound probing and core-to-bound
+// translation are written once.
+type boundGuards interface {
+	CostAtMostLit(bound int) sat.Lit
+	GuardBound(g sat.Lit) (int, bool)
 }
 
 // SolveSAT finds the minimal-cost mapping for the problem using the paper's
@@ -126,17 +176,14 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	threads := opts.Threads
-	if threads < 1 {
-		threads = 1
-	}
 	// Portfolio workers are CPU-bound; spawning more than the runtime can
 	// schedule in parallel is pure overhead (every worker burns cycles the
-	// winner needs), so the width is capped at GOMAXPROCS. Result.SATThreads
-	// reports the effective width.
-	if max := runtime.GOMAXPROCS(0); threads > max {
-		threads = max
-	}
+	// winner needs), so the width is clamped into the shared ThreadBudget:
+	// the caller's concurrent lanes × this portfolio's width stays within
+	// GOMAXPROCS. Result.SATThreads reports the effective width.
+	budget := opts.Budget
+	budget.Threads = opts.Threads
+	threads := budget.Clamp().Threads
 	var prober satProber = solver
 	if threads > 1 {
 		// The pool clones the fully built encoding lazily at the first
@@ -183,7 +230,7 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 
 // startAssumptions returns the initial bound assumption derived from
 // SATOptions.StartBound (nil when disabled).
-func startAssumptions(enc *encoder.Encoding, opts SATOptions) []sat.Lit {
+func startAssumptions(enc boundGuards, opts SATOptions) []sat.Lit {
 	if opts.StartBound <= 0 {
 		return nil
 	}
@@ -205,7 +252,7 @@ func relaxable(solver satProber, opts SATOptions, assumed, haveModel bool) bool 
 // down towards lo. The order matters: the solver's core minimization tries
 // to remove later assumptions first, so listing loose→tight steers the
 // minimized core towards the loosest refutable bound — the biggest jump.
-func probeAssumptions(enc *encoder.Encoding, bound, lo int, opts SATOptions) []sat.Lit {
+func probeAssumptions(enc boundGuards, bound, lo int, opts SATOptions) []sat.Lit {
 	assume := []sat.Lit{enc.CostAtMostLit(bound)}
 	if opts.NoCoreJumps {
 		return assume
@@ -226,7 +273,7 @@ func probeAssumptions(enc *encoder.Encoding, bound, lo int, opts SATOptions) []s
 // call. It returns the refuted bound and whether core analysis improved on
 // the trivial reading of the probe (the tightest assumed bound) — a
 // core-guided jump.
-func coreRefutedBound(solver satProber, enc *encoder.Encoding, assumed []sat.Lit) (int, bool) {
+func coreRefutedBound(solver satProber, enc boundGuards, assumed []sat.Lit) (int, bool) {
 	minAssumed := math.MaxInt
 	for _, g := range assumed {
 		if b, ok := enc.GuardBound(g); ok && b < minAssumed {

@@ -73,14 +73,14 @@ type Options struct {
 	// (extension; incompatible with UseSubsets since the pin refers to the
 	// full architecture's physical indices).
 	InitialMapping []int
-	// Parallel solves the §4.1 subset instances concurrently on a worker
-	// pool bounded by GOMAXPROCS. Workers share a best-cost-so-far bound:
-	// with the SAT engine each subset instance starts under the guard
-	// assumption F ≤ best−1, so subsets that cannot beat the incumbent are
-	// refuted cheaply instead of being solved to their own optimum. The
-	// cost is identical to the sequential run; when several subsets tie,
-	// the pruning may select a different (equal-cost) witness mapping than
-	// sequential enumeration order would.
+	// Parallel widens the §4.1 fan-out within the ThreadBudget. With the
+	// SAT engine the fan-out runs on ONE shared incremental instance, so
+	// Parallel means bound-probe parallelism: the clause-sharing portfolio
+	// (sat.Pool) widens to the budget instead of subset-level encode
+	// multiplication. With the DP engine the orbit-representative
+	// instances are solved concurrently on a worker pool. The cost is
+	// identical to the sequential run; when several subsets tie, the
+	// witness mapping may differ.
 	Parallel bool
 }
 
@@ -107,29 +107,33 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 	if !opts.UseSubsets || sk.NumQubits >= a.NumQubits() {
 		return solveOne(ctx, sk, a, pb, opts)
 	}
+	if opts.Engine == EngineSAT {
+		return solveSubsetsShared(ctx, sk, a, pb, opts)
+	}
 	return solveSubsets(ctx, sk, a, pb, opts)
 }
 
-// solveSubsets runs the §4.1 physical-qubit subset optimization: every
-// connected n-subset of the architecture is solved as an independent
-// instance on a worker pool bounded by GOMAXPROCS (one worker when
-// Options.Parallel is false), and the cheapest result wins.
+// solveSubsets runs the §4.1 physical-qubit subset optimization for the
+// non-SAT engines (the SAT engine routes to solveSubsetsShared, which fuses
+// the whole fan-out into one incremental instance): one orbit representative
+// per coupling-graph automorphism orbit is solved as an independent instance
+// on a worker pool, and the cheapest result wins. Orbit members beyond the
+// representative inherit its cost and proof (Result.OrbitHits) — an
+// automorphism of the directed coupling map carries any mapping on one
+// subset to an equal-cost mapping on the other.
 //
-// The workers share a best-cost-so-far bound (atomic): a subset picked up
-// after an incumbent of cost B is known starts under the SAT engine's
-// strict guard assumption F ≤ B−1, so instances that cannot win are
-// refuted — usually after a handful of conflicts — instead of being solved
-// to their own optimum, and once a zero-cost incumbent exists the
-// remaining subsets are skipped outright. This cross-instance pruning is
-// sound for the returned cost: a strict-bound UNSAT only ever discards
-// mappings that could not have improved on the incumbent.
+// The workers share a best-cost-so-far bound (atomic): once a zero-cost
+// incumbent exists the remaining representatives are skipped outright
+// (Result.SubsetsPruned). The worker count comes from the ThreadBudget, so
+// subset lanes and any engine-internal parallelism share one GOMAXPROCS
+// budget instead of multiplying.
 //
-// Error handling: ErrUnsatisfiable means "this subset admits no (winning)
-// mapping — try the others". A conflict-budget exhaustion before any model
-// voids the minimality proof but keeps the fan-out alive: an incumbent in
-// hand is returned as a best-effort result (Minimal false), and only when
-// NO subset yields a model does the budget error surface — never disguised
-// as unsatisfiability. Any other solveOne failure — an encode failure, an
+// Error handling: ErrUnsatisfiable means "this subset admits no mapping —
+// try the others". A conflict-budget exhaustion before any model voids the
+// minimality proof but keeps the fan-out alive: an incumbent in hand is
+// returned as a best-effort result (Minimal false), and only when NO subset
+// yields a model does the budget error surface — never disguised as
+// unsatisfiability. Any other solveOne failure — an encode failure, an
 // unknown engine — is a real error: it cancels the remaining subsets and
 // surfaces verbatim.
 func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
@@ -138,33 +142,29 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	if len(subsets) == 0 {
 		return nil, fmt.Errorf("exact: %w: no connected subset of %d qubits in %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
+	orbits := arch.SubsetOrbits(subsets, a.Automorphisms(0))
+	orbitHits := len(subsets) - len(orbits)
+	reps := make([][]int, len(orbits))
+	for oi, orbit := range orbits {
+		reps[oi] = subsets[orbit[0]]
+	}
 
 	var best atomic.Int64
 	best.Store(math.MaxInt64)
 	var unproven atomic.Bool // a subset's budget ran dry: optimum unconfirmed
-	var solves, encodes, conflicts, boundProbes, boundJumps, sharedClauses atomic.Int64
-	results := make([]*Result, len(subsets))
-	errs := make([]error, len(subsets))
+	var solves, encodes, conflicts, boundProbes, boundJumps, sharedClauses, subsetsPruned atomic.Int64
+	results := make([]*Result, len(reps))
+	errs := make([]error, len(reps))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	solveSubset := func(i int) error {
-		incumbent := best.Load()
-		if incumbent == 0 {
+		if best.Load() == 0 {
+			subsetsPruned.Add(1)
 			return nil // a zero-cost incumbent cannot be beaten; skip
 		}
-		sub, back := a.Restrict(subsets[i])
-		so := opts
-		if so.Engine == EngineSAT && incumbent != math.MaxInt64 {
-			// b > 0 only excludes incumbents 1..3, which the cost model
-			// cannot produce (F is a sum of 7s and 4s, so the smallest
-			// positive cost is 4); StartBound 0 stays "disabled".
-			if b := int(incumbent) - 1; b > 0 && (so.SAT.StartBound <= 0 || b < so.SAT.StartBound) {
-				so.SAT.StartBound = b
-				so.SAT.StrictBound = true
-			}
-		}
-		r, err := solveOne(runCtx, sk, sub, pb, so)
+		sub, back := a.Restrict(reps[i])
+		r, err := solveOne(runCtx, sk, sub, pb, opts)
 		if r != nil {
 			// Charge the subset's work to the run totals whether it won,
 			// was refuted, or ran out of budget — the counters exist to
@@ -206,9 +206,11 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 
 	workers := 1
 	if opts.Parallel {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > len(subsets) {
-			workers = len(subsets)
+		// One budget across the fan-out: subset lanes × per-lane solver
+		// threads must fit in GOMAXPROCS.
+		workers = ThreadBudget{Workers: runtime.GOMAXPROCS(0), Threads: opts.SAT.Threads}.Clamp().Workers
+		if workers > len(reps) {
+			workers = len(reps)
 		}
 	}
 	idx := make(chan int)
@@ -228,7 +230,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 			}
 		}()
 	}
-	for i := range subsets {
+	for i := range reps {
 		idx <- i
 	}
 	close(idx)
@@ -264,17 +266,19 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 		}
 		return nil, fmt.Errorf("exact: %w on any connected %d-subset of %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
-	// The counters aggregate every subset attempt — wins, refutations and
-	// truncated probes alike — and minimality is claimed only when every
-	// solved instance proved its own (pruned subsets are proven by their
-	// strict-bound UNSAT) and no subset's budget ran dry. A zero-cost
-	// winner is trivially optimal whatever happened elsewhere.
+	// The counters aggregate every representative attempt — wins,
+	// refutations and truncated probes alike — and minimality is claimed
+	// only when every solved instance proved its own (orbit members are
+	// proven by their representative) and no subset's budget ran dry. A
+	// zero-cost winner is trivially optimal whatever happened elsewhere.
 	win.Solves = int(solves.Load())
 	win.Encodes = int(encodes.Load())
 	win.Conflicts = conflicts.Load()
 	win.BoundProbes = int(boundProbes.Load())
 	win.BoundJumps = int(boundJumps.Load())
 	win.SharedClauses = sharedClauses.Load()
+	win.SubsetsPruned = int(subsetsPruned.Load())
+	win.OrbitHits = orbitHits
 	win.Minimal = win.Cost == 0 || (minimal && !unproven.Load())
 	win.Runtime = time.Since(start)
 	return win, nil

@@ -126,6 +126,15 @@ type Plan struct {
 	// LowerBound is the admissible lower bound on F that seeded the SAT
 	// descent (0 when disabled, trivial, or not a SAT run).
 	LowerBound int
+	// SubsetsPruned, CoreFamilyRefutations and OrbitHits instrument the
+	// §4.1 subset fan-out: subsets retired by their admissible lower bound
+	// without any probe of their own, UNSAT probes whose assumption core
+	// refuted the whole pending subset family at once, and subsets whose
+	// proof was transferred from their coupling-graph automorphism orbit's
+	// representative. All 0 outside the subset fan-out.
+	SubsetsPruned         int
+	CoreFamilyRefutations int
+	OrbitHits             int
 	// SATThreads is the clause-sharing portfolio width the SAT engine ran
 	// with (1 for the plain solver; 0 when not a SAT run), and
 	// SharedClauses the learnt clauses imported across its workers.

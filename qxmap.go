@@ -316,6 +316,16 @@ type Stats struct {
 	// coupling-graph distance sum) that seeded the SAT descent; 0 when
 	// trivial, disabled via Options.SATNoLowerBound, or not a SAT run.
 	LowerBound int
+	// SubsetsPruned, CoreFamilyRefutations and OrbitHits instrument the
+	// §4.1 subset fan-out: subsets retired by their admissible lower bound
+	// without any solver probe of their own, UNSAT probes whose assumption
+	// core refuted the whole pending subset family at once, and subsets
+	// whose proof was transferred from their coupling-graph automorphism
+	// orbit's representative (symmetric architectures only). All 0 outside
+	// the subset fan-out.
+	SubsetsPruned         int
+	CoreFamilyRefutations int
+	OrbitHits             int
 	// SATThreads is the portfolio width the SAT engine solved with (1 for
 	// the plain solver, 0 when not a SAT run); SharedClauses counts learnt
 	// clauses imported across the portfolio's workers (0 when SATThreads
@@ -443,6 +453,9 @@ func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.Stats.BoundProbes = plan.BoundProbes
 	res.Stats.BoundJumps = plan.BoundJumps
 	res.Stats.LowerBound = plan.LowerBound
+	res.Stats.SubsetsPruned = plan.SubsetsPruned
+	res.Stats.CoreFamilyRefutations = plan.CoreFamilyRefutations
+	res.Stats.OrbitHits = plan.OrbitHits
 	res.Stats.SATThreads = plan.SATThreads
 	res.Stats.SharedClauses = plan.SharedClauses
 	if e, err := ParseEngine(plan.Engine); err == nil {
