@@ -1,0 +1,351 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	qxmap "repro"
+)
+
+// get performs a body-less GET and returns the raw response.
+func get(t *testing.T, s *server, path string) *http.Response {
+	t.Helper()
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	resp := w.Result()
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestMetricsEndpoint: /metrics serves parseable Prometheus text whose
+// counters move with traffic — the second identical map is a memory-tier
+// hit, and with a store attached the store family appears.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, serverConfig{storeDir: t.TempDir()})
+	for i := 0; i < 2; i++ {
+		var res qxmap.ResultJSON
+		if resp := doJSON(t, s, "POST", "/v1/map", mapRequest{
+			QASM: bellQASM, Arch: "ibmqx4", Engine: "dp",
+		}, &res); resp.StatusCode != http.StatusOK {
+			t.Fatalf("map %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp := get(t, s, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q, want text/plain exposition", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	for _, want := range []string{
+		"qxmapd_cache_hits_total{tier=\"memory\"} 1",
+		"qxmapd_cache_hits_total{tier=\"disk\"} 0",
+		"qxmapd_maps_total 2",
+		"qxmapd_map_errors_total 0",
+		"qxmapd_rate_limited_total 0",
+		"qxmapd_queue_capacity",
+		"qxmapd_inflight_jobs 0",
+		"qxmapd_store_records 1",
+		"qxmapd_store_writes_total 1",
+		"# TYPE qxmapd_maps_total counter",
+		"# TYPE qxmapd_store_records gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestStatsEndpoint: /v1/stats reports both cache tiers, the cumulative
+// totals and the scheduler gauges as JSON.
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, serverConfig{storeDir: t.TempDir()})
+	var res qxmap.ResultJSON
+	doJSON(t, s, "POST", "/v1/map", mapRequest{QASM: bellQASM, Arch: "ibmqx4", Engine: "dp"}, &res)
+
+	var stats struct {
+		Cache  map[string]any `json:"cache"`
+		Store  map[string]any `json:"store"`
+		Totals map[string]any `json:"totals"`
+		Sched  map[string]any `json:"scheduler"`
+	}
+	if resp := doJSON(t, s, "GET", "/v1/stats", nil, &stats); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", resp.StatusCode)
+	}
+	if stats.Cache == nil || stats.Totals == nil || stats.Sched == nil {
+		t.Fatalf("stats missing sections: %+v", stats)
+	}
+	if got := stats.Totals["maps"].(float64); got != 1 {
+		t.Errorf("totals.maps = %v, want 1", got)
+	}
+	if got := stats.Store["records"].(float64); got != 1 {
+		t.Errorf("store.records = %v, want 1", got)
+	}
+	if _, ok := stats.Sched["queue_capacity"]; !ok {
+		t.Error("scheduler.queue_capacity missing")
+	}
+
+	// Without a store the section is absent, not zero-filled.
+	s2 := newTestServer(t, serverConfig{})
+	var bare map[string]any
+	doJSON(t, s2, "GET", "/v1/stats", nil, &bare)
+	if _, ok := bare["store"]; ok {
+		t.Error("storeless /v1/stats has a store section")
+	}
+}
+
+// TestTenantRateLimit: with a 1-token bucket and a slow refill, a tenant's
+// second request is a 429 with Retry-After, while another tenant still has
+// its own budget. Without an X-Tenant header requests share "default".
+func TestTenantRateLimit(t *testing.T) {
+	s := newTestServer(t, serverConfig{tenantRPS: 0.001, tenantBurst: 1})
+	req := mapRequest{QASM: bellQASM, Arch: "ibmqx4", Engine: "dp"}
+
+	do := func(tenant string) *http.Response {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/v1/map", strings.NewReader(mustJSON(t, req)))
+		if tenant != "" {
+			r.Header.Set("X-Tenant", tenant)
+		}
+		s.ServeHTTP(w, r)
+		resp := w.Result()
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := do("alice"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice #1: status %d", resp.StatusCode)
+	}
+	resp := do("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice #2: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want positive seconds", ra)
+	}
+	if resp := do("bob"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob #1: status %d (tenants must not share buckets)", resp.StatusCode)
+	}
+	if resp := do(""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("default #1: status %d", resp.StatusCode)
+	}
+	if resp := do(""); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("default #2: status %d, want 429", resp.StatusCode)
+	}
+	if got := s.rateLimited.Load(); got != 2 {
+		t.Errorf("rateLimited counter = %d, want 2", got)
+	}
+}
+
+// TestTenantQuotaBatchCost: a batch is charged one quota unit per job, so
+// a 3-job batch against a 2-job quota is rejected outright and a 2-job
+// batch consumes the window.
+func TestTenantQuotaBatchCost(t *testing.T) {
+	s := newTestServer(t, serverConfig{tenantQuota: 2, tenantWindow: time.Hour})
+	job := mapRequest{QASM: bellQASM, Arch: "ibmqx4", Engine: "dp"}
+
+	var body map[string]any
+	resp := doJSON(t, s, "POST", "/v1/batch", batchRequest{Jobs: []mapRequest{job, job, job}}, &body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("3-job batch: status %d, want 429", resp.StatusCode)
+	}
+	var report qxmap.BatchReportJSON
+	if resp := doJSON(t, s, "POST", "/v1/batch", batchRequest{Jobs: []mapRequest{job, job}}, &report); resp.StatusCode != http.StatusOK {
+		t.Fatalf("2-job batch: status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, s, "POST", "/v1/map", job, &body); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("post-quota map: status %d, want 429", resp.StatusCode)
+	}
+}
+
+// TestTenantLimiterClock drives the limiter with an injected clock: the
+// bucket refills with time, the quota window resets, and the Retry-After
+// hint is long enough to succeed.
+func TestTenantLimiterClock(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newTenantLimiter(1.0, 2, 3, 10*time.Second)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ { // drain the burst
+		if ok, _ := l.allow("t", 1); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("t", 1)
+	if ok {
+		t.Fatal("empty bucket admitted a request")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("bucket retry hint %v, want (0, 1s]", wait)
+	}
+	now = now.Add(wait)
+	if ok, _ := l.allow("t", 1); !ok {
+		t.Fatal("request rejected after the hinted wait")
+	}
+	// Quota: 3 of 3 used → the fourth waits for the window to lapse.
+	now = now.Add(2 * time.Second) // bucket refilled
+	ok, wait = l.allow("t", 1)
+	if ok {
+		t.Fatal("exhausted quota admitted a request")
+	}
+	now = now.Add(wait)
+	if ok, _ := l.allow("t", 1); !ok {
+		t.Fatal("request rejected after the quota window lapsed")
+	}
+	// Disabled limiter admits everything.
+	off := newTenantLimiter(0, 0, 0, 0)
+	if ok, _ := off.allow("t", 1_000_000); !ok {
+		t.Fatal("disabled limiter rejected a request")
+	}
+}
+
+// TestJobsListFiltering: GET /v1/jobs lists async jobs with exact-match
+// filters on state, method, arch and tenant; an unknown state is a 400.
+func TestJobsListFiltering(t *testing.T) {
+	s := newTestServer(t, serverConfig{})
+	submit := func(name, method, tenant string) {
+		w := httptest.NewRecorder()
+		r := httptest.NewRequest("POST", "/v1/map", strings.NewReader(mustJSON(t, mapRequest{
+			Name: name, QASM: bellQASM, Arch: "ibmqx4", Method: method, Engine: "dp", Async: true,
+		})))
+		if tenant != "" {
+			r.Header.Set("X-Tenant", tenant)
+		}
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusAccepted {
+			t.Fatalf("submit %s: status %d", name, w.Code)
+		}
+	}
+	submit("a", "exact", "alice")
+	submit("b", "sabre", "alice")
+	submit("c", "exact", "bob")
+
+	// Wait for all three to finish so state filters are deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var done struct {
+			Count int `json:"count"`
+		}
+		doJSON(t, s, "GET", "/v1/jobs?state=done", nil, &done)
+		if done.Count == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs not done: %d/3", done.Count)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	var list struct {
+		Jobs  []jobSummary `json:"jobs"`
+		Count int          `json:"count"`
+	}
+	doJSON(t, s, "GET", "/v1/jobs", nil, &list)
+	if list.Count != 3 || len(list.Jobs) != 3 {
+		t.Fatalf("unfiltered count = %d, want 3", list.Count)
+	}
+	if list.Jobs[0].Name != "a" || list.Jobs[0].Method != "exact" ||
+		list.Jobs[0].Arch != "ibmqx4" || list.Jobs[0].Tenant != "alice" ||
+		list.Jobs[0].Created == "" {
+		t.Fatalf("first summary = %+v", list.Jobs[0])
+	}
+
+	doJSON(t, s, "GET", "/v1/jobs?method=exact", nil, &list)
+	if list.Count != 2 {
+		t.Errorf("method=exact count = %d, want 2", list.Count)
+	}
+	doJSON(t, s, "GET", "/v1/jobs?tenant=bob", nil, &list)
+	if list.Count != 1 || list.Jobs[0].Name != "c" {
+		t.Errorf("tenant=bob = %+v", list)
+	}
+	doJSON(t, s, "GET", "/v1/jobs?method=sabre&tenant=alice", nil, &list)
+	if list.Count != 1 || list.Jobs[0].Name != "b" {
+		t.Errorf("combined filter = %+v", list)
+	}
+	doJSON(t, s, "GET", "/v1/jobs?arch=ibmq16", nil, &list)
+	if list.Count != 0 {
+		t.Errorf("arch=ibmq16 count = %d, want 0", list.Count)
+	}
+	if resp := doJSON(t, s, "GET", "/v1/jobs?state=bogus", nil, &map[string]any{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("state=bogus status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBodyLimitNamesFlag: a body beyond -max-body is a 413 whose JSON
+// error names the limit and the flag.
+func TestBodyLimitNamesFlag(t *testing.T) {
+	s := newTestServer(t, serverConfig{maxBody: 256})
+	big := mapRequest{QASM: bellQASM + strings.Repeat("// padding\n", 100), Arch: "ibmqx4"}
+	var body struct {
+		Error string `json:"error"`
+	}
+	resp := doJSON(t, s, "POST", "/v1/map", big, &body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if !strings.Contains(body.Error, "256-byte") || !strings.Contains(body.Error, "-max-body") {
+		t.Fatalf("413 error %q does not name the limit", body.Error)
+	}
+}
+
+// TestServerStoreRestart: the service-level restart contract — a second
+// server process on the same store directory serves the first's solve from
+// disk with zero SAT work and the identical cost.
+func TestServerStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := mapRequest{QASM: smokeQASM, Arch: "ibmqx4"}
+
+	s1, err := newServer(serverConfig{storeDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first qxmap.ResultJSON
+	if resp := doJSON(t, s1, "POST", "/v1/map", req, &first); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first map: status %d", resp.StatusCode)
+	}
+	if first.CacheHit || first.Cost != 14 {
+		t.Fatalf("first map: hit=%v cost=%d, want fresh F=14", first.CacheHit, first.Cost)
+	}
+	if err := s1.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, serverConfig{storeDir: dir})
+	var second qxmap.ResultJSON
+	if resp := doJSON(t, s2, "POST", "/v1/map", req, &second); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restart map: status %d", resp.StatusCode)
+	}
+	if !second.CacheHit || second.CacheTier != "disk" {
+		t.Fatalf("restart map: hit=%v tier=%q, want disk hit", second.CacheHit, second.CacheTier)
+	}
+	if second.Cost != 14 || second.Stats.SATEncodes != 0 {
+		t.Fatalf("restart map: cost=%d encodes=%d, want F=14 with zero encodes", second.Cost, second.Stats.SATEncodes)
+	}
+}
+
+// mustJSON marshals a value for hand-built requests.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -6,16 +6,23 @@
 //
 //	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
 //	       [-timeout 60s] [-max-body 8388608] [-lower-bound on|off]
-//	       [-sat-threads 4]
+//	       [-sat-threads 4] [-store /var/lib/qxmapd] [-store-sync]
+//	       [-tenant-rps 0] [-tenant-burst 10]
+//	       [-tenant-quota 0] [-tenant-quota-window 1m]
 //
 // Endpoints:
 //
 //	GET    /healthz        — liveness plus worker/cache/job gauges
+//	GET    /metrics        — Prometheus text exposition (cache tiers,
+//	                         store layout, queue depth, SAT work totals)
 //	GET    /v1/methods     — mapping methods in registry order
 //	GET    /v1/archs       — architecture names in catalog order
+//	GET    /v1/stats       — cache/store/scheduler statistics as JSON
 //	POST   /v1/map         — map one QASM circuit; {"async": true} returns
 //	                         202 with a job id instead of blocking
 //	POST   /v1/batch       — map a batch with fail-soft per-job outcomes
+//	GET    /v1/jobs        — list async jobs; ?state=&method=&arch=&tenant=
+//	                         filter exact-match
 //	GET    /v1/jobs/{id}   — poll an async job (state, timings, result)
 //	DELETE /v1/jobs/{id}   — cancel and forget an async job
 //
@@ -24,9 +31,24 @@
 // The per-result stats block includes the §4.1 shared-instance fan-out
 // counters (subsets_pruned, core_family_refutations, orbit_hits) alongside
 // the SAT descent counters.
-// Synchronous work is bounded by -timeout (expiry returns 504); shutdown
-// on SIGINT/SIGTERM is graceful: the listener drains before the mapper and
-// its async jobs are stopped.
+//
+// With -store, exact results are persisted to a crash-safe append-only
+// store under the given directory and served across restarts: a request
+// whose instance was solved by an earlier process returns cache_hit=true,
+// cache_tier="disk" and zero SAT work. The store never changes answers —
+// records are CRC-checked and schema-versioned, and anything unreadable is
+// re-solved.
+//
+// The mutating endpoints are rate-limited per tenant (the X-Tenant header;
+// requests without one share the "default" tenant): -tenant-rps/-tenant-burst
+// shape a token bucket, -tenant-quota/-tenant-quota-window bound total jobs
+// per fixed window, and a batch costs one unit per job. Rejections are 429
+// with a Retry-After header. Both mechanisms default to off.
+//
+// Synchronous work is bounded by -timeout (expiry returns 504); bodies
+// beyond -max-body return 413; shutdown on SIGINT/SIGTERM is graceful: the
+// listener drains before the mapper, its async jobs and the store are
+// stopped.
 //
 // Example:
 //
@@ -60,6 +82,12 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	satThreads := flag.Int("sat-threads", 1, "clause-sharing SAT portfolio width per solve (capped at GOMAXPROCS); >1 trades witness determinism for parallel speed")
+	storeDir := flag.String("store", "", "directory of the persistent result store (empty = in-memory caching only)")
+	storeSync := flag.Bool("store-sync", false, "fsync every store write (durability over throughput)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "sustained requests/second per tenant on the mutating endpoints (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 10, "token-bucket burst per tenant (with -tenant-rps)")
+	tenantQuota := flag.Int("tenant-quota", 0, "jobs per tenant per quota window (0 = unlimited); a batch costs one per job")
+	tenantWindow := flag.Duration("tenant-quota-window", time.Minute, "fixed window for -tenant-quota")
 	flag.Parse()
 
 	noLowerBound := false
@@ -81,6 +109,12 @@ func main() {
 		maxJobs:      *maxJobs,
 		noLowerBound: noLowerBound,
 		satThreads:   *satThreads,
+		storeDir:     *storeDir,
+		storeSync:    *storeSync,
+		tenantRPS:    *tenantRPS,
+		tenantBurst:  *tenantBurst,
+		tenantQuota:  *tenantQuota,
+		tenantWindow: *tenantWindow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qxmapd:", err)

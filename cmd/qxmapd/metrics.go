@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (version 0.0.4), hand-emitted — the repository takes no
+// third-party dependencies. Counters are cumulative since process start;
+// gauges are point-in-time. The store_* family is only emitted when a
+// persistent store is attached (-store), so dashboards can key "disk tier
+// present" off metric existence.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.mapper.CacheStats()
+	tot := s.mapper.Totals()
+	qs := s.mapper.QueueStats()
+	s.jobMu.RLock()
+	tracked := len(s.jobs)
+	s.jobMu.RUnlock()
+
+	var b strings.Builder
+	counter := func(name, help string, v any, labels string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s%s %v\n", name, help, name, name, labels, v)
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP qxmapd_cache_hits_total Mapping requests answered from the result cache, by tier.\n")
+	fmt.Fprintf(&b, "# TYPE qxmapd_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "qxmapd_cache_hits_total{tier=\"memory\"} %d\n", tot.MemoryHits)
+	fmt.Fprintf(&b, "qxmapd_cache_hits_total{tier=\"disk\"} %d\n", tot.DiskHits)
+
+	counter("qxmapd_maps_total", "Pipeline trips completed (successful or failed).", tot.Maps, "")
+	counter("qxmapd_map_errors_total", "Pipeline trips that returned an error.", tot.Errors, "")
+	counter("qxmapd_sat_solves_total", "CDCL solver invocations across all solves.", tot.SATSolves, "")
+	counter("qxmapd_sat_encodes_total", "CNF encodings across all solves.", tot.SATEncodes, "")
+	counter("qxmapd_sat_conflicts_total", "CDCL conflicts across all solves.", tot.SATConflicts, "")
+	counter("qxmapd_bound_probes_total", "Cost-bound probes across all SAT descents.", tot.BoundProbes, "")
+	counter("qxmapd_rate_limited_total", "Requests rejected with 429 by the per-tenant limiter.", s.rateLimited.Load(), "")
+
+	gauge("qxmapd_queue_depth", "Async jobs waiting in the scheduler queue.", qs.Depth)
+	gauge("qxmapd_queue_capacity", "Scheduler queue capacity.", qs.Capacity)
+	gauge("qxmapd_inflight_jobs", "Mapping pipelines executing right now.", qs.InFlight)
+	gauge("qxmapd_workers", "Scheduler worker-pool bound.", qs.Workers)
+	gauge("qxmapd_tracked_jobs", "Async job records retained for polling.", tracked)
+	gauge("qxmapd_cache_entries", "Entries in the in-memory result cache.", cs.Entries)
+	gauge("qxmapd_uptime_seconds", "Seconds since process start.", int64(time.Since(s.started)/time.Second))
+
+	if cs.DiskEnabled {
+		counter("qxmapd_store_hits_total", "Persistent-store lookups that found a record.", cs.DiskHits, "")
+		counter("qxmapd_store_misses_total", "Persistent-store lookups that fell through to a solve.", cs.DiskMisses, "")
+		counter("qxmapd_store_writes_total", "Results written through to the persistent store.", cs.DiskWrites, "")
+		counter("qxmapd_store_compactions_total", "Completed store compaction passes.", cs.DiskCompactions, "")
+		gauge("qxmapd_store_records", "Live records in the persistent store.", cs.DiskRecords)
+		gauge("qxmapd_store_segments", "Log segments backing the persistent store.", cs.DiskSegments)
+		gauge("qxmapd_store_live_bytes", "Bytes held by live store records.", cs.DiskLiveBytes)
+		gauge("qxmapd_store_dead_bytes", "Reclaimable bytes from overwritten store records.", cs.DiskDeadBytes)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -41,6 +41,20 @@ type serverConfig struct {
 	// seeding for every request served by this instance (the
 	// -lower-bound=off escape hatch).
 	noLowerBound bool
+	// storeDir, when non-empty, attaches a persistent result store at
+	// that directory (-store): exact results survive restarts and the
+	// disk tier serves identical instances across processes. storeSync
+	// additionally fsyncs every store write (-store-sync).
+	storeDir  string
+	storeSync bool
+	// tenantRPS/tenantBurst rate-limit the mutating endpoints per
+	// X-Tenant header with a token bucket (0 rps disables);
+	// tenantQuota/tenantWindow bound total jobs per tenant per fixed
+	// window (0 quota disables). Rejections are 429 with Retry-After.
+	tenantRPS    float64
+	tenantBurst  int
+	tenantQuota  int
+	tenantWindow time.Duration
 }
 
 // server is the qxmapd HTTP handler: a thin JSON shell over an
@@ -61,6 +75,9 @@ type server struct {
 	jobIDs  []string // insertion order, for oldest-finished eviction
 	nextJob atomic.Uint64
 
+	limiter     *tenantLimiter
+	rateLimited atomic.Uint64
+
 	started time.Time
 }
 
@@ -72,7 +89,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.maxJobs <= 0 {
 		cfg.maxJobs = 1024
 	}
-	m, err := qxmap.NewMapper(
+	mopts := []qxmap.Option{
 		qxmap.WithWorkers(cfg.workers),
 		qxmap.WithCacheSize(cfg.cacheSize),
 		qxmap.WithPortfolio(cfg.portfolio),
@@ -83,7 +100,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		// solve cannot pin a scheduler worker forever. Synchronous
 		// requests already carry the request deadline and are unaffected.
 		qxmap.WithDefaultTimeout(cfg.reqTimeout),
-	)
+	}
+	if cfg.storeDir != "" {
+		mopts = append(mopts, qxmap.WithStore(cfg.storeDir), qxmap.WithStoreSync(cfg.storeSync))
+	}
+	m, err := qxmap.NewMapper(mopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -94,14 +115,18 @@ func newServer(cfg serverConfig) (*server, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]trackedJob),
+		limiter:    newTenantLimiter(cfg.tenantRPS, cfg.tenantBurst, cfg.tenantQuota, cfg.tenantWindow),
 		started:    time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/methods", s.handleMethods)
 	mux.HandleFunc("GET /v1/archs", s.handleArchs)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/map", s.handleMap)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux = mux
@@ -153,11 +178,17 @@ type batchRequest struct {
 	IncludeQASM  *bool        `json:"include_qasm,omitempty"`
 }
 
-// trackedJob pairs an async job handle with the presentation options it
-// was submitted with.
+// trackedJob pairs an async job handle with the presentation options and
+// the request facts it was submitted with, so GET /v1/jobs can list and
+// filter without reaching into the handle's options.
 type trackedJob struct {
 	h           *qxmap.JobHandle
 	includeQASM bool
+	name        string
+	method      string
+	arch        string
+	tenant      string
+	created     time.Time
 }
 
 // jobStatus is the JSON body of GET /v1/jobs/{id} and of 202 responses.
@@ -202,14 +233,46 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 }
 
 // writeDecodeError maps a decodeBody failure to its HTTP status: 413 when
-// the body blew the -max-body limit, 400 for everything else.
+// the body blew the -max-body limit (with a message naming the limit, so
+// clients know which knob to ask about), 400 for everything else.
 func (s *server) writeDecodeError(w http.ResponseWriter, err error) {
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
-		s.writeError(w, http.StatusRequestEntityTooLarge, err)
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the server's %d-byte limit (-max-body)", s.cfg.maxBody))
 		return
 	}
 	s.writeError(w, http.StatusBadRequest, err)
+}
+
+// tenantOf resolves the request's tenant: the X-Tenant header, or
+// "default" for requests that carry none (they all share one budget).
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// admit charges the request's tenant cost units against the rate limiter.
+// On rejection it writes the 429 itself — with Retry-After in whole
+// seconds (rounded up, minimum 1, as the header cannot express fractions)
+// — and returns false.
+func (s *server) admit(w http.ResponseWriter, r *http.Request, cost int) bool {
+	tenant := tenantOf(r)
+	ok, wait := s.limiter.allow(tenant, cost)
+	if ok {
+		return true
+	}
+	s.rateLimited.Add(1)
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	s.writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("tenant %q exceeded its request budget; retry after %ds", tenant, secs))
+	return false
 }
 
 // buildJob validates one mapRequest into a qxmap.Job. Unknown method or
@@ -298,6 +361,9 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 		s.writeDecodeError(w, err)
 		return
 	}
+	if !s.admit(w, r, 1) {
+		return
+	}
 	job, err := s.buildJob(req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -322,7 +388,15 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		id := fmt.Sprintf("job-%d", s.nextJob.Add(1))
-		s.trackJob(id, trackedJob{h: h, includeQASM: req.IncludeQASM == nil || *req.IncludeQASM})
+		s.trackJob(id, trackedJob{
+			h:           h,
+			includeQASM: req.IncludeQASM == nil || *req.IncludeQASM,
+			name:        req.Name,
+			method:      job.Opts.Method.String(),
+			arch:        req.Arch,
+			tenant:      tenantOf(r),
+			created:     time.Now(),
+		})
 		s.writeJSON(w, http.StatusAccepted, jobStatus{JobID: id, State: h.Stats().State.String()})
 		return
 	}
@@ -354,6 +428,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Jobs) == 0 {
 		s.writeError(w, http.StatusBadRequest, errors.New("empty batch: the \"jobs\" array is required"))
+		return
+	}
+	// A batch consumes one budget unit per job, so splitting work across
+	// batch requests and fanning it out inside one are charged the same.
+	if !s.admit(w, r, len(req.Jobs)) {
 		return
 	}
 	jobs := make([]qxmap.Job, len(req.Jobs))
@@ -466,6 +545,124 @@ func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 				s.writeError(w, http.StatusInternalServerError, err)
 				return
 			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// jobSummary is one row of GET /v1/jobs.
+type jobSummary struct {
+	JobID    string `json:"job_id"`
+	Name     string `json:"name,omitempty"`
+	State    string `json:"state"`
+	Method   string `json:"method"`
+	Arch     string `json:"arch"`
+	Tenant   string `json:"tenant"`
+	Created  string `json:"created"`
+	QueuedNS int64  `json:"queued_ns"`
+	RunNS    int64  `json:"run_ns"`
+}
+
+// handleJobsList serves GET /v1/jobs?state=&method=&arch=&tenant=: every
+// tracked async job in submission order, optionally filtered. Filters are
+// exact-match; an unknown state value is a 400 (silently matching nothing
+// would read as "no such jobs").
+func (s *server) handleJobsList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state, method, archName, tenant := q.Get("state"), q.Get("method"), q.Get("arch"), q.Get("tenant")
+	switch state {
+	case "", "queued", "running", "done":
+	default:
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown state filter %q (valid: queued, running, done)", state))
+		return
+	}
+
+	s.jobMu.RLock()
+	ids := make([]string, len(s.jobIDs))
+	copy(ids, s.jobIDs)
+	jobs := make(map[string]trackedJob, len(s.jobs))
+	for id, tj := range s.jobs {
+		jobs[id] = tj
+	}
+	s.jobMu.RUnlock()
+
+	list := make([]jobSummary, 0, len(jobs))
+	for _, id := range ids {
+		tj, ok := jobs[id]
+		if !ok {
+			continue // deleted; its id lingers in the order slice
+		}
+		st := tj.h.Stats()
+		if (state != "" && st.State.String() != state) ||
+			(method != "" && tj.method != method) ||
+			(archName != "" && tj.arch != archName) ||
+			(tenant != "" && tj.tenant != tenant) {
+			continue
+		}
+		list = append(list, jobSummary{
+			JobID:    id,
+			Name:     tj.name,
+			State:    st.State.String(),
+			Method:   tj.method,
+			Arch:     tj.arch,
+			Tenant:   tj.tenant,
+			Created:  tj.created.UTC().Format(time.RFC3339Nano),
+			QueuedNS: st.Queued.Nanoseconds(),
+			RunNS:    st.Run.Nanoseconds(),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"jobs": list, "count": len(list)})
+}
+
+// handleStats serves GET /v1/stats: the mapper's two-tier cache counters,
+// cumulative pipeline totals, scheduler load and job tracking — the JSON
+// face of the same numbers /metrics exposes for scrapers.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.mapper.CacheStats()
+	tot := s.mapper.Totals()
+	qs := s.mapper.QueueStats()
+	s.jobMu.RLock()
+	tracked := len(s.jobs)
+	s.jobMu.RUnlock()
+
+	cache := map[string]any{
+		"hits":    cs.Hits,
+		"misses":  cs.Misses,
+		"entries": cs.Entries,
+	}
+	body := map[string]any{
+		"uptime_ns": time.Since(s.started).Nanoseconds(),
+		"cache":     cache,
+		"totals": map[string]any{
+			"maps":          tot.Maps,
+			"errors":        tot.Errors,
+			"memory_hits":   tot.MemoryHits,
+			"disk_hits":     tot.DiskHits,
+			"sat_solves":    tot.SATSolves,
+			"sat_encodes":   tot.SATEncodes,
+			"sat_conflicts": tot.SATConflicts,
+			"bound_probes":  tot.BoundProbes,
+			"rate_limited":  s.rateLimited.Load(),
+		},
+		"scheduler": map[string]any{
+			"queue_depth":    qs.Depth,
+			"queue_capacity": qs.Capacity,
+			"workers":        qs.Workers,
+			"in_flight":      qs.InFlight,
+			"tracked_jobs":   tracked,
+		},
+	}
+	if cs.DiskEnabled {
+		body["store"] = map[string]any{
+			"hits":        cs.DiskHits,
+			"misses":      cs.DiskMisses,
+			"writes":      cs.DiskWrites,
+			"records":     cs.DiskRecords,
+			"segments":    cs.DiskSegments,
+			"live_bytes":  cs.DiskLiveBytes,
+			"dead_bytes":  cs.DiskDeadBytes,
+			"compactions": cs.DiskCompactions,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, body)

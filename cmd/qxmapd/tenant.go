@@ -1,0 +1,144 @@
+package main
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantLimiter enforces per-tenant admission control for the mutating
+// endpoints, keyed by the X-Tenant request header (requests without the
+// header share the "default" tenant). Two independent mechanisms compose:
+//
+//   - a token bucket (rps sustained rate, burst capacity) that smooths
+//     short-term spikes, and
+//   - a fixed-window quota (quota jobs per window) that bounds total
+//     consumption over a longer horizon.
+//
+// A request is admitted only when both agree; batch requests cost one
+// token/quota unit per job. Either mechanism can be disabled independently
+// (rps ≤ 0, quota ≤ 0); with both disabled the limiter admits everything
+// and allocates no state.
+type tenantLimiter struct {
+	rps    float64
+	burst  float64
+	quota  int
+	window time.Duration
+
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is one tenant's bucket fill and window consumption.
+type tenantState struct {
+	tokens      float64
+	refilled    time.Time
+	used        int
+	windowStart time.Time
+}
+
+// maxTrackedTenants bounds the limiter's memory against X-Tenant
+// cardinality attacks: past it, fully-recovered tenants are evicted (their
+// state is indistinguishable from a fresh one, so eviction never grants
+// extra budget).
+const maxTrackedTenants = 4096
+
+// newTenantLimiter builds a limiter; window defaults to one minute when a
+// quota is set without one.
+func newTenantLimiter(rps float64, burst, quota int, window time.Duration) *tenantLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	return &tenantLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		quota:   quota,
+		window:  window,
+		now:     time.Now,
+		tenants: make(map[string]*tenantState),
+	}
+}
+
+// enabled reports whether any mechanism is active.
+func (l *tenantLimiter) enabled() bool {
+	return l != nil && (l.rps > 0 || l.quota > 0)
+}
+
+// allow charges the tenant cost units (one per job). On rejection it
+// returns the duration after which a retry of the same cost can succeed —
+// the Retry-After header value. A cost that can never be admitted (beyond
+// burst and quota both) is reported as retryable after the quota window,
+// the caller turns it into a 429 either way.
+func (l *tenantLimiter) allow(tenant string, cost int) (bool, time.Duration) {
+	if !l.enabled() {
+		return true, 0
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	now := l.now()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.tenants[tenant]
+	if !ok {
+		if len(l.tenants) >= maxTrackedTenants {
+			l.evictRecoveredLocked(now)
+		}
+		st = &tenantState{tokens: l.burst, refilled: now, windowStart: now}
+		l.tenants[tenant] = st
+	}
+
+	var wait time.Duration
+	if l.rps > 0 {
+		st.tokens = math.Min(l.burst, st.tokens+now.Sub(st.refilled).Seconds()*l.rps)
+		st.refilled = now
+		if st.tokens < float64(cost) {
+			need := float64(cost)
+			if need > l.burst {
+				need = l.burst // a cost beyond burst: the bucket's best case
+			}
+			wait = time.Duration((need - st.tokens) / l.rps * float64(time.Second))
+		}
+	}
+	if l.quota > 0 {
+		if elapsed := now.Sub(st.windowStart); elapsed >= l.window {
+			st.used = 0
+			st.windowStart = now
+		}
+		if st.used+cost > l.quota {
+			// Admission needs the next window, however the bucket looks.
+			windowWait := st.windowStart.Add(l.window).Sub(now)
+			if windowWait > wait {
+				wait = windowWait
+			}
+		}
+	}
+	if wait > 0 {
+		return false, wait
+	}
+	if l.rps > 0 {
+		st.tokens -= float64(cost)
+	}
+	if l.quota > 0 {
+		st.used += cost
+	}
+	return true, 0
+}
+
+// evictRecoveredLocked drops tenants whose bucket is full and whose quota
+// window has lapsed — admitting them later from scratch is equivalent.
+func (l *tenantLimiter) evictRecoveredLocked(now time.Time) {
+	for name, st := range l.tenants {
+		fullBucket := l.rps <= 0 || st.tokens+now.Sub(st.refilled).Seconds()*l.rps >= l.burst
+		lapsedWindow := l.quota <= 0 || now.Sub(st.windowStart) >= l.window
+		if fullBucket && lapsedWindow {
+			delete(l.tenants, name)
+		}
+	}
+}

@@ -18,12 +18,14 @@ type StatsJSON struct {
 	Solver        string `json:"solver"`
 	Engine        string `json:"engine"`
 	CacheHit      bool   `json:"cache_hit"`
-	SATSolves     int    `json:"sat_solves"`
-	SATEncodes    int    `json:"sat_encodes"`
-	SATConflicts  int64  `json:"sat_conflicts"`
-	BoundProbes   int    `json:"bound_probes"`
-	BoundJumps    int    `json:"bound_jumps"`
-	LowerBound    int    `json:"lower_bound"`
+	// CacheTier is "memory" or "disk" on a cache hit, "" on a solve.
+	CacheTier    string `json:"cache_tier"`
+	SATSolves    int    `json:"sat_solves"`
+	SATEncodes   int    `json:"sat_encodes"`
+	SATConflicts int64  `json:"sat_conflicts"`
+	BoundProbes  int    `json:"bound_probes"`
+	BoundJumps   int    `json:"bound_jumps"`
+	LowerBound   int    `json:"lower_bound"`
 	// SubsetsPruned, CoreFamilyRefutations and OrbitHits instrument the
 	// §4.1 shared-instance subset fan-out (all 0 outside it).
 	SubsetsPruned         int   `json:"subsets_pruned"`
@@ -44,6 +46,7 @@ func (s Stats) JSON() StatsJSON {
 		Solver:                s.Solver,
 		Engine:                s.Engine,
 		CacheHit:              s.CacheHit,
+		CacheTier:             s.CacheTier,
 		SATSolves:             s.SATSolves,
 		SATEncodes:            s.SATEncodes,
 		SATConflicts:          s.SATConflicts,
@@ -68,6 +71,7 @@ type ResultJSON struct {
 	PermPoints         int       `json:"perm_points"`
 	Minimal            bool      `json:"minimal"`
 	CacheHit           bool      `json:"cache_hit"`
+	CacheTier          string    `json:"cache_tier"`
 	Gates              int       `json:"gates"`
 	Depth              int       `json:"depth"`
 	GatesOptimizedAway int       `json:"gates_optimized_away"`
@@ -91,6 +95,7 @@ func (r *Result) JSON(includeQASM bool) (*ResultJSON, error) {
 		PermPoints:         r.PermPoints,
 		Minimal:            r.Minimal,
 		CacheHit:           r.CacheHit,
+		CacheTier:          r.CacheTier,
 		GatesOptimizedAway: r.GatesOptimizedAway,
 		InitialLayout:      []int(r.InitialLayout),
 		FinalLayout:        []int(r.FinalLayout),

@@ -55,6 +55,12 @@ type Options struct {
 	// Cache, when non-nil, memoizes results across Solve calls. Only
 	// minimality-guaranteed runs (no conflict budget) are cached.
 	Cache *Cache
+	// Store, when non-nil, is the persistent tier under the Cache: misses
+	// fall through to it (hits are promoted into the Cache) and solved
+	// results are written through, so identical instances are served from
+	// disk across process restarts. Subject to the same cacheability rule
+	// as the Cache.
+	Store ResultStore
 }
 
 // Result is the outcome of a portfolio Solve.
@@ -64,8 +70,10 @@ type Result struct {
 	*exact.Result
 	// Winner names the source of the result: "sat", "dp" or "cache".
 	Winner string
-	// CacheHit reports whether the result was served from the cache.
+	// CacheHit reports whether the result was served from the cache;
+	// Tier names the serving tier (TierMemory or TierDisk, "" on a solve).
 	CacheHit bool
+	Tier     string
 	// UpperBound is the heuristic upper bound fed into the SAT descent
 	// (0 when the bounding phase was skipped or found nothing).
 	UpperBound int
@@ -98,16 +106,18 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 
 	// Conflict-budgeted runs may return non-minimal best-effort results,
 	// which must never be memoized as if they were the instance's optimum.
-	cacheable := opts.Cache != nil && opts.Exact.SAT.MaxConflicts == 0
+	tiers := Tiered{Mem: opts.Cache, Disk: opts.Store}
+	cacheable := tiers.Enabled() && opts.Exact.SAT.MaxConflicts == 0
 	var key string
 	if cacheable {
 		key = Fingerprint(sk, a, opts.Exact)
-		if cached, ok := opts.Cache.Get(key); ok {
+		if cached, tier, ok := tiers.Lookup(key); ok {
 			cp := *cached
 			return &Result{
 				Result:   &cp,
 				Winner:   "cache",
 				CacheHit: true,
+				Tier:     tier,
 				Runtime:  time.Since(start),
 			}, nil
 		}
@@ -126,7 +136,7 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 		return nil, err
 	}
 	if cacheable {
-		opts.Cache.Put(key, winner.res)
+		tiers.Store(key, winner.res)
 	}
 	cp := *winner.res
 	return &Result{

@@ -82,8 +82,9 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 	}
 	var er *exact.Result
 	var cacheHit bool
+	var cacheTier string
 	if s.cfg.Portfolio {
-		po := portfolio.Options{Exact: eo, Seed: s.cfg.Seed, Cache: s.cfg.Cache}
+		po := portfolio.Options{Exact: eo, Seed: s.cfg.Seed, Cache: s.cfg.Cache, Store: s.cfg.Store}
 		switch {
 		case s.cfg.UpperBound > 0:
 			po.UpperBound = s.cfg.UpperBound
@@ -97,10 +98,31 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		}
 		er = pr.Result
 		cacheHit = pr.CacheHit
+		cacheTier = pr.Tier
 	} else {
-		var err error
-		if er, err = exact.Solve(ctx, sk, a, eo); err != nil {
-			return nil, err
+		// Direct engine path. An attached persistent store turns it into the
+		// same two-tier lookup the portfolio uses — memory, then disk with
+		// LRU promotion, then a real solve written through — gated on the
+		// store so the historical no-store behavior (no caching outside
+		// Portfolio mode) is untouched. Conflict-budgeted runs may be
+		// non-minimal best-effort answers and bypass the cache entirely.
+		tiers := portfolio.Tiered{Mem: s.cfg.Cache, Disk: s.cfg.Store}
+		cacheable := s.cfg.Store != nil && s.cfg.SAT.MaxConflicts == 0
+		var key string
+		if cacheable {
+			key = portfolio.Fingerprint(sk, a, eo)
+			if cached, tier, ok := tiers.Lookup(key); ok {
+				er, cacheHit, cacheTier = cached, true, tier
+			}
+		}
+		if er == nil {
+			var err error
+			if er, err = exact.Solve(ctx, sk, a, eo); err != nil {
+				return nil, err
+			}
+			if cacheable {
+				tiers.Store(key, er)
+			}
 		}
 	}
 	ops, err := er.Ops(sk)
@@ -117,6 +139,7 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		Minimal:               s.minimal && er.Minimal,
 		Engine:                er.Engine,
 		CacheHit:              cacheHit,
+		CacheTier:             cacheTier,
 		SATSolves:             er.Solves,
 		SATEncodes:            er.Encodes,
 		SATConflicts:          er.Conflicts,

@@ -74,6 +74,12 @@ type Config struct {
 	// Cache is the portfolio memo consulted when Portfolio is set; nil
 	// disables memoization.
 	Cache *portfolio.Cache
+	// Store is the persistent result tier under the Cache. When set, the
+	// exact family consults it even outside Portfolio mode — memory hit →
+	// disk hit (promoted into the Cache) → solve → write-through — so
+	// identical instances are served across process restarts. Results with
+	// a conflict budget (possibly non-minimal) are never stored.
+	Store portfolio.ResultStore
 	// UpperBound, when positive, is an externally known bound on F handed
 	// to the portfolio layer in place of its own bounding phase; a
 	// negative value records that the caller already bounded the instance
@@ -108,8 +114,11 @@ type Plan struct {
 	// the exact family (round-tripping with exact.ParseEngine), or the
 	// method's own registry name for the heuristic family.
 	Engine string
-	// CacheHit reports that the plan was served from the portfolio cache.
-	CacheHit bool
+	// CacheHit reports that the plan was served from the portfolio cache;
+	// CacheTier names the tier that served it (portfolio.TierMemory or
+	// portfolio.TierDisk; "" when the plan was solved).
+	CacheHit  bool
+	CacheTier string
 	// SATSolves, SATEncodes and SATConflicts count CDCL invocations,
 	// CNF encodings and conflicts (SAT engine only; 0 otherwise). The
 	// incremental descent encodes once per instance, so SATEncodes is 1

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk record layout (little-endian), the unit of the append-only log:
+//
+//	offset  size  field
+//	0       4     CRC-32 (IEEE) over bytes [4, end) of the record
+//	4       1     kind (recordPut or recordDelete)
+//	5       4     key length
+//	9       4     value length (0 for recordDelete)
+//	13      k     key bytes
+//	13+k    v     value bytes
+//
+// The CRC covers the kind, both lengths and the payload, so a torn write —
+// a crash mid-append leaves a short or zero-filled tail — is detected as a
+// checksum or framing failure and the tail is truncated on Open. Records
+// carry no segment-level framing beyond this: replay walks a segment
+// record by record from offset 0.
+const (
+	recordHeaderSize = 13
+
+	recordPut    = byte(1)
+	recordDelete = byte(2)
+
+	// maxKeyLen and maxValueLen bound what decodeRecord will allocate.
+	// Anything larger is treated as corruption, not as a huge record: the
+	// store's workload (content-addressed mapping results) is kilobytes,
+	// and a corrupt length field must not drive a gigabyte allocation.
+	maxKeyLen   = 1 << 16
+	maxValueLen = 1 << 26
+)
+
+// errBadRecord marks any framing, bound or checksum violation found while
+// decoding. Open treats it (and io.ErrUnexpectedEOF) at the tail of the
+// last segment as a torn write to truncate, anywhere else as corruption.
+var errBadRecord = errors.New("store: bad record")
+
+// appendRecord serializes one record onto buf and returns the extended
+// slice. kind is recordPut or recordDelete; value must be empty for
+// deletes.
+func appendRecord(buf []byte, kind byte, key, value []byte) []byte {
+	start := len(buf)
+	var hdr [recordHeaderSize]byte
+	hdr[4] = kind
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[9:13], uint32(len(value)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	crc := crc32.ChecksumIEEE(buf[start+4:])
+	binary.LittleEndian.PutUint32(buf[start:start+4], crc)
+	return buf
+}
+
+// recordSize returns the encoded size of a record with the given payload.
+func recordSize(keyLen, valueLen int) int64 {
+	return int64(recordHeaderSize + keyLen + valueLen)
+}
+
+// decodeRecord parses the record starting at data[0]. It returns the kind,
+// key and value (sub-slices of data, not copies) and the total encoded
+// length consumed. A record that overruns data, blows the length bounds or
+// fails its checksum returns errBadRecord.
+func decodeRecord(data []byte) (kind byte, key, value []byte, n int64, err error) {
+	if len(data) < recordHeaderSize {
+		return 0, nil, nil, 0, fmt.Errorf("%w: short header (%d bytes)", errBadRecord, len(data))
+	}
+	kind = data[4]
+	keyLen := binary.LittleEndian.Uint32(data[5:9])
+	valLen := binary.LittleEndian.Uint32(data[9:13])
+	if kind != recordPut && kind != recordDelete {
+		return 0, nil, nil, 0, fmt.Errorf("%w: unknown kind %d", errBadRecord, kind)
+	}
+	if keyLen == 0 || keyLen > maxKeyLen {
+		return 0, nil, nil, 0, fmt.Errorf("%w: key length %d out of range", errBadRecord, keyLen)
+	}
+	if valLen > maxValueLen {
+		return 0, nil, nil, 0, fmt.Errorf("%w: value length %d out of range", errBadRecord, valLen)
+	}
+	if kind == recordDelete && valLen != 0 {
+		return 0, nil, nil, 0, fmt.Errorf("%w: delete record carries %d value bytes", errBadRecord, valLen)
+	}
+	total := recordSize(int(keyLen), int(valLen))
+	if int64(len(data)) < total {
+		return 0, nil, nil, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", errBadRecord, len(data), total)
+	}
+	rec := data[:total]
+	if crc32.ChecksumIEEE(rec[4:]) != binary.LittleEndian.Uint32(rec[0:4]) {
+		return 0, nil, nil, 0, fmt.Errorf("%w: checksum mismatch", errBadRecord)
+	}
+	key = rec[recordHeaderSize : recordHeaderSize+keyLen]
+	value = rec[recordHeaderSize+keyLen : total]
+	return kind, key, value, total, nil
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/portfolio"
+	"repro/internal/store"
 )
 
 // ErrMapperClosed is returned by Mapper methods after Close: by Submit for
@@ -49,8 +50,21 @@ var ErrQueueFull = errors.New("qxmap: scheduler queue full")
 type Mapper struct {
 	opts    Options
 	cache   *portfolio.Cache
+	store   *store.Store // persistent result tier; nil without WithStore
 	workers int
 	timeout time.Duration
+
+	// Cumulative work accounting across every pipeline trip (sync and
+	// async), read back by Totals and the qxmapd /metrics endpoint.
+	totMaps      atomic.Uint64
+	totErrors    atomic.Uint64
+	totMemHits   atomic.Uint64
+	totDiskHits  atomic.Uint64
+	totSolves    atomic.Uint64
+	totEncodes   atomic.Uint64
+	totConflicts atomic.Uint64
+	totProbes    atomic.Uint64
+	inflight     atomic.Int64
 
 	// Async scheduler: Submit enqueues JobHandles onto a bounded queue
 	// drained by a lazily-started worker pool.
@@ -71,6 +85,8 @@ type mapperConfig struct {
 	workers    int
 	queueDepth int
 	timeout    time.Duration
+	storeDir   string
+	storeSync  bool
 }
 
 // DefaultQueueDepth is the async scheduler's queue capacity when
@@ -123,6 +139,35 @@ func WithCacheSize(entries int) Option {
 			return fmt.Errorf("qxmap: WithCacheSize: negative capacity %d", entries)
 		}
 		c.cacheSize = entries
+		return nil
+	}
+}
+
+// WithStore attaches a persistent result store rooted at dir (created if
+// absent) as the tier below the in-memory cache: exact-family results are
+// written through to disk and identical instances — same circuit skeleton,
+// architecture and solve options, under the same schema version — are
+// served from the store across process restarts, promoted back into the
+// LRU on first hit. The Mapper owns the store: it is opened by NewMapper
+// (a corrupt or unwritable directory fails construction) and closed by
+// Close. Results solved under a conflict budget are never persisted.
+func WithStore(dir string) Option {
+	return func(c *mapperConfig) error {
+		if dir == "" {
+			return fmt.Errorf("qxmap: WithStore: empty directory")
+		}
+		c.storeDir = dir
+		return nil
+	}
+}
+
+// WithStoreSync makes every persistent-store write fsync before returning
+// (durability over throughput). Off by default: the OS flushes in the
+// background and crash-recovery truncates any torn tail, so an unsynced
+// crash costs at most the most recent records, never store integrity.
+func WithStoreSync(on bool) Option {
+	return func(c *mapperConfig) error {
+		c.storeSync = on
 		return nil
 	}
 }
@@ -260,10 +305,19 @@ func NewMapper(options ...Option) (*Mapper, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var st *store.Store
+	if cfg.storeDir != "" {
+		var err error
+		st, err = store.Open(cfg.storeDir, store.Options{SyncWrites: cfg.storeSync})
+		if err != nil {
+			return nil, fmt.Errorf("qxmap: opening result store: %w", err)
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Mapper{
 		opts:       cfg.opts,
 		cache:      portfolio.NewCache(cfg.cacheSize),
+		store:      st,
 		workers:    workers,
 		timeout:    cfg.timeout,
 		lifeCtx:    ctx,
@@ -309,24 +363,133 @@ func (m *Mapper) withDefaultTimeout(ctx context.Context) (context.Context, conte
 	return ctx, func() {}
 }
 
-// CacheStats reports the instance cache's cumulative hits and misses and
-// its current entry count.
+// CacheStats reports both tiers of the instance's result cache: the
+// in-memory LRU's cumulative hits/misses and entry count, and — when a
+// persistent store is attached (WithStore) — the disk tier's operation
+// counters and physical layout.
 type CacheStats struct {
 	Hits, Misses uint64
 	Entries      int
+	// DiskEnabled reports whether a persistent store is attached; the
+	// remaining fields are zero when it is not.
+	DiskEnabled bool
+	// DiskHits/DiskMisses/DiskWrites count store lookups that found a
+	// record, lookups that fell through to a solve, and records written.
+	DiskHits, DiskMisses, DiskWrites uint64
+	// DiskRecords/DiskSegments/DiskLiveBytes/DiskDeadBytes describe the
+	// store's physical layout; DiskCompactions counts completed
+	// compaction passes since the store was opened.
+	DiskRecords     int
+	DiskSegments    int
+	DiskLiveBytes   int64
+	DiskDeadBytes   int64
+	DiskCompactions uint64
 }
 
-// CacheStats returns a snapshot of the instance's portfolio-cache
+// CacheStats returns a snapshot of the instance's two-tier result-cache
 // counters. Two Mapper instances never share these: a hit on one leaves
 // the other's statistics untouched.
 func (m *Mapper) CacheStats() CacheStats {
 	hits, misses := m.cache.Stats()
-	return CacheStats{Hits: hits, Misses: misses, Entries: m.cache.Len()}
+	cs := CacheStats{Hits: hits, Misses: misses, Entries: m.cache.Len()}
+	if m.store != nil {
+		st := m.store.Stats()
+		cs.DiskEnabled = true
+		cs.DiskHits = st.Hits
+		cs.DiskMisses = st.Gets - st.Hits
+		cs.DiskWrites = st.Puts
+		cs.DiskRecords = st.Records
+		cs.DiskSegments = st.Segments
+		cs.DiskLiveBytes = st.LiveBytes
+		cs.DiskDeadBytes = st.DeadBytes
+		cs.DiskCompactions = st.Compactions
+	}
+	return cs
 }
 
+// Totals are the mapper's cumulative pipeline counters since construction,
+// aggregated over every Map/MapWith call and async job: how many trips ran
+// and failed, where cache hits were served from, and the SAT work behind
+// the solved ones. A service exposes these as monotonic metrics.
+type Totals struct {
+	// Maps counts completed pipeline trips (successful or not); Errors
+	// the subset that returned an error.
+	Maps, Errors uint64
+	// MemoryHits and DiskHits count trips answered by the respective
+	// cache tier.
+	MemoryHits, DiskHits uint64
+	// SATSolves/SATEncodes/SATConflicts/BoundProbes aggregate the solver
+	// counters of every trip (zero contribution from cache hits and
+	// heuristic methods).
+	SATSolves, SATEncodes uint64
+	SATConflicts          uint64
+	BoundProbes           uint64
+}
+
+// Totals returns a snapshot of the mapper's cumulative work counters.
+func (m *Mapper) Totals() Totals {
+	return Totals{
+		Maps:         m.totMaps.Load(),
+		Errors:       m.totErrors.Load(),
+		MemoryHits:   m.totMemHits.Load(),
+		DiskHits:     m.totDiskHits.Load(),
+		SATSolves:    m.totSolves.Load(),
+		SATEncodes:   m.totEncodes.Load(),
+		SATConflicts: m.totConflicts.Load(),
+		BoundProbes:  m.totProbes.Load(),
+	}
+}
+
+// recordTotals folds one finished pipeline trip into the cumulative
+// counters.
+func (m *Mapper) recordTotals(res *Result, err error) {
+	m.totMaps.Add(1)
+	if err != nil {
+		m.totErrors.Add(1)
+		return
+	}
+	switch res.CacheTier {
+	case portfolio.TierMemory:
+		m.totMemHits.Add(1)
+	case portfolio.TierDisk:
+		m.totDiskHits.Add(1)
+	}
+	m.totSolves.Add(uint64(res.Stats.SATSolves))
+	m.totEncodes.Add(uint64(res.Stats.SATEncodes))
+	m.totConflicts.Add(uint64(res.Stats.SATConflicts))
+	m.totProbes.Add(uint64(res.Stats.BoundProbes))
+}
+
+// QueueStats is a point-in-time view of the async scheduler and the
+// pipeline load: jobs parked in the bounded queue, the queue's capacity,
+// the worker-pool bound, and pipelines executing right now (synchronous
+// calls included — InFlight can exceed Workers under concurrent Map use).
+type QueueStats struct {
+	Depth    int
+	Capacity int
+	Workers  int
+	InFlight int
+}
+
+// QueueStats returns a snapshot of the scheduler queue and pipeline load.
+func (m *Mapper) QueueStats() QueueStats {
+	return QueueStats{
+		Depth:    len(m.queue),
+		Capacity: cap(m.queue),
+		Workers:  m.workers,
+		InFlight: int(m.inflight.Load()),
+	}
+}
+
+// Store returns the attached persistent result store, or nil. Callers may
+// trigger maintenance (Store.Compact, Store.Sync) but must not Close it —
+// the Mapper owns its lifecycle.
+func (m *Mapper) Store() *store.Store { return m.store }
+
 // Close shuts the mapper down: new Submits fail with ErrMapperClosed,
-// running jobs are cancelled, and jobs still queued finish with
-// ErrMapperClosed. Close blocks until the worker pool has drained and is
+// running jobs are cancelled, jobs still queued finish with
+// ErrMapperClosed, and the persistent store (if attached) is synced and
+// closed. Close blocks until the worker pool has drained and is
 // idempotent.
 func (m *Mapper) Close() error {
 	if m.closed.Swap(true) {
@@ -342,6 +505,9 @@ func (m *Mapper) Close() error {
 		case h := <-m.queue:
 			h.finish(nil, ErrMapperClosed)
 		default:
+			if m.store != nil {
+				return m.store.Close()
+			}
 			return nil
 		}
 	}

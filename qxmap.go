@@ -294,8 +294,11 @@ type Stats struct {
 	// "dp" for exact methods (round-tripping with ParseEngine), the
 	// method name for heuristics.
 	Engine string
-	// CacheHit mirrors Result.CacheHit.
-	CacheHit bool
+	// CacheHit mirrors Result.CacheHit; CacheTier names the tier that
+	// served the hit ("memory" for the in-process LRU, "disk" for the
+	// persistent store; empty when the instance was solved).
+	CacheHit  bool
+	CacheTier string
 	// SATSolves, SATEncodes and SATConflicts count CDCL invocations, CNF
 	// encodings and conflicts across the solve (SAT engine only). The
 	// incremental descent encodes each instance exactly once, whatever the
@@ -364,9 +367,13 @@ type Result struct {
 	// GatesOptimizedAway counts gates removed by the peephole optimizer
 	// (only when Options.Optimize was set).
 	GatesOptimizedAway int
-	// CacheHit reports that the solution was served from the portfolio
-	// cache (only when Options.Portfolio was set).
-	CacheHit bool
+	// CacheHit reports that the solution was served from the result cache
+	// (in Portfolio mode, or whenever the Mapper has a persistent store
+	// attached); CacheTier names the serving tier — "memory" for the
+	// in-process LRU, "disk" for the persistent store — and is empty when
+	// the instance was solved.
+	CacheHit  bool
+	CacheTier string
 	// Stats reports per-stage pipeline timings and solver counters.
 	Stats Stats
 	// Method and Engine echo the configuration; Runtime is wall-clock
@@ -407,8 +414,19 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 // is threaded through the encoder, both exact engines, the §4.1 subset
 // fan-out and the heuristic mappers; a cancelled solve aborts promptly and
 // returns an error that wraps ctx.Err(). Per-stage timings are reported in
-// Result.Stats. Portfolio-mode solves memoize into the instance's cache.
+// Result.Stats. Portfolio-mode solves memoize into the instance's cache;
+// an attached store (WithStore) persists exact results across restarts.
+// Every trip updates the instance's cumulative Totals and in-flight gauge.
 func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	res, err := m.runPipeline(ctx, c, a, opts)
+	m.recordTotals(res, err)
+	return res, err
+}
+
+// runPipeline is the pipeline proper, free of instance accounting.
+func (m *Mapper) runPipeline(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("qxmap: canceled: %w", err)
@@ -441,12 +459,14 @@ func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.PermPoints = plan.PermPoints
 	res.Minimal = plan.Minimal
 	res.CacheHit = plan.CacheHit
+	res.CacheTier = plan.CacheTier
 	res.Stats.Solver = opts.Method.String()
 	if sk.Len() == 0 {
 		res.Stats.Solver = "none" // identity short-circuit: no solver ran
 	}
 	res.Stats.Engine = plan.Engine
 	res.Stats.CacheHit = plan.CacheHit
+	res.Stats.CacheTier = plan.CacheTier
 	res.Stats.SATSolves = plan.SATSolves
 	res.Stats.SATEncodes = plan.SATEncodes
 	res.Stats.SATConflicts = plan.SATConflicts
@@ -520,7 +540,7 @@ func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 			Engine:  "none",
 		}, nil
 	}
-	s, err := solver.New(opts.Method.String(), solver.Config{
+	cfg := solver.Config{
 		Engine: opts.Engine,
 		SAT: exact.SATOptions{
 			StartBound:    opts.SATStartBound,
@@ -535,7 +555,14 @@ func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		InitialLayout: opts.InitialLayout,
 		Portfolio:     opts.Portfolio,
 		Cache:         m.cache,
-	})
+	}
+	// The nil check matters: assigning a nil *store.Store into the
+	// interface field would make it non-nil and flip the exact family's
+	// direct path into caching mode.
+	if m.store != nil {
+		cfg.Store = m.store
+	}
+	s, err := solver.New(opts.Method.String(), cfg)
 	if err != nil {
 		return nil, err
 	}
