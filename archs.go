@@ -24,6 +24,48 @@ func Melbourne() *Architecture { return arch.Melbourne() }
 // Tokyo returns the IBM Q 20 Tokyo architecture (bidirectional couplings).
 func Tokyo() *Architecture { return arch.Tokyo() }
 
+// HeavyHex27 returns the 27-qubit IBM heavy-hex architecture (Falcon-class
+// devices; bidirectional couplings).
+func HeavyHex27() *Architecture { return arch.HeavyHex27() }
+
+// HeavyHex127 returns the 127-qubit IBM heavy-hex architecture
+// (Eagle-class devices; bidirectional couplings).
+func HeavyHex127() *Architecture { return arch.HeavyHex127() }
+
+// HeavyHexArch generates a heavy-hex lattice with the given number of
+// qubit rows and columns per row (rows ≥ 2, cols ≥ 3); HeavyHexArch(7, 15)
+// is the 127-qubit Eagle topology.
+func HeavyHexArch(rows, cols int) *Architecture { return arch.HeavyHex(rows, cols) }
+
+// CostModel prices the inserted operations: a per-edge SWAP weight and a
+// per-directed-pair direction-switch weight. The zero value for an
+// architecture (no model attached) is the paper's uniform 7/4 objective.
+type CostModel = arch.CostModel
+
+// PaperCostModel returns the paper's cost model: every SWAP costs 7
+// elementary gates, every direction switch 4.
+func PaperCostModel() *CostModel { return arch.PaperCostModel() }
+
+// NewCostModel builds a uniform cost model with the given SWAP and
+// direction-switch units (swapUnit ≥ 1, hUnit ≥ 0); per-edge overrides are
+// added with SetSwapWeight/SetHWeight.
+func NewCostModel(name string, swapUnit, hUnit int) (*CostModel, error) {
+	return arch.NewCostModel(name, swapUnit, hUnit)
+}
+
+// ParseCostModel parses a -cost-model style spec: "paper" or
+// "swap=<n>,h=<n>".
+func ParseCostModel(spec string) (*CostModel, error) { return arch.ParseCostModel(spec) }
+
+// ParseCalibration builds a weighted cost model from calibration JSON:
+// default units plus per-edge overrides, given directly as weights or as
+// two-qubit error rates (see the README's cost-model section for the
+// schema).
+func ParseCalibration(data []byte) (*CostModel, error) { return arch.ParseCalibration(data) }
+
+// LoadCalibration reads a calibration JSON file into a cost model.
+func LoadCalibration(path string) (*CostModel, error) { return arch.LoadCalibration(path) }
+
 // Architectures returns the canonical architecture names in catalog order
 // — the valid inputs to ArchByName and the -arch flags of the CLIs,
 // mirroring Methods for mapping algorithms. Parameterized families appear
@@ -31,9 +73,9 @@ func Tokyo() *Architecture { return arch.Tokyo() }
 func Architectures() []string { return arch.Names() }
 
 // ArchByName resolves an architecture name: "ibmqx2", "ibmqx4", "ibmqx5",
-// "melbourne", "tokyo", "linear<m>", "ring<m>", "grid<r>x<c>". An unknown
-// name fails with an error enumerating every valid name (see
-// Architectures).
+// "melbourne", "tokyo", "heavyhex27", "heavyhex127", "linear<m>",
+// "ring<m>", "grid<r>x<c>". An unknown name fails with an error
+// enumerating every valid name (see Architectures).
 func ArchByName(name string) (*Architecture, error) { return arch.ByName(name) }
 
 // NewArch builds a custom architecture from directed coupling pairs, each

@@ -18,6 +18,7 @@
 //	qxbench [-arch ibmqx4] [-engine dp|sat] [-seed-sat] [-portfolio]
 //	        [-runs 5] [-names a,b,c] [-summary] [-timeout 30s]
 //	        [-parallel] [-workers 8] [-lower-bound on|off]
+//	        [-cost-model paper|swap=<n>,h=<n>] [-calibration cal.json]
 //	qxbench -batch exact [-workers 8] [-job-timeout 10s] [-portfolio]
 //	        [-sat-binary] [-sat-threads 4] [-json] [-baseline BENCH_5.json]
 //	        [-probe-budget BENCH_6.json]
@@ -26,6 +27,12 @@
 // snapshot's total (requiring identical per-benchmark costs): the
 // cross-method gate proving the §4.1 shared-instance fan-out spends no
 // more probes than the plain exact descent it generalizes.
+//
+// -cost-model/-calibration attach a weighted cost model to the target
+// architecture in both modes; a non-default model is recorded in the
+// snapshot's cost_model field. Running with the explicit paper model must
+// reproduce the default snapshots bit-for-bit — the CI weighted-parity
+// gate (BENCH_8.json).
 package main
 
 import (
@@ -65,6 +72,8 @@ func main() {
 	baseline := flag.String("baseline", "", "compare the batch against this committed perf snapshot and fail on encode/probe/cost regressions (-batch mode)")
 	probeBudget := flag.String("probe-budget", "", "cap the run's TOTAL bound probes at this snapshot's total, requiring identical per-benchmark costs — the cross-method gate proving the §4.1 shared instance spends no more probes than the plain exact descent (-batch mode)")
 	storeDir := flag.String("store", "", "persistent result store directory (-batch mode): solved instances are written through and identical reruns are served from disk with zero SAT work")
+	costModel := flag.String("cost-model", "", "cost model: paper (default 7/4) or swap=<n>,h=<n> for uniform rescaling")
+	calibration := flag.String("calibration", "", "calibration JSON file with per-edge weights or error rates (overrides -cost-model)")
 	flag.Parse()
 
 	noLowerBound := false
@@ -86,6 +95,23 @@ func main() {
 	a, err := arch.ByName(*archName)
 	if err != nil {
 		fatal(err)
+	}
+	// A cost model rides on the architecture, so both modes — Table 1 and
+	// -batch — optimize the weighted objective through the same plumbing.
+	var cm *arch.CostModel
+	switch {
+	case *calibration != "":
+		cm, err = arch.LoadCalibration(*calibration)
+	case *costModel != "":
+		cm, err = arch.ParseCostModel(*costModel)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if cm != nil {
+		if a, err = a.WithCostModel(cm); err != nil {
+			fatal(err)
+		}
 	}
 	eng, err := qxmap.ParseEngine(*engine)
 	if err != nil {
@@ -171,10 +197,13 @@ type snapshotRow struct {
 // batchSnapshot is the -json perf snapshot of a whole batch run — the
 // format committed as BENCH_5.json and compared by -baseline.
 type batchSnapshot struct {
-	Arch       string        `json:"arch"`
-	Method     string        `json:"method"`
-	Engine     string        `json:"engine"`
-	SATBinary  bool          `json:"sat_binary"`
+	Arch      string `json:"arch"`
+	Method    string `json:"method"`
+	Engine    string `json:"engine"`
+	SATBinary bool   `json:"sat_binary"`
+	// CostModel summarizes a non-default weighted objective; omitted for
+	// the paper's 7/4 model, so default snapshots are unchanged.
+	CostModel  string        `json:"cost_model,omitempty"`
 	Benchmarks []snapshotRow `json:"benchmarks"`
 	TotalCost  int           `json:"total_added_cost"`
 	WallNS     int64         `json:"wall_ns"`
@@ -242,6 +271,9 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 		Engine:    cfg.engine.String(),
 		SATBinary: cfg.satBinary,
 		WallNS:    elapsed.Nanoseconds(),
+	}
+	if cm := a.Cost(); !cm.IsPaper() {
+		snap.CostModel = cm.Summary()
 	}
 	failures := 0
 	for _, br := range results {

@@ -6,7 +6,8 @@
 //
 //	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
 //	       [-timeout 60s] [-max-body 8388608] [-lower-bound on|off]
-//	       [-sat-threads 4] [-store /var/lib/qxmapd] [-store-sync]
+//	       [-sat-threads 4] [-cost-model paper|swap=<n>,h=<n>]
+//	       [-calibration cal.json] [-store /var/lib/qxmapd] [-store-sync]
 //	       [-tenant-rps 0] [-tenant-burst 10]
 //	       [-tenant-quota 0] [-tenant-quota-window 1m]
 //
@@ -16,7 +17,9 @@
 //	GET    /metrics        — Prometheus text exposition (cache tiers,
 //	                         store layout, queue depth, SAT work totals)
 //	GET    /v1/methods     — mapping methods in registry order
-//	GET    /v1/archs       — architecture names in catalog order
+//	GET    /v1/archs       — structured architecture entries (qubits,
+//	                         directionality, cost-model summary) plus the
+//	                         legacy name list under "names"
 //	GET    /v1/stats       — cache/store/scheduler statistics as JSON
 //	POST   /v1/map         — map one QASM circuit; {"async": true} returns
 //	                         202 with a job id instead of blocking
@@ -38,6 +41,10 @@
 // cache_tier="disk" and zero SAT work. The store never changes answers —
 // records are CRC-checked and schema-versioned, and anything unreadable is
 // re-solved.
+//
+// -cost-model/-calibration set the server's default weighted cost model:
+// every request is solved and priced under it, and the effective
+// non-default model is echoed in each result's cost_model field.
 //
 // The mutating endpoints are rate-limited per tenant (the X-Tenant header;
 // requests without one share the "default" tenant): -tenant-rps/-tenant-burst
@@ -70,6 +77,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	qxmap "repro"
 )
 
 func main() {
@@ -82,6 +91,8 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
 	lowerBound := flag.String("lower-bound", "on", "admissible lower-bound seeding of the SAT descent: on or off")
 	satThreads := flag.Int("sat-threads", 1, "clause-sharing SAT portfolio width per solve (capped at GOMAXPROCS); >1 trades witness determinism for parallel speed")
+	costModel := flag.String("cost-model", "", "default cost model: paper (default 7/4) or swap=<n>,h=<n> for uniform rescaling")
+	calibration := flag.String("calibration", "", "calibration JSON file with per-edge weights or error rates (overrides -cost-model)")
 	storeDir := flag.String("store", "", "directory of the persistent result store (empty = in-memory caching only)")
 	storeSync := flag.Bool("store-sync", false, "fsync every store write (durability over throughput)")
 	tenantRPS := flag.Float64("tenant-rps", 0, "sustained requests/second per tenant on the mutating endpoints (0 = unlimited)")
@@ -100,10 +111,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	var cm *qxmap.CostModel
+	var cmErr error
+	switch {
+	case *calibration != "":
+		cm, cmErr = qxmap.LoadCalibration(*calibration)
+	case *costModel != "":
+		cm, cmErr = qxmap.ParseCostModel(*costModel)
+	}
+	if cmErr != nil {
+		fmt.Fprintln(os.Stderr, "qxmapd:", cmErr)
+		os.Exit(1)
+	}
+
 	s, err := newServer(serverConfig{
 		workers:      *workers,
 		cacheSize:    *cacheSize,
 		portfolio:    *portfolio,
+		costModel:    cm,
 		reqTimeout:   *timeout,
 		maxBody:      *maxBody,
 		maxJobs:      *maxJobs,

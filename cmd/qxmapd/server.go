@@ -23,6 +23,10 @@ type serverConfig struct {
 	// portfolio enables portfolio solving by default (requests may still
 	// override per call).
 	portfolio bool
+	// costModel, when non-nil, makes every request optimize the weighted
+	// objective instead of the paper's uniform 7/4 one (-cost-model /
+	// -calibration).
+	costModel *qxmap.CostModel
 	// reqTimeout bounds each synchronous request's mapping work; a request
 	// may ask for less via timeout_ms but never for more. Expiry returns
 	// 504 Gateway Timeout. 0 disables the bound.
@@ -93,6 +97,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		qxmap.WithWorkers(cfg.workers),
 		qxmap.WithCacheSize(cfg.cacheSize),
 		qxmap.WithPortfolio(cfg.portfolio),
+		qxmap.WithCostModel(cfg.costModel),
 		qxmap.WithLowerBound(!cfg.noLowerBound),
 		qxmap.WithSATThreads(cfg.satThreads),
 		// Bounds async jobs too: the mapper applies this at run start to
@@ -686,8 +691,53 @@ func (s *server) handleMethods(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string][]string{"methods": qxmap.Methods()})
 }
 
+// archInfo is one structured /v1/archs catalog entry. Parameterized
+// families ("linear<m>", "ring<m>", "grid<r>x<c>") carry only their
+// placeholder name; concrete devices report their size, coupling shape and
+// default cost-model summary.
+type archInfo struct {
+	Name          string `json:"name"`
+	Parameterized bool   `json:"parameterized,omitempty"`
+	Qubits        int    `json:"qubits,omitempty"`
+	Pairs         int    `json:"pairs,omitempty"`
+	// Directed reports whether some coupling is one-directional (CNOT
+	// reversal there costs H gates in every cost model).
+	Directed  bool   `json:"directed,omitempty"`
+	CostModel string `json:"cost_model,omitempty"`
+}
+
 func (s *server) handleArchs(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string][]string{"archs": qxmap.Architectures()})
+	names := qxmap.Architectures()
+	// Requests are solved under the server's default cost model (the
+	// -cost-model/-calibration flags) unless a per-request model overrides
+	// it, so that is the summary each entry reports.
+	defaultCM := s.mapper.Options().CostModel
+	infos := make([]archInfo, 0, len(names))
+	for _, n := range names {
+		info := archInfo{Name: n}
+		if a, err := qxmap.ArchByName(n); err == nil {
+			info.Qubits = a.NumQubits()
+			info.Pairs = len(a.Pairs())
+			for _, p := range a.Pairs() {
+				if !a.Allows(p.Target, p.Control) {
+					info.Directed = true
+					break
+				}
+			}
+			cm := defaultCM
+			if cm == nil {
+				cm = a.Cost()
+			}
+			info.CostModel = cm.Summary()
+		} else {
+			// Placeholder spellings don't resolve to a device.
+			info.Parameterized = true
+		}
+		infos = append(infos, info)
+	}
+	// "names" keeps the original flat list for existing clients; "archs"
+	// carries the structured catalog.
+	s.writeJSON(w, http.StatusOK, map[string]any{"archs": infos, "names": names})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -398,12 +398,34 @@ func TestListingsAndHealth(t *testing.T) {
 		t.Errorf("methods = %v, want %v", methods["methods"], want)
 	}
 
-	var archs map[string][]string
+	var archs struct {
+		Archs []archInfo `json:"archs"`
+		Names []string   `json:"names"`
+	}
 	if resp := doJSON(t, s, "GET", "/v1/archs", nil, &archs); resp.StatusCode != http.StatusOK {
 		t.Fatalf("archs status = %d", resp.StatusCode)
 	}
-	if want := qxmap.Architectures(); !equalStrings(archs["archs"], want) {
-		t.Errorf("archs = %v, want %v", archs["archs"], want)
+	if want := qxmap.Architectures(); !equalStrings(archs.Names, want) {
+		t.Errorf("names = %v, want %v", archs.Names, want)
+	}
+	if len(archs.Archs) != len(archs.Names) {
+		t.Errorf("structured archs has %d entries, names %d", len(archs.Archs), len(archs.Names))
+	}
+	for _, ai := range archs.Archs {
+		switch ai.Name {
+		case "ibmqx4":
+			if ai.Qubits != 5 || !ai.Directed || ai.Parameterized || ai.CostModel == "" {
+				t.Errorf("ibmqx4 entry = %+v", ai)
+			}
+		case "heavyhex27":
+			if ai.Qubits != 27 || ai.Directed || ai.Parameterized {
+				t.Errorf("heavyhex27 entry = %+v", ai)
+			}
+		case "linear<m>":
+			if !ai.Parameterized || ai.Qubits != 0 {
+				t.Errorf("linear<m> entry = %+v", ai)
+			}
+		}
 	}
 
 	var health map[string]any

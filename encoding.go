@@ -61,25 +61,42 @@ func (s Stats) JSON() StatsJSON {
 	}
 }
 
+// CostModelJSON is the wire encoding of a non-default cost model: the
+// uniform units plus the number of per-edge overrides each kind carries.
+// Results solved under the paper's 7/4 objective omit the block entirely,
+// so the wire format of default runs is byte-identical to earlier
+// versions.
+type CostModelJSON struct {
+	Name          string `json:"name"`
+	SwapUnit      int    `json:"swap_unit"`
+	HUnit         int    `json:"h_unit"`
+	SwapOverrides int    `json:"swap_overrides,omitempty"`
+	HOverrides    int    `json:"h_overrides,omitempty"`
+}
+
 // ResultJSON is the wire encoding of a Result.
 type ResultJSON struct {
-	Method             string    `json:"method"`
-	Engine             string    `json:"engine"`
-	Cost               int       `json:"cost"`
-	Swaps              int       `json:"swaps"`
-	Switches           int       `json:"switches"`
-	PermPoints         int       `json:"perm_points"`
-	Minimal            bool      `json:"minimal"`
-	CacheHit           bool      `json:"cache_hit"`
-	CacheTier          string    `json:"cache_tier"`
-	Gates              int       `json:"gates"`
-	Depth              int       `json:"depth"`
-	GatesOptimizedAway int       `json:"gates_optimized_away"`
-	InitialLayout      []int     `json:"initial_layout"`
-	FinalLayout        []int     `json:"final_layout"`
-	RuntimeNS          int64     `json:"runtime_ns"`
-	QASM               string    `json:"qasm,omitempty"`
-	Stats              StatsJSON `json:"stats"`
+	Method             string `json:"method"`
+	Engine             string `json:"engine"`
+	Cost               int    `json:"cost"`
+	Swaps              int    `json:"swaps"`
+	Switches           int    `json:"switches"`
+	PermPoints         int    `json:"perm_points"`
+	Minimal            bool   `json:"minimal"`
+	CacheHit           bool   `json:"cache_hit"`
+	CacheTier          string `json:"cache_tier"`
+	Gates              int    `json:"gates"`
+	Depth              int    `json:"depth"`
+	GatesOptimizedAway int    `json:"gates_optimized_away"`
+	InitialLayout      []int  `json:"initial_layout"`
+	FinalLayout        []int  `json:"final_layout"`
+	RuntimeNS          int64  `json:"runtime_ns"`
+	QASM               string `json:"qasm,omitempty"`
+	// CostModel is present only when the run optimized a non-default
+	// weighted objective (Options.CostModel or a model on the
+	// architecture).
+	CostModel *CostModelJSON `json:"cost_model,omitempty"`
+	Stats     StatsJSON      `json:"stats"`
 }
 
 // JSON returns the stable wire encoding of the result. With includeQASM,
@@ -101,6 +118,17 @@ func (r *Result) JSON(includeQASM bool) (*ResultJSON, error) {
 		FinalLayout:        []int(r.FinalLayout),
 		RuntimeNS:          r.Runtime.Nanoseconds(),
 		Stats:              r.Stats.JSON(),
+	}
+	if cm := r.CostModel; cm != nil {
+		se, _ := cm.SwapOverrides()
+		he, _ := cm.HOverrides()
+		j.CostModel = &CostModelJSON{
+			Name:          cm.Name(),
+			SwapUnit:      cm.SwapUnit(),
+			HUnit:         cm.HUnit(),
+			SwapOverrides: len(se),
+			HOverrides:    len(he),
+		}
 	}
 	if r.Mapped != nil {
 		j.Gates = r.Mapped.Len()

@@ -25,7 +25,8 @@ type Arch struct {
 	pairs      []Pair
 	allowed    [][]bool // allowed[i][j]: CNOT control i, target j executable
 	undirEdges []perm.Edge
-	dist       [][]int // undirected hop distances; -1 if disconnected
+	dist       [][]int    // undirected hop distances; -1 if disconnected
+	cost       *CostModel // nil = the paper's 7/4 model
 }
 
 // New builds an architecture from a name, qubit count and directed coupling
@@ -109,6 +110,45 @@ func (a *Arch) computeDistances() {
 
 // Name returns the architecture's name (e.g. "ibmqx4").
 func (a *Arch) Name() string { return a.name }
+
+// Cost returns the architecture's cost model. Architectures built without
+// one carry the paper's uniform 7/4 model (as a nil *CostModel, whose
+// methods report the paper constants).
+func (a *Arch) Cost() *CostModel { return a.cost }
+
+// WithCostModel returns a copy of the architecture carrying the given cost
+// model (cloned, so later mutation of cm cannot alias the attached model).
+// Overrides naming qubits outside [0, m) are rejected. A nil model resets
+// to the paper default.
+func (a *Arch) WithCostModel(cm *CostModel) (*Arch, error) {
+	c := *a
+	if cm == nil {
+		c.cost = nil
+		return &c, nil
+	}
+	for e := range cm.swapW {
+		if e.A >= a.m || e.B >= a.m {
+			return nil, fmt.Errorf("arch: cost model swap override {%d,%d} out of range [0,%d)", e.A, e.B, a.m)
+		}
+	}
+	for p := range cm.hW {
+		if p.Control >= a.m || p.Target >= a.m {
+			return nil, fmt.Errorf("arch: cost model h override (%d,%d) out of range [0,%d)", p.Control, p.Target, a.m)
+		}
+	}
+	c.cost = cm.Clone()
+	return &c, nil
+}
+
+// MustWithCostModel is WithCostModel panicking on error, for tests and
+// static setups.
+func (a *Arch) MustWithCostModel(cm *CostModel) *Arch {
+	c, err := a.WithCostModel(cm)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
 
 // NumQubits returns the number of physical qubits m.
 func (a *Arch) NumQubits() int { return a.m }

@@ -20,11 +20,18 @@ const DefaultAutomorphismLimit = 1024
 // previously assigned vertices. The identity is always first; limit ≤ 0
 // means DefaultAutomorphismLimit. Each returned σ is a slice with σ[i] the
 // image of physical qubit i.
+//
+// When the architecture carries a non-uniform cost model, σ must also
+// preserve every per-edge SWAP and H weight — otherwise transferring a
+// proof across the "symmetry" would equate subsets with different weighted
+// optima, which is unsound.
 func (a *Arch) Automorphisms(limit int) [][]int {
 	if limit <= 0 {
 		limit = DefaultAutomorphismLimit
 	}
 	m := a.m
+	cm := a.cost
+	weighted := !cm.Uniform()
 	indeg := make([]int, m)
 	outdeg := make([]int, m)
 	for _, p := range a.pairs {
@@ -50,6 +57,14 @@ func (a *Arch) Automorphisms(limit int) [][]int {
 				if a.allowed[u][v] != a.allowed[sigma[u]][w] || a.allowed[v][u] != a.allowed[w][sigma[u]] {
 					ok = false
 					break
+				}
+				if weighted && a.AllowsEitherDirection(u, v) {
+					if cm.SwapWeight(u, v) != cm.SwapWeight(sigma[u], w) ||
+						cm.HWeight(u, v) != cm.HWeight(sigma[u], w) ||
+						cm.HWeight(v, u) != cm.HWeight(w, sigma[u]) {
+						ok = false
+						break
+					}
 				}
 			}
 			if !ok {

@@ -88,12 +88,14 @@ func Grid(rows, cols int) *Arch {
 func Names() []string {
 	return []string{
 		"ibmqx2", "ibmqx4", "ibmqx5", "melbourne", "tokyo",
+		"heavyhex27", "heavyhex127",
 		"linear<m>", "ring<m>", "grid<r>x<c>",
 	}
 }
 
 // ByName returns a predefined architecture by name: "ibmqx2", "ibmqx4",
-// "ibmqx5", "melbourne", "tokyo", "linear<m>", "ring<m>", or
+// "ibmqx5", "melbourne", "tokyo", "heavyhex27", "heavyhex127",
+// "linear<m>", "ring<m>", or
 // "grid<r>x<c>". An unknown name fails with an error enumerating every
 // valid name, mirroring ParseMethod.
 func ByName(name string) (*Arch, error) {
@@ -108,6 +110,10 @@ func ByName(name string) (*Arch, error) {
 		return Melbourne(), nil
 	case "tokyo":
 		return Tokyo(), nil
+	case "heavyhex27":
+		return HeavyHex27(), nil
+	case "heavyhex127":
+		return HeavyHex127(), nil
 	}
 	var m, r, c int
 	if n, _ := fmt.Sscanf(name, "linear%d", &m); n == 1 && m > 0 {

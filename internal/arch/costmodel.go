@@ -1,0 +1,500 @@
+package arch
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/perm"
+)
+
+// CostModel assigns integer weights to the two primitives the mapper
+// inserts: a SWAP on an undirected coupling edge and a direction switch
+// (4 H gates) of a CNOT executed on a directed coupling pair. The paper's
+// model (Definition 5) is the uniform special case SwapCost = 7,
+// HCost = 4; a calibration-aware model overrides individual edges so the
+// same exact machinery minimizes a noise-weighted objective instead of
+// plain gate counts.
+//
+// Weights are unitless non-negative integers. A model is built with
+// NewCostModel (or PaperCostModel) and optionally per-edge overrides, then
+// attached to an architecture with Arch.WithCostModel; all layers read it
+// back via Arch.Cost. A nil *CostModel behaves as the paper model, so
+// callers never need to nil-check.
+type CostModel struct {
+	name     string
+	swapUnit int
+	hUnit    int
+	swapW    map[perm.Edge]int // overrides; key normalized
+	hW       map[Pair]int      // overrides; key = directed execution pair
+}
+
+// PaperSwapUnit and PaperHUnit are the paper's Definition 5 constants:
+// a SWAP decomposes into 7 elementary gates, a direction switch into 4 H
+// gates.
+const (
+	PaperSwapUnit = 7
+	PaperHUnit    = 4
+)
+
+// PaperCostModel returns the paper's uniform 7/4 cost model.
+func PaperCostModel() *CostModel {
+	return &CostModel{name: "paper", swapUnit: PaperSwapUnit, hUnit: PaperHUnit}
+}
+
+// NewCostModel builds a uniform model with the given SWAP and H units.
+// Per-edge overrides are added with SetSwapWeight / SetHWeight before the
+// model is attached to an architecture.
+func NewCostModel(name string, swapUnit, hUnit int) (*CostModel, error) {
+	if swapUnit < 1 {
+		return nil, fmt.Errorf("arch: swap unit %d must be >= 1", swapUnit)
+	}
+	if hUnit < 0 {
+		return nil, fmt.Errorf("arch: h unit %d must be >= 0", hUnit)
+	}
+	if name == "" {
+		name = fmt.Sprintf("uniform(%d,%d)", swapUnit, hUnit)
+	}
+	return &CostModel{name: name, swapUnit: swapUnit, hUnit: hUnit}, nil
+}
+
+// Name returns the model's display name ("paper" for the default).
+func (cm *CostModel) Name() string {
+	if cm == nil {
+		return "paper"
+	}
+	return cm.name
+}
+
+// SwapUnit returns the default SWAP weight (7 in the paper model).
+func (cm *CostModel) SwapUnit() int {
+	if cm == nil {
+		return PaperSwapUnit
+	}
+	return cm.swapUnit
+}
+
+// HUnit returns the default direction-switch weight (4 in the paper model).
+func (cm *CostModel) HUnit() int {
+	if cm == nil {
+		return PaperHUnit
+	}
+	return cm.hUnit
+}
+
+// SetSwapWeight overrides the SWAP weight of the undirected edge {a, b}.
+func (cm *CostModel) SetSwapWeight(a, b, w int) error {
+	if a == b || a < 0 || b < 0 {
+		return fmt.Errorf("arch: bad swap-weight edge {%d,%d}", a, b)
+	}
+	if w < 1 {
+		return fmt.Errorf("arch: swap weight %d on {%d,%d} must be >= 1", w, a, b)
+	}
+	if cm.swapW == nil {
+		cm.swapW = make(map[perm.Edge]int)
+	}
+	cm.swapW[perm.Edge{A: a, B: b}.Normalize()] = w
+	return nil
+}
+
+// SetHWeight overrides the direction-switch weight charged when a CNOT
+// executes reversed on the directed coupling pair (control, target).
+func (cm *CostModel) SetHWeight(control, target, w int) error {
+	if control == target || control < 0 || target < 0 {
+		return fmt.Errorf("arch: bad h-weight pair (%d,%d)", control, target)
+	}
+	if w < 0 {
+		return fmt.Errorf("arch: h weight %d on (%d,%d) must be >= 0", w, control, target)
+	}
+	if cm.hW == nil {
+		cm.hW = make(map[Pair]int)
+	}
+	cm.hW[Pair{Control: control, Target: target}] = w
+	return nil
+}
+
+// SwapWeight returns the SWAP weight of the undirected edge {a, b}.
+func (cm *CostModel) SwapWeight(a, b int) int {
+	if cm == nil || cm.swapW == nil {
+		return cm.SwapUnit()
+	}
+	if w, ok := cm.swapW[perm.Edge{A: a, B: b}.Normalize()]; ok {
+		return w
+	}
+	return cm.swapUnit
+}
+
+// EdgeSwapWeight is SwapWeight on a normalized edge value.
+func (cm *CostModel) EdgeSwapWeight(e perm.Edge) int { return cm.SwapWeight(e.A, e.B) }
+
+// HWeight returns the weight of executing a CNOT direction-switched on the
+// directed coupling pair (control, target) — i.e. the physical CNOT runs
+// control→target with H gates on both ends.
+func (cm *CostModel) HWeight(control, target int) int {
+	if cm == nil || cm.hW == nil {
+		return cm.HUnit()
+	}
+	if w, ok := cm.hW[Pair{Control: control, Target: target}]; ok {
+		return w
+	}
+	return cm.hUnit
+}
+
+// UniformSwap reports whether every edge shares the default SWAP unit, so
+// min-swap-count tables scaled by SwapUnit are exact.
+func (cm *CostModel) UniformSwap() bool {
+	if cm == nil {
+		return true
+	}
+	for _, w := range cm.swapW {
+		if w != cm.swapUnit {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformH reports whether every directed pair shares the default H unit.
+func (cm *CostModel) UniformH() bool {
+	if cm == nil {
+		return true
+	}
+	for _, w := range cm.hW {
+		if w != cm.hUnit {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform reports whether the model carries no effective per-edge override.
+func (cm *CostModel) Uniform() bool { return cm.UniformSwap() && cm.UniformH() }
+
+// IsPaper reports whether the model is semantically the paper's 7/4 model.
+func (cm *CostModel) IsPaper() bool {
+	return cm.SwapUnit() == PaperSwapUnit && cm.HUnit() == PaperHUnit && cm.Uniform()
+}
+
+// MinSwapWeight returns the smallest SWAP weight over the given edges
+// (SwapUnit when the list is empty). Lower bounds multiply swap counts by
+// this to stay admissible under per-edge weights.
+func (cm *CostModel) MinSwapWeight(edges []perm.Edge) int {
+	if len(edges) == 0 {
+		return cm.SwapUnit()
+	}
+	min := cm.EdgeSwapWeight(edges[0])
+	for _, e := range edges[1:] {
+		if w := cm.EdgeSwapWeight(e); w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// MinHWeight returns the smallest direction-switch weight over the given
+// directed pairs (HUnit when the list is empty).
+func (cm *CostModel) MinHWeight(pairs []Pair) int {
+	if len(pairs) == 0 {
+		return cm.HUnit()
+	}
+	min := cm.HWeight(pairs[0].Control, pairs[0].Target)
+	for _, p := range pairs[1:] {
+		if w := cm.HWeight(p.Control, p.Target); w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// MaxHWeight returns the largest direction-switch weight over the given
+// directed pairs (HUnit when the list is empty).
+func (cm *CostModel) MaxHWeight(pairs []Pair) int {
+	max := cm.HUnit()
+	for _, p := range pairs {
+		if w := cm.HWeight(p.Control, p.Target); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Clone returns an independent copy of the model.
+func (cm *CostModel) Clone() *CostModel {
+	if cm == nil {
+		return PaperCostModel()
+	}
+	c := &CostModel{name: cm.name, swapUnit: cm.swapUnit, hUnit: cm.hUnit}
+	if len(cm.swapW) > 0 {
+		c.swapW = make(map[perm.Edge]int, len(cm.swapW))
+		for e, w := range cm.swapW {
+			c.swapW[e] = w
+		}
+	}
+	if len(cm.hW) > 0 {
+		c.hW = make(map[Pair]int, len(cm.hW))
+		for p, w := range cm.hW {
+			c.hW[p] = w
+		}
+	}
+	return c
+}
+
+// SwapOverrides returns the per-edge SWAP overrides in deterministic order.
+func (cm *CostModel) SwapOverrides() ([]perm.Edge, []int) {
+	if cm == nil || len(cm.swapW) == 0 {
+		return nil, nil
+	}
+	edges := make([]perm.Edge, 0, len(cm.swapW))
+	for e := range cm.swapW {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	ws := make([]int, len(edges))
+	for i, e := range edges {
+		ws[i] = cm.swapW[e]
+	}
+	return edges, ws
+}
+
+// HOverrides returns the per-pair H overrides in deterministic order.
+func (cm *CostModel) HOverrides() ([]Pair, []int) {
+	if cm == nil || len(cm.hW) == 0 {
+		return nil, nil
+	}
+	pairs := make([]Pair, 0, len(cm.hW))
+	for p := range cm.hW {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Control != pairs[j].Control {
+			return pairs[i].Control < pairs[j].Control
+		}
+		return pairs[i].Target < pairs[j].Target
+	})
+	ws := make([]int, len(pairs))
+	for i, p := range pairs {
+		ws[i] = cm.hW[p]
+	}
+	return pairs, ws
+}
+
+// AppendFingerprint appends a canonical byte encoding of the model's
+// semantics (units plus sorted effective overrides; the display name is
+// cosmetic and excluded). Two models with identical weights on every edge
+// fingerprint identically, so cache keys never alias distinct objectives.
+func (cm *CostModel) AppendFingerprint(b []byte) []byte {
+	var buf [8]byte
+	put := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		b = append(b, buf[:]...)
+	}
+	put(cm.SwapUnit())
+	put(cm.HUnit())
+	edges, ws := cm.SwapOverrides()
+	for i, e := range edges {
+		if ws[i] == cm.SwapUnit() {
+			continue // no-op override: same semantics as absent
+		}
+		put(e.A)
+		put(e.B)
+		put(ws[i])
+	}
+	b = append(b, 0xfe)
+	pairs, hws := cm.HOverrides()
+	for i, p := range pairs {
+		if hws[i] == cm.HUnit() {
+			continue
+		}
+		put(p.Control)
+		put(p.Target)
+		put(hws[i])
+	}
+	b = append(b, 0xff)
+	return b
+}
+
+// Summary returns a short human-readable description, e.g.
+// "paper (swap=7, h=4)" or "qx4-noise (swap=7, h=4, 3 edge overrides)".
+func (cm *CostModel) Summary() string {
+	n := 0
+	if cm != nil {
+		n = len(cm.swapW) + len(cm.hW)
+	}
+	if n == 0 {
+		return fmt.Sprintf("%s (swap=%d, h=%d)", cm.Name(), cm.SwapUnit(), cm.HUnit())
+	}
+	return fmt.Sprintf("%s (swap=%d, h=%d, %d edge overrides)", cm.Name(), cm.SwapUnit(), cm.HUnit(), n)
+}
+
+// ParseCostModel parses a -cost-model flag spec: "paper" (the default
+// 7/4 model) or "swap=<n>,h=<n>" for a uniform rescaling.
+func ParseCostModel(spec string) (*CostModel, error) {
+	switch spec {
+	case "", "paper":
+		return PaperCostModel(), nil
+	}
+	swap, h := PaperSwapUnit, PaperHUnit
+	seen := false
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		v, err := strconv.Atoi(val)
+		if !ok || err != nil {
+			return nil, fmt.Errorf("arch: bad cost-model spec %q (want \"paper\" or \"swap=<n>,h=<n>\")", spec)
+		}
+		switch key {
+		case "swap":
+			swap, seen = v, true
+		case "h":
+			h, seen = v, true
+		default:
+			return nil, fmt.Errorf("arch: bad cost-model spec %q (want \"paper\" or \"swap=<n>,h=<n>\")", spec)
+		}
+	}
+	if !seen {
+		return nil, fmt.Errorf("arch: bad cost-model spec %q (want \"paper\" or \"swap=<n>,h=<n>\")", spec)
+	}
+	return NewCostModel(spec, swap, h)
+}
+
+// calibrationFile is the JSON schema of a device calibration file:
+//
+//	{
+//	  "name": "qx4-noise",
+//	  "default": {"swap": 7, "h": 4},
+//	  "edges": [
+//	    {"a": 0, "b": 1, "swap": 14, "h": 8},
+//	    {"a": 1, "b": 2, "error": 0.02}
+//	  ]
+//	}
+//
+// Explicit "swap"/"h" set the weights of edge {a,b} directly ("h" applies
+// to both directed orientations). An "error" field instead derives both
+// from the two-qubit gate error rate e: the edge's unit multiplier is
+// u = max(1, round(1000·(−ln(1−e)))), giving swap = default.swap·u and
+// h = default.h·u — so an edge ten times noisier costs ten times more.
+type calibrationFile struct {
+	Name    string `json:"name"`
+	Default *struct {
+		Swap int `json:"swap"`
+		H    int `json:"h"`
+	} `json:"default"`
+	Edges []struct {
+		A     int      `json:"a"`
+		B     int      `json:"b"`
+		Swap  *int     `json:"swap"`
+		H     *int     `json:"h"`
+		Error *float64 `json:"error"`
+	} `json:"edges"`
+}
+
+// ParseCalibration builds a cost model from calibration-file JSON bytes.
+func ParseCalibration(data []byte) (*CostModel, error) {
+	var cf calibrationFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("arch: calibration: %w", err)
+	}
+	swapUnit, hUnit := PaperSwapUnit, PaperHUnit
+	if cf.Default != nil {
+		swapUnit, hUnit = cf.Default.Swap, cf.Default.H
+	}
+	name := cf.Name
+	if name == "" {
+		name = "calibration"
+	}
+	cm, err := NewCostModel(name, swapUnit, hUnit)
+	if err != nil {
+		return nil, fmt.Errorf("arch: calibration: %w", err)
+	}
+	for i, e := range cf.Edges {
+		swap, h := swapUnit, hUnit
+		switch {
+		case e.Swap != nil || e.H != nil:
+			if e.Swap != nil {
+				swap = *e.Swap
+			}
+			if e.H != nil {
+				h = *e.H
+			}
+		case e.Error != nil:
+			if *e.Error < 0 || *e.Error >= 1 {
+				return nil, fmt.Errorf("arch: calibration: edge %d error rate %g out of [0,1)", i, *e.Error)
+			}
+			u := int(math.Round(1000 * -math.Log(1-*e.Error)))
+			if u < 1 {
+				u = 1
+			}
+			swap, h = swapUnit*u, hUnit*u
+		default:
+			return nil, fmt.Errorf("arch: calibration: edge %d {%d,%d} has neither weights nor an error rate", i, e.A, e.B)
+		}
+		if err := cm.SetSwapWeight(e.A, e.B, swap); err != nil {
+			return nil, fmt.Errorf("arch: calibration: edge %d: %w", i, err)
+		}
+		if err := cm.SetHWeight(e.A, e.B, h); err != nil {
+			return nil, fmt.Errorf("arch: calibration: edge %d: %w", i, err)
+		}
+		if err := cm.SetHWeight(e.B, e.A, h); err != nil {
+			return nil, fmt.Errorf("arch: calibration: edge %d: %w", i, err)
+		}
+	}
+	return cm, nil
+}
+
+// LoadCalibration reads a calibration file and builds its cost model.
+func LoadCalibration(path string) (*CostModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("arch: calibration: %w", err)
+	}
+	cm, err := ParseCalibration(data)
+	if err != nil {
+		return nil, fmt.Errorf("arch: calibration %s: %w", path, err)
+	}
+	return cm, nil
+}
+
+// restrict reindexes the model onto a physical-qubit subset: old[i] is the
+// original index of subset qubit i. Only overrides with both endpoints in
+// the subset survive (others concern edges the restricted architecture
+// does not have).
+func (cm *CostModel) restrict(old []int) *CostModel {
+	if cm == nil {
+		return nil
+	}
+	inv := make(map[int]int, len(old))
+	for i, o := range old {
+		inv[o] = i
+	}
+	c := &CostModel{name: cm.name, swapUnit: cm.swapUnit, hUnit: cm.hUnit}
+	for e, w := range cm.swapW {
+		a, oka := inv[e.A]
+		b, okb := inv[e.B]
+		if oka && okb {
+			if c.swapW == nil {
+				c.swapW = make(map[perm.Edge]int)
+			}
+			c.swapW[perm.Edge{A: a, B: b}.Normalize()] = w
+		}
+	}
+	for p, w := range cm.hW {
+		ctl, okc := inv[p.Control]
+		tgt, okt := inv[p.Target]
+		if okc && okt {
+			if c.hW == nil {
+				c.hW = make(map[Pair]int)
+			}
+			c.hW[Pair{Control: ctl, Target: tgt}] = w
+		}
+	}
+	return c
+}

@@ -1,0 +1,247 @@
+package arch
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+func TestNilCostModelIsThePaperModel(t *testing.T) {
+	var cm *CostModel
+	if cm.SwapUnit() != PaperSwapUnit || cm.HUnit() != PaperHUnit {
+		t.Fatalf("nil model units = %d/%d, want %d/%d", cm.SwapUnit(), cm.HUnit(), PaperSwapUnit, PaperHUnit)
+	}
+	if cm.SwapWeight(0, 1) != PaperSwapUnit || cm.HWeight(1, 0) != PaperHUnit {
+		t.Fatalf("nil model weights = %d/%d, want 7/4", cm.SwapWeight(0, 1), cm.HWeight(1, 0))
+	}
+	if !cm.Uniform() || !cm.IsPaper() {
+		t.Fatal("nil model must be uniform and paper")
+	}
+	if QX4().Cost() != nil {
+		t.Fatal("a fresh architecture must carry no cost model (nil = paper)")
+	}
+}
+
+func TestCostModelOverridesAndUniformity(t *testing.T) {
+	cm, err := NewCostModel("test", 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cm.IsPaper() {
+		t.Fatal("7/4 model without overrides must count as paper")
+	}
+	if err := cm.SetSwapWeight(2, 1, 21); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.SetHWeight(0, 1, 12); err != nil {
+		t.Fatal(err)
+	}
+	// SWAP weights are undirected: {2,1} and {1,2} are the same edge.
+	if got := cm.SwapWeight(1, 2); got != 21 {
+		t.Errorf("SwapWeight(1,2) = %d, want 21 (undirected override)", got)
+	}
+	if got := cm.SwapWeight(0, 1); got != 7 {
+		t.Errorf("SwapWeight(0,1) = %d, want the unit 7", got)
+	}
+	// H weights are directed: only (0,1) is overridden.
+	if got, rev := cm.HWeight(0, 1), cm.HWeight(1, 0); got != 12 || rev != 4 {
+		t.Errorf("HWeight = %d/%d, want 12 forward, 4 reverse", got, rev)
+	}
+	if cm.UniformSwap() || cm.UniformH() || cm.IsPaper() {
+		t.Fatal("overridden model must not report uniform/paper")
+	}
+	edges := []perm.Edge{{A: 0, B: 1}, {A: 1, B: 2}}
+	if got := cm.MinSwapWeight(edges); got != 7 {
+		t.Errorf("MinSwapWeight = %d, want 7", got)
+	}
+	pairs := []Pair{{Control: 0, Target: 1}, {Control: 1, Target: 0}}
+	if got := cm.MinHWeight(pairs); got != 4 {
+		t.Errorf("MinHWeight = %d, want 4", got)
+	}
+	if got := cm.MaxHWeight(pairs); got != 12 {
+		t.Errorf("MaxHWeight = %d, want 12", got)
+	}
+}
+
+func TestCostModelValidation(t *testing.T) {
+	if _, err := NewCostModel("bad", 0, 4); err == nil {
+		t.Error("swap unit 0 must be rejected")
+	}
+	if _, err := NewCostModel("bad", 7, -1); err == nil {
+		t.Error("negative h unit must be rejected")
+	}
+	cm, _ := NewCostModel("ok", 7, 4)
+	if err := cm.SetSwapWeight(0, 1, 0); err == nil {
+		t.Error("swap weight 0 must be rejected (free swaps break the descent)")
+	}
+	if err := cm.SetSwapWeight(1, 1, 7); err == nil {
+		t.Error("self-loop swap override must be rejected")
+	}
+	if err := cm.SetHWeight(0, 1, -3); err == nil {
+		t.Error("negative h weight must be rejected")
+	}
+}
+
+// TestCostModelNoOpOverrideStaysUniform: an override equal to the unit does
+// not change semantics, so uniformity checks — and hence the uniform fast
+// paths that must produce bit-identical CNF — still fire.
+func TestCostModelNoOpOverrideStaysUniform(t *testing.T) {
+	cm, _ := NewCostModel("noop", 7, 4)
+	if err := cm.SetSwapWeight(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.SetHWeight(0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !cm.UniformSwap() || !cm.UniformH() || !cm.IsPaper() {
+		t.Fatal("unit-valued overrides must keep the model uniform/paper")
+	}
+}
+
+func TestParseCostModel(t *testing.T) {
+	for _, spec := range []string{"", "paper"} {
+		cm, err := ParseCostModel(spec)
+		if err != nil {
+			t.Fatalf("ParseCostModel(%q): %v", spec, err)
+		}
+		if !cm.IsPaper() {
+			t.Errorf("ParseCostModel(%q) is not the paper model", spec)
+		}
+	}
+	cm, err := ParseCostModel("swap=10,h=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.SwapUnit() != 10 || cm.HUnit() != 3 {
+		t.Errorf("units = %d/%d, want 10/3", cm.SwapUnit(), cm.HUnit())
+	}
+	if cm2, err := ParseCostModel("h=2"); err != nil || cm2.SwapUnit() != PaperSwapUnit || cm2.HUnit() != 2 {
+		t.Errorf("partial spec h=2: cm=%v err=%v, want swap default 7", cm2, err)
+	}
+	for _, bad := range []string{"nonsense", "swap=", "swap=0,h=4", "swap=7;h=4"} {
+		if _, err := ParseCostModel(bad); err == nil {
+			t.Errorf("ParseCostModel(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseCalibration(t *testing.T) {
+	cm, err := ParseCalibration([]byte(`{
+		"name": "qx-noise",
+		"default": {"swap": 7, "h": 4},
+		"edges": [
+			{"a": 0, "b": 1, "swap": 14, "h": 8},
+			{"a": 2, "b": 1, "error": 0.02}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Name() != "qx-noise" {
+		t.Errorf("name = %q", cm.Name())
+	}
+	if got := cm.SwapWeight(0, 1); got != 14 {
+		t.Errorf("explicit swap weight = %d, want 14", got)
+	}
+	// H overrides apply to both directed orientations.
+	if f, r := cm.HWeight(0, 1), cm.HWeight(1, 0); f != 8 || r != 8 {
+		t.Errorf("explicit h weights = %d/%d, want 8 both ways", f, r)
+	}
+	// error 0.02 → u = round(1000·(−ln 0.98)) = round(20.203) = 20.
+	if got := cm.SwapWeight(1, 2); got != 7*20 {
+		t.Errorf("error-derived swap weight = %d, want %d", got, 7*20)
+	}
+	if got := cm.HWeight(2, 1); got != 4*20 {
+		t.Errorf("error-derived h weight = %d, want %d", got, 4*20)
+	}
+
+	for _, bad := range []string{
+		`{"edges": [{"a": 0, "b": 1}]}`,               // neither weights nor error
+		`{"edges": [{"a": 0, "b": 1, "error": 1.0}]}`, // rate out of [0,1)
+		`not json`,
+	} {
+		if _, err := ParseCalibration([]byte(bad)); err == nil {
+			t.Errorf("ParseCalibration(%q) accepted", bad)
+		}
+	}
+}
+
+// TestCostModelFingerprintCanonical: semantically equal models fingerprint
+// identically (name and override insertion order are cosmetic), distinct
+// weights never collide with the paper model or each other.
+func TestCostModelFingerprintCanonical(t *testing.T) {
+	paper := PaperCostModel()
+	var nilModel *CostModel
+	if !bytes.Equal(paper.AppendFingerprint(nil), nilModel.AppendFingerprint(nil)) {
+		t.Fatal("nil and explicit paper model must fingerprint identically")
+	}
+
+	a, _ := NewCostModel("first", 7, 4)
+	a.SetSwapWeight(0, 1, 10)
+	a.SetSwapWeight(2, 3, 11)
+	b, _ := NewCostModel("second-name", 7, 4)
+	b.SetSwapWeight(3, 2, 11) // reversed endpoints, reversed insertion order
+	b.SetSwapWeight(1, 0, 10)
+	if !bytes.Equal(a.AppendFingerprint(nil), b.AppendFingerprint(nil)) {
+		t.Fatal("equal-weight models must fingerprint identically")
+	}
+
+	c := a.Clone()
+	c.SetSwapWeight(0, 1, 12)
+	if bytes.Equal(a.AppendFingerprint(nil), c.AppendFingerprint(nil)) {
+		t.Fatal("different weights must fingerprint differently")
+	}
+	if bytes.Equal(a.AppendFingerprint(nil), paper.AppendFingerprint(nil)) {
+		t.Fatal("overridden model must not fingerprint as paper")
+	}
+
+	// A no-op override (equal to the unit) is semantically absent.
+	d, _ := NewCostModel("noop", 7, 4)
+	d.SetSwapWeight(0, 1, 7)
+	if !bytes.Equal(d.AppendFingerprint(nil), paper.AppendFingerprint(nil)) {
+		t.Fatal("unit-valued override must fingerprint as the plain model")
+	}
+}
+
+func TestWithCostModelAndRestrict(t *testing.T) {
+	cm, _ := NewCostModel("g", 7, 4)
+	cm.SetSwapWeight(0, 1, 70)
+	cm.SetHWeight(1, 2, 40)
+	a, err := Grid(2, 2).WithCostModel(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost().SwapWeight(0, 1) != 70 {
+		t.Fatal("model not attached")
+	}
+	// Mutating the caller's model must not leak into the arch (cloned).
+	cm.SetSwapWeight(0, 1, 99)
+	if got := a.Cost().SwapWeight(0, 1); got != 70 {
+		t.Fatalf("attached model aliases the caller's: weight %d", got)
+	}
+	// Out-of-range override indices are rejected.
+	badModel, _ := NewCostModel("bad", 7, 4)
+	badModel.SetSwapWeight(0, 9, 10)
+	if _, err := Grid(2, 2).WithCostModel(badModel); err == nil {
+		t.Fatal("override beyond the qubit count must be rejected")
+	}
+
+	// Restrict reindexes surviving overrides and drops the rest.
+	sub, back := a.Restrict([]int{1, 2})
+	scm := sub.Cost()
+	if scm == nil {
+		t.Fatal("restricted arch lost its cost model")
+	}
+	// Original pair (1,2) → subset indices (back⁻¹): find them.
+	inv := map[int]int{}
+	for i, o := range back {
+		inv[o] = i
+	}
+	if got := scm.HWeight(inv[1], inv[2]); got != 40 {
+		t.Errorf("restricted HWeight = %d, want 40", got)
+	}
+	if got := scm.SwapWeight(inv[1], inv[2]); got != 7 {
+		t.Errorf("restricted SwapWeight = %d, want the unit (edge {0,1} dropped)", got)
+	}
+}

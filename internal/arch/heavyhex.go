@@ -1,0 +1,113 @@
+package arch
+
+import "fmt"
+
+// Heavy-hex device families. IBM's post-QX machines (Falcon, Eagle) use a
+// heavy-hexagon lattice: rows of degree-≤3 qubits joined by degree-2
+// bridge qubits, one per hexagon side. Their CX couplings are calibrated
+// in both directions, so — like Tokyo — every pair here is bidirectional
+// and direction switches are never forced; the families exist to exercise
+// calibration-weighted cost models at realistic scale.
+
+// HeavyHex27 returns the 27-qubit IBM Falcon heavy-hex layout
+// (e.g. ibmq_mumbai), with every coupling bidirectional.
+func HeavyHex27() *Arch {
+	undirected := [][2]int{
+		{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8},
+		{6, 7}, {7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14},
+		{12, 13}, {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19},
+		{17, 18}, {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+		{23, 24}, {24, 25}, {25, 26},
+	}
+	var pairs []Pair
+	for _, e := range undirected {
+		pairs = append(pairs, Pair{e[0], e[1]}, Pair{e[1], e[0]})
+	}
+	return MustNew("heavyhex27", 27, pairs)
+}
+
+// HeavyHex127 returns a 127-qubit Eagle-class heavy-hex lattice,
+// generated as HeavyHex(7, 15).
+func HeavyHex127() *Arch {
+	a := HeavyHex(7, 15)
+	a.name = "heavyhex127"
+	return a
+}
+
+// HeavyHex generates a heavy-hex lattice with the given number of qubit
+// rows and a nominal row width of cols. The first and last rows carry
+// cols−1 qubits (the first row drops its last column, the last row its
+// first), interior rows carry cols; consecutive rows are joined by bridge
+// qubits at every fourth column, offset by two columns on alternating
+// gaps — the pattern that tiles the plane with heavy hexagons. All
+// couplings are bidirectional.
+func HeavyHex(rows, cols int) *Arch {
+	if rows < 2 || cols < 3 {
+		panic("arch: heavy-hex needs rows >= 2 and cols >= 3")
+	}
+	type rc struct{ row, col int }
+	id := make(map[rc]int)
+	n := 0
+	span := func(r int) (lo, hi int) {
+		switch r {
+		case 0:
+			return 0, cols - 2
+		case rows - 1:
+			return 1, cols - 1
+		default:
+			return 0, cols - 1
+		}
+	}
+	for r := 0; r < rows; r++ {
+		lo, hi := span(r)
+		for c := lo; c <= hi; c++ {
+			id[rc{r, c}] = n
+			n++
+		}
+	}
+	var undirected [][2]int
+	for r := 0; r < rows; r++ {
+		lo, hi := span(r)
+		for c := lo; c < hi; c++ {
+			undirected = append(undirected, [2]int{id[rc{r, c}], id[rc{r, c + 1}]})
+		}
+	}
+	for r := 0; r+1 < rows; r++ {
+		off := 0
+		if r%2 == 1 {
+			off = 2
+		}
+		loA, hiA := span(r)
+		loB, hiB := span(r + 1)
+		bridged := false
+		addBridge := func(c int) {
+			bridge := n
+			n++
+			undirected = append(undirected,
+				[2]int{id[rc{r, c}], bridge},
+				[2]int{bridge, id[rc{r + 1, c}]})
+			bridged = true
+		}
+		for c := off; c < cols; c += 4 {
+			if c < loA || c > hiA || c < loB || c > hiB {
+				continue
+			}
+			addBridge(c)
+		}
+		// At small widths the stride can miss both spans entirely; a gap
+		// with no bridge would disconnect the lattice, so force one at the
+		// first shared column (spans always overlap for cols >= 3).
+		if !bridged {
+			c := loA
+			if loB > c {
+				c = loB
+			}
+			addBridge(c)
+		}
+	}
+	var pairs []Pair
+	for _, e := range undirected {
+		pairs = append(pairs, Pair{e[0], e[1]}, Pair{e[1], e[0]})
+	}
+	return MustNew(fmt.Sprintf("heavyhex%dx%d", rows, cols), n, pairs)
+}

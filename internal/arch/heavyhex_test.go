@@ -1,0 +1,149 @@
+package arch
+
+import "testing"
+
+// shapeCheck asserts the structural invariants every heavy-hex family
+// shares: bidirectional couplings, a connected graph, max degree 3.
+func shapeCheck(t *testing.T, a *Arch, qubits, undirected int) {
+	t.Helper()
+	if got := a.NumQubits(); got != qubits {
+		t.Errorf("%s: %d qubits, want %d", a.Name(), got, qubits)
+	}
+	if got := len(a.UndirectedEdges()); got != undirected {
+		t.Errorf("%s: %d undirected edges, want %d", a.Name(), got, undirected)
+	}
+	if got := len(a.Pairs()); got != 2*undirected {
+		t.Errorf("%s: %d directed pairs, want %d (all bidirectional)", a.Name(), got, 2*undirected)
+	}
+	for _, e := range a.UndirectedEdges() {
+		if !a.Allows(e.A, e.B) || !a.Allows(e.B, e.A) {
+			t.Fatalf("%s: edge {%d,%d} not bidirectional", a.Name(), e.A, e.B)
+		}
+	}
+	if !a.Connected() {
+		t.Errorf("%s: not connected", a.Name())
+	}
+	for q := 0; q < a.NumQubits(); q++ {
+		if d := a.Degree(q); d > 3 {
+			t.Errorf("%s: qubit %d has degree %d, heavy-hex caps at 3", a.Name(), q, d)
+		}
+	}
+}
+
+func TestHeavyHexShapes(t *testing.T) {
+	// Falcon: 27 qubits, 28 couplings. Eagle-class: 127 qubits, 144.
+	shapeCheck(t, HeavyHex27(), 27, 28)
+	shapeCheck(t, HeavyHex127(), 127, 144)
+	if HeavyHex127().NumQubits() != HeavyHex(7, 15).NumQubits() {
+		t.Error("HeavyHex127 must be the (7,15) instance of the generator")
+	}
+	// A few more generator instances stay structurally sound.
+	for _, dims := range [][2]int{{2, 3}, {3, 5}, {4, 9}} {
+		a := HeavyHex(dims[0], dims[1])
+		shapeCheck(t, a, a.NumQubits(), len(a.UndirectedEdges()))
+	}
+}
+
+func TestHeavyHexGeneratorPanics(t *testing.T) {
+	for _, dims := range [][2]int{{1, 5}, {2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("HeavyHex(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			HeavyHex(dims[0], dims[1])
+		}()
+	}
+}
+
+// TestGeneratedFamilyAutomorphisms pins the symmetry-group sizes the §4.1
+// orbit pruning sees on the generated families: heavy-hex 27 and the 3×3
+// grid each have exactly one non-trivial symmetry.
+func TestGeneratedFamilyAutomorphisms(t *testing.T) {
+	for _, tc := range []struct {
+		a    *Arch
+		want int
+	}{
+		{HeavyHex27(), 2},
+		{Grid(3, 3), 2},
+	} {
+		autos := tc.a.Automorphisms(DefaultAutomorphismLimit)
+		if len(autos) != tc.want {
+			t.Errorf("%s: %d automorphisms, want %d", tc.a.Name(), len(autos), tc.want)
+		}
+		for _, sigma := range autos {
+			if !isAutomorphism(tc.a, sigma) {
+				t.Errorf("%s: %v is not an automorphism", tc.a.Name(), sigma)
+			}
+		}
+	}
+}
+
+// TestWeightedCostModelBreaksSymmetry: automorphisms must preserve edge
+// weights, so a calibration that singles out one edge kills the 180°
+// rotation and only the identity survives.
+func TestWeightedCostModelBreaksSymmetry(t *testing.T) {
+	base := Grid(3, 3)
+	if got := len(base.Automorphisms(DefaultAutomorphismLimit)); got != 2 {
+		t.Fatalf("unweighted grid3x3: %d automorphisms, want 2", got)
+	}
+	cm, err := NewCostModel("asym", PaperSwapUnit, PaperHUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.SetSwapWeight(0, 1, 70); err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := base.WithCostModel(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	autos := weighted.Automorphisms(DefaultAutomorphismLimit)
+	if len(autos) != 1 {
+		t.Fatalf("weighted grid3x3: %d automorphisms, want identity only", len(autos))
+	}
+	for i, v := range autos[0] {
+		if v != i {
+			t.Fatalf("surviving automorphism %v is not the identity", autos[0])
+		}
+	}
+
+	// A symmetric calibration — the image edge gets the same weight —
+	// keeps both automorphisms. grid3x3's non-trivial symmetry is the
+	// transpose (3r+c ↔ 3c+r), so edge {0,1} pairs with {0,3}.
+	sym := cm.Clone()
+	if err := sym.SetSwapWeight(0, 3, 70); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(base.MustWithCostModel(sym).Automorphisms(DefaultAutomorphismLimit)); got != 2 {
+		t.Errorf("symmetric weighting: %d automorphisms, want 2", got)
+	}
+}
+
+// TestHeavyHexSubsetOrbits: orbit canonicalization on a generated family —
+// with a 2-element group every orbit has size 1 or 2, the representatives
+// cover all subsets, and total size is preserved.
+func TestHeavyHexSubsetOrbits(t *testing.T) {
+	a := HeavyHex(2, 3) // smallest heavy-hex: keeps the subset count tame
+	autos := a.Automorphisms(DefaultAutomorphismLimit)
+	subsets := a.ConnectedSubsets(3)
+	if len(subsets) == 0 {
+		t.Fatal("no connected 3-subsets")
+	}
+	orbits := SubsetOrbits(subsets, autos)
+	total := 0
+	for _, orb := range orbits {
+		if len(orb) < 1 || len(orb) > len(autos) {
+			t.Fatalf("orbit size %d outside [1,%d]", len(orb), len(autos))
+		}
+		total += len(orb)
+	}
+	if total != len(subsets) {
+		t.Errorf("orbits cover %d subsets, want %d", total, len(subsets))
+	}
+	if len(autos) > 1 && len(orbits) >= len(subsets) {
+		t.Errorf("non-trivial group gave no orbit collapse: %d orbits of %d subsets",
+			len(orbits), len(subsets))
+	}
+}

@@ -115,5 +115,6 @@ func (a *Arch) Restrict(subset []int) (*Arch, []int) {
 		}
 	}
 	sub := MustNew(a.name+"/subset", len(sorted), pairs)
+	sub.cost = a.cost.restrict(sorted) // reindexed weights ride along
 	return sub, sorted
 }

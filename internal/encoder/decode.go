@@ -18,7 +18,9 @@ type Solution struct {
 	// GateFrame[k] is the frame of skeleton gate k.
 	GateFrame []int
 	// Perms[t] is the physical-state permutation applied between frames t
-	// and t+1, with PermSwaps[t] = swaps(π) its minimal SWAP count.
+	// and t+1, with PermSwaps[t] the SWAP count of its chosen realization:
+	// swaps(π) under the paper model, the length of the cheapest weighted
+	// swap path under a non-uniform cost model.
 	Perms     []perm.Perm
 	PermSwaps []int
 	// Switched[k] reports whether skeleton gate k is executed with
@@ -108,20 +110,20 @@ func (e *Encoding) Decode() (*Solution, error) {
 		}
 		sol.Perms = append(sol.Perms, pp.Copy())
 		sol.PermSwaps = append(sol.PermSwaps, e.permSw[chosen])
-		cost += SwapCost * e.permSw[chosen]
+		cost += e.permW[chosen]
 	}
 
 	for k := range e.Z {
 		sw := e.litTrue(e.Z[k])
 		sol.Switched = append(sol.Switched, sw)
-		if sw {
-			cost += HCost
-		}
 		// Verify executability against the coupling map.
 		g := e.prob.Skeleton.Gates[k]
 		mp := sol.MappingBeforeGate(k)
 		pc, pt := mp[g.Control], mp[g.Target]
 		if sw {
+			// The gate executes reversed on coupling pair (pt, pc): charge
+			// that pair's direction-switch weight (4 in the paper model).
+			cost += e.cm.HWeight(pt, pc)
 			if !e.prob.Arch.Allows(pt, pc) {
 				return nil, fmt.Errorf("encoder: gate %d switched but (%d,%d) not in CM", k, pt, pc)
 			}

@@ -30,10 +30,13 @@ import (
 
 // SwapCost and HCost are the paper's cost-model constants: a SWAP
 // decomposes into 7 elementary gates, a direction switch into 4 H gates
-// (paper §2.2, Fig. 3).
+// (paper §2.2, Fig. 3). They are the default weights of arch.CostModel;
+// every cost computed here flows through the model attached to the
+// problem's architecture, so a calibration-weighted model changes the
+// objective while the paper model reproduces these constants exactly.
 const (
-	SwapCost = 7
-	HCost    = 4
+	SwapCost = arch.PaperSwapUnit
+	HCost    = arch.PaperHUnit
 )
 
 // Problem is one mapping instance to encode.
@@ -60,10 +63,16 @@ type Encoding struct {
 	B *cnf.Builder
 
 	prob   Problem
-	space  *perm.Space     // full permutation space (n = m) for swaps(π)
-	swaps  *perm.SwapTable // swap-distance table on the coupling graph
-	perms  []perm.Perm     // Π, indexed as in Y
-	permSw []int           // swaps(π) per permutation
+	cm     *arch.CostModel         // cost model (nil = paper 7/4)
+	space  *perm.Space             // full permutation space (n = m) for swaps(π)
+	swaps  *perm.SwapTable         // swap-distance table (uniform swap weights)
+	wswaps *perm.WeightedSwapTable // weighted table (non-uniform swap weights)
+	perms  []perm.Perm             // Π, indexed as in Y
+	permSw []int                   // SWAP count of the chosen realization of π
+	permW  []int                   // weighted cost of π (SwapCost·permSw when uniform)
+	// gateRev[k][p] is the "gate k sits reversed on coupling pair p" literal
+	// (aligned with Arch.Pairs()), kept for per-pair H-weight cost terms.
+	gateRev [][]sat.Lit
 
 	// frames[f] = index of the first skeleton gate of frame f; gates of
 	// frame f are [frames[f], frames[f+1]) (last frame ends at |G|).
@@ -117,12 +126,27 @@ func Encode(ctx context.Context, p Problem, b *cnf.Builder) (*Encoding, error) {
 		return nil, fmt.Errorf("encoder: invalid initial mapping %v for n=%d, m=%d", p.InitialMapping, n, m)
 	}
 
-	e := &Encoding{B: b, prob: p}
+	e := &Encoding{B: b, prob: p, cm: p.Arch.Cost()}
 	e.space = perm.NewSpace(m, m)
-	e.swaps = perm.NewSwapTable(e.space, p.Arch.UndirectedEdges())
-	for _, pp := range perm.All(m) {
-		e.perms = append(e.perms, pp)
-		e.permSw = append(e.permSw, e.swaps.PermSwaps(pp))
+	if e.cm.UniformSwap() {
+		e.swaps = perm.NewSwapTable(e.space, p.Arch.UndirectedEdges())
+		for _, pp := range perm.All(m) {
+			sw := e.swaps.PermSwaps(pp)
+			e.perms = append(e.perms, pp)
+			e.permSw = append(e.permSw, sw)
+			if sw > 0 {
+				e.permW = append(e.permW, e.cm.SwapUnit()*sw)
+			} else {
+				e.permW = append(e.permW, sw)
+			}
+		}
+	} else {
+		e.wswaps = perm.NewWeightedSwapTable(e.space, p.Arch.UndirectedEdges(), e.cm.EdgeSwapWeight)
+		for _, pp := range perm.All(m) {
+			e.perms = append(e.perms, pp)
+			e.permSw = append(e.permSw, e.wswaps.PermSwapsAlong(pp))
+			e.permW = append(e.permW, e.wswaps.PermWeight(pp))
+		}
 	}
 
 	e.buildFrames()
@@ -216,6 +240,7 @@ func (e *Encoding) pinInitialMapping() {
 // switching) for every skeleton gate.
 func (e *Encoding) buildGateConstraints() {
 	e.Z = make([]sat.Lit, e.prob.Skeleton.Len())
+	e.gateRev = make([][]sat.Lit, e.prob.Skeleton.Len())
 	for k, g := range e.prob.Skeleton.Gates {
 		x := e.X[e.gateFrame[k]]
 		var fwds, revs []sat.Lit
@@ -237,6 +262,7 @@ func (e *Encoding) buildGateConstraints() {
 		// when the forward direction works.)
 		z := e.B.And(rev, fwd.Not())
 		e.Z[k] = z
+		e.gateRev[k] = revs
 	}
 }
 
@@ -277,29 +303,58 @@ func (e *Encoding) buildPermutationLinks(ctx context.Context) error {
 	return nil
 }
 
-// buildCost assembles Eq. (5) as a bit vector.
+// buildCost assembles Eq. (5) as a bit vector, generalized to the cost
+// model: each permutation selector contributes its (possibly weighted)
+// realization cost, each switched gate its direction-switch weight. Under
+// the paper model this is exactly 7·swaps(π) per selector and 4 per
+// switch, producing the identical CNF as before the model existed.
 func (e *Encoding) buildCost() {
 	maxSwap := 0
 	costs := make([]int, len(e.perms))
-	for pi, sw := range e.permSw {
-		if sw > 0 {
-			costs[pi] = SwapCost * sw
-			if costs[pi] > maxSwap {
-				maxSwap = costs[pi]
+	for pi, w := range e.permW {
+		if w > 0 {
+			costs[pi] = w
+			if w > maxSwap {
+				maxSwap = w
 			}
 		}
 	}
-	e.MaxCost = e.NumPermPoints()*maxSwap + len(e.Z)*HCost
+	uniformH := e.cm.UniformH()
+	maxH := e.cm.HUnit()
+	if !uniformH {
+		maxH = e.cm.MaxHWeight(e.prob.Arch.Pairs())
+	}
+	e.MaxCost = e.NumPermPoints()*maxSwap + len(e.Z)*maxH
 	width := cnf.Width(e.MaxCost)
 
 	var vecs []cnf.BitVec
 	for _, ys := range e.Y {
 		vecs = append(vecs, e.B.SelectConst(ys, costs, width))
 	}
-	for _, z := range e.Z {
-		vecs = append(vecs, e.B.ScaleByLit(z, HCost, width))
+	for k, z := range e.Z {
+		if uniformH {
+			vecs = append(vecs, e.B.ScaleByLit(z, e.cm.HUnit(), width))
+		} else {
+			vecs = append(vecs, e.gateHCostVec(k, width))
+		}
 	}
 	e.CostBits = e.B.SumVecs(vecs)
+}
+
+// gateHCostVec builds the switch-cost vector of gate k under per-pair H
+// weights: the gate's logical pair occupies exactly one coupling pair, and
+// at most one of the gateRev literals is true (the mapping is injective),
+// so conditioned on Z[k] the vector selects the hosting pair's weight —
+// a per-gate SelectConst over z∧rev_p terms.
+func (e *Encoding) gateHCostVec(k, width int) cnf.BitVec {
+	pairs := e.prob.Arch.Pairs()
+	zrev := make([]sat.Lit, len(pairs))
+	weights := make([]int, len(pairs))
+	for p, pr := range pairs {
+		zrev[p] = e.B.And(e.Z[k], e.gateRev[k][p])
+		weights[p] = e.cm.HWeight(pr.Control, pr.Target)
+	}
+	return e.B.SelectConst(zrev, weights, width)
 }
 
 // AssertCostAtMost permanently adds the constraint F ≤ bound. Successive

@@ -51,9 +51,17 @@ type MultiEncoding struct {
 
 	prob  SubsetProblem
 	perms []perm.Perm // Π over the n slots, shared by all subsets
-	// permSw[i][pi] = swaps(π) of permutation pi on subset i's coupling
-	// graph (−1 when unrealizable there).
+	// permSw[i][pi] = SWAP count of permutation pi's chosen realization on
+	// subset i's coupling graph (−1 when unrealizable there); permW[i][pi]
+	// its cost under subset i's cost model (SwapCost·permSw when uniform).
 	permSw [][]int
+	permW  [][]int
+	// cms[i] is subset i's cost model; uniformH reports whether every
+	// subset charges the same constant per direction switch, in which case
+	// the H cost terms are shared unguarded exactly as in the paper model.
+	cms      []*arch.CostModel
+	uniformH bool
+	hUnit    int
 
 	frames    []int
 	gateFrame []int
@@ -77,6 +85,10 @@ type MultiEncoding struct {
 	// bound guard (CostAtMostLit) is shared by all subsets — a bound
 	// refuted under one selector seeds the conflict analysis for the next.
 	C []cnf.BitVec
+	// HV[k] is the free per-gate switch-cost vector, allocated only when
+	// some subset carries per-pair H weights (otherwise the shared
+	// ScaleByLit(Z[k], hUnit) terms suffice). Linked per subset like C.
+	HV []cnf.BitVec
 
 	CostBits cnf.BitVec
 	MaxCost  int
@@ -112,13 +124,37 @@ func EncodeSubsets(ctx context.Context, p SubsetProblem, b *cnf.Builder) (*Multi
 	space := perm.NewSpace(n, n)
 	e.perms = perm.All(n)
 	e.permSw = make([][]int, len(p.Archs))
+	e.permW = make([][]int, len(p.Archs))
+	e.cms = make([]*arch.CostModel, len(p.Archs))
+	e.uniformH = true
+	e.hUnit = p.Archs[0].Cost().HUnit()
 	for i, a := range p.Archs {
-		table := perm.NewSwapTable(space, a.UndirectedEdges())
+		cm := a.Cost()
+		e.cms[i] = cm
+		if !cm.UniformH() || cm.HUnit() != e.hUnit {
+			e.uniformH = false
+		}
 		sw := make([]int, len(e.perms))
-		for pi, pp := range e.perms {
-			sw[pi] = table.PermSwaps(pp)
+		w := make([]int, len(e.perms))
+		if cm.UniformSwap() {
+			table := perm.NewSwapTable(space, a.UndirectedEdges())
+			for pi, pp := range e.perms {
+				sw[pi] = table.PermSwaps(pp)
+				if sw[pi] > 0 {
+					w[pi] = cm.SwapUnit() * sw[pi]
+				} else {
+					w[pi] = sw[pi]
+				}
+			}
+		} else {
+			table := perm.NewWeightedSwapTable(space, a.UndirectedEdges(), cm.EdgeSwapWeight)
+			for pi, pp := range e.perms {
+				sw[pi] = table.PermSwapsAlong(pp)
+				w[pi] = table.PermWeight(pp)
+			}
 		}
 		e.permSw[i] = sw
+		e.permW[i] = w
 	}
 
 	e.buildFrames()
@@ -254,14 +290,23 @@ func (e *MultiEncoding) buildPermutationLinks(ctx context.Context) error {
 // most expensive subset so a single bit width fits all.
 func (e *MultiEncoding) buildSharedCost() {
 	maxSwap := 0
-	for _, sw := range e.permSw {
-		for _, s := range sw {
-			if s > 0 && SwapCost*s > maxSwap {
-				maxSwap = SwapCost * s
+	for _, ws := range e.permW {
+		for _, w := range ws {
+			if w > maxSwap {
+				maxSwap = w
 			}
 		}
 	}
-	e.MaxCost = e.NumPermPoints()*maxSwap + len(e.Z)*HCost
+	maxH := e.hUnit
+	if !e.uniformH {
+		maxH = 0
+		for i, a := range e.prob.Archs {
+			if h := e.cms[i].MaxHWeight(a.Pairs()); h > maxH {
+				maxH = h
+			}
+		}
+	}
+	e.MaxCost = e.NumPermPoints()*maxSwap + len(e.Z)*maxH
 	width := cnf.Width(e.MaxCost)
 
 	var vecs []cnf.BitVec
@@ -274,8 +319,23 @@ func (e *MultiEncoding) buildSharedCost() {
 		e.C[t] = v
 		vecs = append(vecs, v)
 	}
-	for _, z := range e.Z {
-		vecs = append(vecs, e.B.ScaleByLit(z, HCost, width))
+	if e.uniformH {
+		for _, z := range e.Z {
+			vecs = append(vecs, e.B.ScaleByLit(z, e.hUnit, width))
+		}
+	} else {
+		// Per-pair H weights: the switch cost of a gate depends on which
+		// coupling pair hosts it, which only subset i's constraints know —
+		// so allocate free per-gate vectors and link them per subset.
+		e.HV = make([]cnf.BitVec, len(e.Z))
+		for k := range e.Z {
+			v := make(cnf.BitVec, width)
+			for j := range v {
+				v[j] = e.B.NewLit()
+			}
+			e.HV[k] = v
+			vecs = append(vecs, v)
+		}
 	}
 	e.CostBits = e.B.SumVecs(vecs)
 }
@@ -293,6 +353,7 @@ func (e *MultiEncoding) buildSharedCost() {
 func (e *MultiEncoding) buildSubsetConstraints(i int) {
 	s := e.Selectors[i]
 	a := e.prob.Archs[i]
+	cm := e.cms[i]
 
 	for k, g := range e.prob.Skeleton.Gates {
 		x := e.X[e.gateFrame[k]]
@@ -305,12 +366,31 @@ func (e *MultiEncoding) buildSubsetConstraints(i int) {
 		rev := e.B.Or(revs...)
 		e.B.AddGuardedClause(s, fwd, rev)
 		e.B.GuardedEquiv(s, e.Z[k], e.B.And(rev, fwd.Not()))
+		if e.HV != nil {
+			// Link gate k's free switch-cost vector under s: at most one
+			// rev literal is true (the mapping is injective), so z∧rev_p
+			// selects the hosting pair's H weight, as in gateHCostVec.
+			pairs := a.Pairs()
+			zrev := make([]sat.Lit, len(pairs))
+			for p := range pairs {
+				zrev[p] = e.B.And(e.Z[k], revs[p])
+			}
+			for j := 0; j < len(e.HV[k]); j++ {
+				var ons []sat.Lit
+				for p, pr := range pairs {
+					if cm.HWeight(pr.Control, pr.Target)>>uint(j)&1 == 1 {
+						ons = append(ons, zrev[p])
+					}
+				}
+				e.B.GuardedEquiv(s, e.HV[k][j], e.B.Or(ons...))
+			}
+		}
 	}
 
 	costs := make([]int, len(e.perms))
-	for pi, sw := range e.permSw[i] {
-		if sw > 0 {
-			costs[pi] = SwapCost * sw
+	for pi, w := range e.permW[i] {
+		if w > 0 {
+			costs[pi] = w // unrealizable (−1) perms are forced ¬y below
 		}
 	}
 	for t, ys := range e.Y {
@@ -418,19 +498,17 @@ func (e *MultiEncoding) DecodeSubset(i int) (*Solution, error) {
 		}
 		sol.Perms = append(sol.Perms, pp.Copy())
 		sol.PermSwaps = append(sol.PermSwaps, e.permSw[i][chosen])
-		cost += SwapCost * e.permSw[i][chosen]
+		cost += e.permW[i][chosen]
 	}
 
 	for k := range e.Z {
 		sw := e.litTrue(e.Z[k])
 		sol.Switched = append(sol.Switched, sw)
-		if sw {
-			cost += HCost
-		}
 		g := e.prob.Skeleton.Gates[k]
 		mp := sol.MappingBeforeGate(k)
 		pc, pt := mp[g.Control], mp[g.Target]
 		if sw {
+			cost += e.cms[i].HWeight(pt, pc)
 			if !a.Allows(pt, pc) {
 				return nil, fmt.Errorf("encoder: gate %d switched but (%d,%d) not in subset %d's CM", k, pt, pc, i)
 			}

@@ -17,10 +17,12 @@ const maxDPStates = 4096
 
 // SolveDP finds the minimal-cost mapping by dynamic programming over
 // (frame, mapping) states: within a frame the mapping is fixed and each
-// gate contributes 0 (forward-executable) or 4 (direction switch, 4 H
-// gates); between frames the transition cost is 7 times the token-swap
-// distance between the mappings. This is an independent exact oracle for
-// the paper's cost function (Eq. 5) — tractable because the IBM QX mapping
+// gate contributes 0 (forward-executable) or its direction-switch weight
+// (4 in the paper model); between frames the transition cost is the
+// (weighted) token-swap distance between the mappings — 7 per SWAP in the
+// paper model, the cheapest weighted swap path under a calibration model.
+// This is an independent exact oracle for the cost function (Eq. 5,
+// generalized to arch.CostModel) — tractable because the IBM QX mapping
 // spaces are tiny — and is used to cross-check the SAT engine. The context
 // is checked once per frame transition (the O(size²) inner product), so a
 // cancelled run aborts promptly with ctx.Err().
@@ -46,7 +48,27 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 		}
 	}
 	space := perm.NewSpace(m, n)
-	table := perm.NewSwapTable(space, p.Arch.UndirectedEdges())
+	cm := p.Arch.Cost()
+	// transCost/transSwaps: weighted cost and SWAP count of the cheapest
+	// mapping-to-mapping move; the BFS table scaled by the unit when the
+	// model is uniform, a Dijkstra table otherwise.
+	var transCost, transSwaps func(a, b int) int
+	if cm.UniformSwap() {
+		table := perm.NewSwapTable(space, p.Arch.UndirectedEdges())
+		unit := cm.SwapUnit()
+		transCost = func(a, b int) int {
+			d := table.MinSwapsIdx(a, b)
+			if d < 0 {
+				return -1
+			}
+			return unit * d
+		}
+		transSwaps = table.MinSwapsIdx
+	} else {
+		table := perm.NewWeightedSwapTable(space, p.Arch.UndirectedEdges(), cm.EdgeSwapWeight)
+		transCost = table.MinWeightIdx
+		transSwaps = table.SwapsAlongIdx
+	}
 
 	// Frames: segment the gate sequence at permutation points. A pinned
 	// initial layout gets its own gate-free leading frame so the solver
@@ -80,7 +102,7 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 			case p.Arch.Allows(pc, pt):
 				// forward: free
 			case p.Arch.Allows(pt, pc):
-				cost += encoder.HCost
+				cost += cm.HWeight(pt, pc)
 			default:
 				return inf
 			}
@@ -120,11 +142,11 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 				continue
 			}
 			for s := 0; s < size; s++ {
-				d := table.MinSwapsIdx(sPrev, s)
+				d := transCost(sPrev, s)
 				if d < 0 {
 					continue
 				}
-				c := cur[sPrev] + encoder.SwapCost*d
+				c := cur[sPrev] + d
 				if c >= next[s] {
 					continue
 				}
@@ -171,7 +193,7 @@ func SolveDP(ctx context.Context, p encoder.Problem) (*Result, error) {
 		sol.FrameMappings = append(sol.FrameMappings, space.Mapping(s).Copy())
 	}
 	for f := 1; f < len(frames); f++ {
-		sol.PermSwaps = append(sol.PermSwaps, table.MinSwapsIdx(stateSeq[f-1], stateSeq[f]))
+		sol.PermSwaps = append(sol.PermSwaps, transSwaps(stateSeq[f-1], stateSeq[f]))
 	}
 	for k, g := range p.Skeleton.Gates {
 		mp := sol.FrameMappings[gateFrame[k]]

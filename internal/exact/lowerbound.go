@@ -7,15 +7,17 @@ import (
 )
 
 // admissibleLowerBound computes an admissible lower bound on the cost F of
-// any valid mapping of the problem: 7 times the SWAP lower bound derived
-// from coupling-graph distances (paper §2's cost argument — an interaction
+// any valid mapping of the problem: the SWAP lower bound derived from
+// coupling-graph distances (paper §2's cost argument — an interaction
 // whose endpoints sit at physical distance d needs at least d−1 SWAPs —
-// minimized over initial placements in internal/perm), plus 4 times the
-// direction switches forced within single frames. Strategy restrictions
-// only shrink the feasible set, so the bound is admissible for every
-// strategy; a pinned initial mapping restricts the placement minimum to
-// the pin. The SAT descent seeds its refuted-bound floor with this value
-// and stops without a final UNSAT probe once a model meets it.
+// minimized over initial placements in internal/perm) scaled by the cost
+// model's cheapest SWAP weight (7 in the paper model), plus the direction
+// switches forced within single frames scaled by the cheapest switch
+// weight (4). Strategy restrictions only shrink the feasible set, so the
+// bound is admissible for every strategy; a pinned initial mapping
+// restricts the placement minimum to the pin. The SAT descent seeds its
+// refuted-bound floor with this value and stops without a final UNSAT
+// probe once a model meets it.
 func admissibleLowerBound(p encoder.Problem) int {
 	sk, a := p.Skeleton, p.Arch
 	m := a.NumQubits()
@@ -41,7 +43,10 @@ func admissibleLowerBound(p encoder.Problem) int {
 	} else {
 		swapLB = perm.InteractionLowerBound(dist, sk.NumQubits, pairs)
 	}
-	return encoder.SwapCost*swapLB + encoder.HCost*forcedSwitches(p)
+	cm := a.Cost()
+	minSwap := cm.MinSwapWeight(a.UndirectedEdges())
+	minH := cm.MinHWeight(a.Pairs())
+	return minSwap*swapLB + minH*forcedSwitches(p)
 }
 
 // interactionPairs returns the distinct unordered logical-qubit pairs the

@@ -12,7 +12,9 @@ import (
 
 // Result is the outcome of an exact (or strategy-restricted) mapping run.
 type Result struct {
-	// Cost is the minimal F found: 7·(SWAPs) + 4·(direction switches).
+	// Cost is the minimal F found under the architecture's cost model:
+	// 7·(SWAPs) + 4·(direction switches) in the paper model, the weighted
+	// sum of per-edge SWAP and switch weights under a calibration model.
 	Cost int
 	// Solution holds the frame mappings, permutations and switch flags.
 	// Its physical-qubit indices refer to WorkArch.
@@ -120,20 +122,30 @@ func (r *Result) FinalMapping() perm.Mapping {
 // Ops materializes the mapped skeleton as a stream of SWAP and CNOT
 // operations on the original architecture's physical qubits. The SWAP
 // sequences realizing each inter-frame permutation are recovered from the
-// swap-distance table of the working architecture, so their count equals
-// the solution's SwapCount (preserving the optimal cost).
+// swap-distance table of the working architecture — the weighted table
+// when its cost model is non-uniform, so the rebuilt paths follow the
+// same cheapest edges the solver charged for — and their count equals the
+// solution's SwapCount (preserving the optimal cost).
 func (r *Result) Ops(sk *circuit.Skeleton) ([]circuit.MappedOp, error) {
 	sol := r.Solution
 	n := sk.NumQubits
 	space := perm.NewSpace(r.WorkArch.NumQubits(), n)
-	table := perm.NewSwapTable(space, r.WorkArch.UndirectedEdges())
+	cm := r.WorkArch.Cost()
+	var swapPath func(from, to perm.Mapping) ([]perm.Edge, bool)
+	if cm.UniformSwap() {
+		table := perm.NewSwapTable(space, r.WorkArch.UndirectedEdges())
+		swapPath = table.SwapPath
+	} else {
+		table := perm.NewWeightedSwapTable(space, r.WorkArch.UndirectedEdges(), cm.EdgeSwapWeight)
+		swapPath = table.SwapPath
+	}
 
 	var ops []circuit.MappedOp
 	frame := 0
 	for k, g := range sk.Gates {
 		// Emit the permutation's swaps when entering a new frame.
 		for frame < sol.GateFrame[k] {
-			path, ok := table.SwapPath(sol.FrameMappings[frame], sol.FrameMappings[frame+1])
+			path, ok := swapPath(sol.FrameMappings[frame], sol.FrameMappings[frame+1])
 			if !ok {
 				return nil, fmt.Errorf("exact: frames %d→%d unreachable by swaps", frame, frame+1)
 			}

@@ -103,14 +103,14 @@ func MapAStar(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts ASta
 		}
 	}
 	res.FinalMapping = layout
-	res.Cost = 7*res.Swaps + 4*res.Switches
+	res.Cost = opsCost(a, res.Ops)
 	return res, nil
 }
 
 // node is one A* search state.
 type node struct {
 	layout perm.Mapping
-	g      int     // SWAPs used so far ×7 plus nothing else
+	g      int     // weighted cost of the SWAPs used so far
 	f      float64 // g + h (+ finish estimate)
 	seq    []perm.Edge
 	index  int
@@ -132,8 +132,8 @@ func (q *nodeQueue) Pop() interface{} {
 // layerH is the admissible part of the heuristic: each SWAP moves two
 // physical qubits, and within a layer every qubit participates in at most
 // one gate, so one SWAP reduces the summed distance-to-adjacency by at
-// most 2.
-func layerH(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch) int {
+// most 2 — and costs at least the model's cheapest SWAP weight.
+func layerH(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, minSwapW int) int {
 	excess := 0
 	for _, g := range gates {
 		d := a.Distance(layout[g.Control], layout[g.Target])
@@ -141,23 +141,24 @@ func layerH(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch) int {
 			excess += d - 1
 		}
 	}
-	return 7 * ((excess + 1) / 2)
+	return minSwapW * ((excess + 1) / 2)
 }
 
 // finishCost is the direction-fix cost once all gates are adjacent.
 func finishCost(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch) int {
+	cm := a.Cost()
 	cost := 0
 	for _, g := range gates {
 		pc, pt := layout[g.Control], layout[g.Target]
 		if !a.Allows(pc, pt) {
-			cost += 4
+			cost += cm.HWeight(pt, pc)
 		}
 	}
 	return cost
 }
 
 // lookaheadH adds a discounted estimate for the next layer.
-func lookaheadH(next []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, w float64) float64 {
+func lookaheadH(next []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, minSwapW int, w float64) float64 {
 	if w <= 0 || len(next) == 0 {
 		return 0
 	}
@@ -168,17 +169,37 @@ func lookaheadH(next []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, w fl
 			excess += d - 1
 		}
 	}
-	return w * 7 * float64(excess) / 2
+	return w * float64(minSwapW) * float64(excess) / 2
+}
+
+// opsCost prices a mapped op stream under the architecture's cost model:
+// each SWAP at its edge's weight, each switched CNOT at its executed
+// direction's switch weight (7 and 4 everywhere in the paper model).
+func opsCost(a *arch.Arch, ops []circuit.MappedOp) int {
+	cm := a.Cost()
+	cost := 0
+	for _, op := range ops {
+		switch {
+		case op.Swap:
+			cost += cm.SwapWeight(op.A, op.B)
+		case op.Switched:
+			cost += cm.HWeight(op.Control, op.Target)
+		}
+	}
+	return cost
 }
 
 // astarSwaps finds a SWAP sequence making every layer gate executable,
-// minimizing 7·(#SWAPs) + 4·(#switches) for this layer (plus lookahead
-// bias when enabled). The context is polled every cancelCheckInterval node
+// minimizing the model-weighted SWAP + direction-switch cost for this
+// layer (7·#SWAPs + 4·#switches in the paper model; plus lookahead bias
+// when enabled). The context is polled every cancelCheckInterval node
 // expansions so long searches stay responsive to per-job deadlines.
 func astarSwaps(ctx context.Context, gates, next []circuit.CNOTGate, start perm.Mapping, a *arch.Arch, opts AStarOptions) ([]perm.Edge, error) {
+	cm := a.Cost()
+	minSwapW := cm.MinSwapWeight(a.UndirectedEdges())
 	startNode := &node{
 		layout: start.Copy(),
-		f:      float64(layerH(gates, start, a)) + lookaheadH(next, start, a, opts.Lookahead),
+		f:      float64(layerH(gates, start, a, minSwapW)) + lookaheadH(next, start, a, minSwapW, opts.Lookahead),
 	}
 	open := &nodeQueue{}
 	heap.Init(open)
@@ -212,7 +233,7 @@ func astarSwaps(ctx context.Context, gates, next []circuit.CNOTGate, start perm.
 		}
 		for _, e := range a.UndirectedEdges() {
 			nl := cur.layout.ApplySwap(e.A, e.B)
-			ng := cur.g + 7
+			ng := cur.g + cm.EdgeSwapWeight(e)
 			key := nl.Key()
 			if prev, ok := bestG[key]; ok && prev <= ng {
 				continue
@@ -224,8 +245,8 @@ func astarSwaps(ctx context.Context, gates, next []circuit.CNOTGate, start perm.
 			heap.Push(open, &node{
 				layout: nl,
 				g:      ng,
-				f: float64(ng+layerH(gates, nl, a)) +
-					lookaheadH(next, nl, a, opts.Lookahead),
+				f: float64(ng+layerH(gates, nl, a, minSwapW)) +
+					lookaheadH(next, nl, a, minSwapW, opts.Lookahead),
 				seq: seq,
 			})
 		}

@@ -56,7 +56,9 @@ type Result struct {
 	InitialMapping perm.Mapping
 	FinalMapping   perm.Mapping
 	// Swaps and Switches count inserted SWAP operations and direction
-	// fixes; Cost = 7·Swaps + 4·Switches (paper Eq. 5 metric).
+	// fixes; Cost prices Ops under the architecture's cost model —
+	// 7·Swaps + 4·Switches with the paper model (Eq. 5 metric), the
+	// weighted per-edge sum under a calibration model.
 	Swaps    int
 	Switches int
 	Cost     int
@@ -122,7 +124,7 @@ func Map(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) 
 		}
 	}
 	res.FinalMapping = layout
-	res.Cost = 7*res.Swaps + 4*res.Switches
+	res.Cost = opsCost(a, res.Ops)
 	return res, nil
 }
 
@@ -174,10 +176,20 @@ func layerDistance(gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, 
 }
 
 // searchSwaps runs randomized greedy descent trials and returns the
-// shortest SWAP sequence found that makes the layer executable.
+// cheapest SWAP sequence found (by the cost model's edge weights; the
+// shortest one in the paper model) that makes the layer executable.
 func searchSwaps(ctx context.Context, gates []circuit.CNOTGate, layout perm.Mapping, a *arch.Arch, opts Options, rng *rand.Rand) ([]perm.Edge, error) {
 	m := a.NumQubits()
+	cm := a.Cost()
+	seqWeight := func(seq []perm.Edge) int {
+		total := 0
+		for _, e := range seq {
+			total += cm.EdgeSwapWeight(e)
+		}
+		return total
+	}
 	var best []perm.Edge
+	bestW := 0
 	for trial := 0; trial < opts.Trials; trial++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("heuristic: canceled: %w", err)
@@ -220,8 +232,8 @@ func searchSwaps(ctx context.Context, gates []circuit.CNOTGate, layout perm.Mapp
 		if !layerExecutable(gates, cur, a) {
 			continue // trial failed within iteration budget
 		}
-		if best == nil || len(seq) < len(best) {
-			best = seq
+		if w := seqWeight(seq); best == nil || w < bestW {
+			best, bestW = seq, w
 		}
 		if len(best) == 0 {
 			break

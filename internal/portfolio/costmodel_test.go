@@ -1,0 +1,138 @@
+package portfolio
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/exact"
+)
+
+// weightedQX4 returns QX4 with a non-uniform calibration attached.
+func weightedQX4(t *testing.T) *arch.Arch {
+	t.Helper()
+	cm, err := arch.NewCostModel("test-cal", arch.PaperSwapUnit, arch.PaperHUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.SetSwapWeight(1, 2, 14); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.SetHWeight(2, 4, 8); err != nil {
+		t.Fatal(err)
+	}
+	a, err := arch.QX4().WithCostModel(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestFingerprintDistinguishesCostModels is the collision regression for
+// the qxr-v2 schema: the same instance under different weights must never
+// share a store key (a v1-style collision would serve a plan optimized for
+// the wrong objective), while cosmetic model differences must still hit.
+func TestFingerprintDistinguishesCostModels(t *testing.T) {
+	sk := mkSkeleton(3, [2]int{0, 1}, [2]int{1, 2})
+	plain := arch.QX4()
+	weighted := weightedQX4(t)
+
+	base := Fingerprint(sk, plain, exact.Options{})
+	if got := Fingerprint(sk, weighted, exact.Options{}); got == base {
+		t.Error("cost model change did not alter the fingerprint")
+	}
+
+	// An explicitly-attached paper model is the same objective as none.
+	paper, err := plain.WithCostModel(arch.PaperCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(sk, paper, exact.Options{}); got != base {
+		t.Error("explicit paper model altered the fingerprint")
+	}
+
+	// The model's display name is cosmetic: same weights, same key.
+	renamed, err := arch.NewCostModel("other-name", arch.PaperSwapUnit, arch.PaperHUnit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed.SetSwapWeight(1, 2, 14)
+	renamed.SetHWeight(2, 4, 8)
+	if got := Fingerprint(sk, plain.MustWithCostModel(renamed), exact.Options{}); got != Fingerprint(sk, weighted, exact.Options{}) {
+		t.Error("rename of an identical model missed the cache key")
+	}
+
+	// But an actual weight difference must miss.
+	tweaked := renamed.Clone()
+	tweaked.SetHWeight(2, 4, 9)
+	if got := Fingerprint(sk, plain.MustWithCostModel(tweaked), exact.Options{}); got == Fingerprint(sk, weighted, exact.Options{}) {
+		t.Error("differing H weights collided")
+	}
+}
+
+// TestPersistRoundTripKeepsCostModel: a weighted result written to the
+// disk tier must come back with the calibration attached to its working
+// architecture — Ops() re-derives swap paths from it on the hit path.
+func TestPersistRoundTripKeepsCostModel(t *testing.T) {
+	a := weightedQX4(t)
+	sk := mkSkeleton(4, [2]int{0, 1}, [2]int{2, 3}, [2]int{0, 2}, [2]int{1, 3})
+	r, err := exact.Solve(bg, sk, a, exact.Options{Engine: exact.EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := EncodeResult(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := got.WorkArch.Cost()
+	if cm == nil {
+		t.Fatal("decoded result lost its cost model")
+	}
+	wantCM := a.Cost()
+	if cm.SwapUnit() != wantCM.SwapUnit() || cm.HUnit() != wantCM.HUnit() {
+		t.Errorf("units %d/%d, want %d/%d", cm.SwapUnit(), cm.HUnit(), wantCM.SwapUnit(), wantCM.HUnit())
+	}
+	if got := cm.SwapWeight(1, 2); got != 14 {
+		t.Errorf("decoded SwapWeight(1,2) = %d, want 14", got)
+	}
+	if got := cm.HWeight(2, 4); got != 8 {
+		t.Errorf("decoded HWeight(2,4) = %d, want 8", got)
+	}
+	if got.Cost != r.Cost {
+		t.Errorf("decoded cost %d, want %d", got.Cost, r.Cost)
+	}
+	ops1, err := r.Ops(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops2, err := got.Ops(sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops1, ops2) {
+		t.Error("decoded result rematerializes different ops")
+	}
+
+	// A paper-model result stays lean: no model block persisted, and the
+	// decoded arch carries none.
+	r2, err := exact.Solve(bg, sk, arch.QX4(), exact.Options{Engine: exact.EngineDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := EncodeResult(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := DecodeResult(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.WorkArch.Cost() != nil {
+		t.Error("paper-model result decoded with a cost model attached")
+	}
+}

@@ -16,8 +16,10 @@ import (
 // an instant miss: stale results self-invalidate instead of being decoded
 // under wrong assumptions, and compaction eventually drops their bytes.
 // Bump whenever the persisted layout, the encoder's solution semantics or
-// the solver's cost model changes.
-const SchemaVersion = "qxr-v1"
+// the solver's cost model changes. v2 added the working architecture's
+// cost model to the record (a v1 record decoded under v2 would silently
+// drop a non-uniform model, so the old schema is fully invalidated).
+const SchemaVersion = "qxr-v2"
 
 // StoreKey derives the persistent-tier key for an instance fingerprint:
 // the schema tag joined with the content hash. Records written under a
@@ -47,6 +49,19 @@ type persistedResult struct {
 	PermPoints    int
 	Engine        string
 	Minimal       bool
+	// Cost model of the working architecture (absent for the default
+	// paper model — HasCostModel false). Persisted so a disk-tier hit
+	// reconstructs the exact objective the result was proven under;
+	// dropping it would make Result.Ops re-derive swap paths against the
+	// wrong weights.
+	HasCostModel  bool
+	CostName      string
+	CostSwapUnit  int
+	CostHUnit     int
+	CostSwapEdges []perm.Edge
+	CostSwapWs    []int
+	CostHPairs    []arch.Pair
+	CostHWs       []int
 }
 
 // EncodeResult serializes a cacheable exact result for the persistent
@@ -76,6 +91,14 @@ func EncodeResult(r *exact.Result) ([]byte, error) {
 	for i, pm := range r.Solution.Perms {
 		p.Perms[i] = []int(pm)
 	}
+	if cm := r.WorkArch.Cost(); !cm.IsPaper() {
+		p.HasCostModel = true
+		p.CostName = cm.Name()
+		p.CostSwapUnit = cm.SwapUnit()
+		p.CostHUnit = cm.HUnit()
+		p.CostSwapEdges, p.CostSwapWs = cm.SwapOverrides()
+		p.CostHPairs, p.CostHWs = cm.HOverrides()
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
 		return nil, fmt.Errorf("portfolio: encoding result: %w", err)
@@ -97,6 +120,28 @@ func DecodeResult(data []byte) (*exact.Result, error) {
 	a, err := arch.New(p.ArchName, p.ArchQubits, p.ArchPairs)
 	if err != nil {
 		return nil, fmt.Errorf("portfolio: decoding result arch: %w", err)
+	}
+	if p.HasCostModel {
+		if len(p.CostSwapEdges) != len(p.CostSwapWs) || len(p.CostHPairs) != len(p.CostHWs) {
+			return nil, fmt.Errorf("portfolio: decoded result cost-model override mismatch")
+		}
+		cm, err := arch.NewCostModel(p.CostName, p.CostSwapUnit, p.CostHUnit)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio: decoding result cost model: %w", err)
+		}
+		for i, e := range p.CostSwapEdges {
+			if err := cm.SetSwapWeight(e.A, e.B, p.CostSwapWs[i]); err != nil {
+				return nil, fmt.Errorf("portfolio: decoding result cost model: %w", err)
+			}
+		}
+		for i, pr := range p.CostHPairs {
+			if err := cm.SetHWeight(pr.Control, pr.Target, p.CostHWs[i]); err != nil {
+				return nil, fmt.Errorf("portfolio: decoding result cost model: %w", err)
+			}
+		}
+		if a, err = a.WithCostModel(cm); err != nil {
+			return nil, fmt.Errorf("portfolio: decoding result cost model: %w", err)
+		}
 	}
 	if len(p.FrameMappings) == 0 {
 		return nil, fmt.Errorf("portfolio: decoded result has no frames")

@@ -254,6 +254,18 @@ func WithSATThreads(n int) Option {
 	}
 }
 
+// WithCostModel sets the default cost model for every Map call and job
+// that adopts the instance defaults: nil (the default) keeps the paper's
+// uniform 7/4 objective, a model from NewCostModel/ParseCostModel/
+// LoadCalibration makes every method optimize the weighted objective
+// (Options.CostModel).
+func WithCostModel(cm *CostModel) Option {
+	return func(c *mapperConfig) error {
+		c.opts.CostModel = cm
+		return nil
+	}
+}
+
 // WithHeuristicRuns sets the default number of stochastic-heuristic seeds.
 func WithHeuristicRuns(n int) Option {
 	return func(c *mapperConfig) error {

@@ -271,6 +271,15 @@ type Options struct {
 	// is then ignored (the winning engine is reported in Result.Engine);
 	// heuristic methods are unaffected.
 	Portfolio bool
+	// CostModel replaces the paper's uniform 7/4 objective with a weighted
+	// one: per-edge SWAP weights and per-direction switch weights (e.g.
+	// from LoadCalibration). nil keeps the paper model — and when the
+	// architecture itself already carries a model (Architecture.Cost), that
+	// model is used; a non-nil CostModel here overrides it for this call.
+	// Every method — exact, §4.1/§4.2 restricted and heuristic — optimizes
+	// and reports Result.Cost under the effective model, and portfolio
+	// cache keys include it, so runs under different models never alias.
+	CostModel *CostModel
 }
 
 // Stats instruments one trip through the mapping pipeline: a wall-clock
@@ -376,6 +385,11 @@ type Result struct {
 	CacheTier string
 	// Stats reports per-stage pipeline timings and solver counters.
 	Stats Stats
+	// CostModel is the effective non-default cost model Cost was optimized
+	// under: Options.CostModel when given, else the model attached to the
+	// architecture. nil when the run used the paper's uniform 7/4
+	// objective (including uniform models semantically equal to it).
+	CostModel *CostModel
 	// Method and Engine echo the configuration; Runtime is wall-clock
 	// solving plus materialization time.
 	Method  Method
@@ -432,6 +446,14 @@ func (m *Mapper) runPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 		return nil, fmt.Errorf("qxmap: canceled: %w", err)
 	}
 	res := &Result{Method: opts.Method, Engine: opts.Engine}
+	if eff := opts.CostModel; eff != nil || a.Cost() != nil {
+		if eff == nil {
+			eff = a.Cost()
+		}
+		if !eff.IsPaper() {
+			res.CostModel = eff.Clone()
+		}
+	}
 
 	// Stage 1: skeleton — extract the CNOT structure (paper Def. 4) and
 	// validate the instance.
@@ -533,6 +555,12 @@ func (m *Mapper) runPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 // minimal); everything else resolves through the solver registry, with
 // Portfolio-mode memoization scoped to this instance's cache.
 func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options) (*solver.Plan, error) {
+	if opts.CostModel != nil {
+		var err error
+		if a, err = a.WithCostModel(opts.CostModel); err != nil {
+			return nil, fmt.Errorf("qxmap: cost model: %w", err)
+		}
+	}
 	if sk.Len() == 0 {
 		return &solver.Plan{
 			Initial: perm.IdentityMapping(sk.NumQubits),
