@@ -2,6 +2,7 @@ package qxmap
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -89,8 +90,16 @@ func (m *Mapper) MapBatch(ctx context.Context, jobs []Job, opts BatchOptions) []
 	return results
 }
 
-// runJob executes one job under its per-job deadline.
-func (m *Mapper) runJob(ctx context.Context, i int, job Job, timeout time.Duration) BatchResult {
+// runJob executes one job under its per-job deadline. The pipeline has its
+// own recover boundary; this one additionally shields the pool's slot
+// bookkeeping, so a panicking job yields an errored BatchResult and the
+// workers keep draining the batch.
+func (m *Mapper) runJob(ctx context.Context, i int, job Job, timeout time.Duration) (br BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			br = BatchResult{Index: i, Job: job, Err: fmt.Errorf("qxmap: job panicked: %v", r)}
+		}
+	}()
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)

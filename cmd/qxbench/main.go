@@ -57,6 +57,7 @@ func main() {
 	engine := flag.String("engine", "dp", "exact engine: dp or sat")
 	seedSAT := flag.Bool("seed-sat", false, "seed SAT descent with the DP cost")
 	portfolio := flag.Bool("portfolio", false, "race both engines per instance with heuristic seeding and a result cache (ignores -engine and -seed-sat)")
+	ladder := flag.Bool("ladder", false, "degradation ladder (-batch mode): deadline-starved jobs yield valid anytime/heuristic plans instead of errors")
 	runs := flag.Int("runs", 5, "heuristic runs per benchmark (paper: 5)")
 	names := flag.String("names", "", "comma-separated benchmark subset (default: all 25)")
 	summaryOnly := flag.Bool("summary", false, "print only the aggregate summary")
@@ -123,6 +124,7 @@ func main() {
 			method:       *batchMethod,
 			engine:       eng,
 			portfolio:    *portfolio,
+			ladder:       *ladder,
 			satBinary:    *satBinary,
 			satThreads:   *satThreads,
 			noLowerBound: noLowerBound,
@@ -171,6 +173,7 @@ type batchConfig struct {
 	method       string
 	engine       qxmap.Engine
 	portfolio    bool
+	ladder       bool
 	satBinary    bool
 	satThreads   int
 	noLowerBound bool
@@ -251,6 +254,7 @@ func runBatch(ctx context.Context, a *arch.Arch, cfg batchConfig) {
 				Method:           method,
 				Engine:           cfg.engine,
 				Portfolio:        cfg.portfolio,
+				Ladder:           cfg.ladder,
 				SATBinaryDescent: cfg.satBinary,
 				SATThreads:       cfg.satThreads,
 				SATNoLowerBound:  cfg.noLowerBound,

@@ -55,6 +55,7 @@ func main() {
 	optimize := flag.Bool("optimize", false, "run post-mapping peephole optimization")
 	initial := flag.String("initial", "", "pin the initial layout, e.g. 2,0,1 (logical j on physical value[j])")
 	portfolio := flag.Bool("portfolio", false, "race the SAT and DP engines with heuristic bound seeding and a result cache (ignores -engine)")
+	ladder := flag.Bool("ladder", false, "degrade a -timeout-starved exact solve to a valid anytime/heuristic plan instead of failing (reported in stats/JSON degradation)")
 	costModel := flag.String("cost-model", "", "cost model: paper (default 7/4) or swap=<n>,h=<n> for uniform rescaling")
 	calibration := flag.String("calibration", "", "calibration JSON file with per-edge weights or error rates (overrides -cost-model)")
 	timeout := flag.Duration("timeout", 0, "solve deadline (0 = none), e.g. 30s or 2m")
@@ -104,7 +105,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, SATBinaryDescent: *satBinary, SATThreads: *satThreads}
+	opts := qxmap.Options{Method: method, HeuristicRuns: *runs, Seed: *seed, Optimize: *optimize, Portfolio: *portfolio, Ladder: *ladder, SATBinaryDescent: *satBinary, SATThreads: *satThreads}
 	switch *lowerBound {
 	case "on":
 	case "off":
@@ -154,6 +155,13 @@ func main() {
 		c.Len(), res.TotalGates(), c.Depth(), res.Mapped.Depth(), res.Minimal, res.Runtime)
 	if res.GatesOptimizedAway > 0 {
 		fmt.Fprintf(os.Stderr, "peephole optimization removed %d gates\n", res.GatesOptimizedAway)
+	}
+	if d := res.Stats.Degradation; d != "" {
+		fmt.Fprintf(os.Stderr, "degraded: %s (deadline hit; cost is an upper bound", d)
+		if res.Stats.BoundGap > 0 {
+			fmt.Fprintf(os.Stderr, ", optimum ≥ %d", res.Cost-res.Stats.BoundGap)
+		}
+		fmt.Fprintln(os.Stderr, ")")
 	}
 	fmt.Fprintf(os.Stderr, "initial layout: %s\n", render.Mapping(res.InitialLayout))
 	fmt.Fprintf(os.Stderr, "final layout:   %s\n", render.Mapping(res.FinalLayout))

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio]
+//	qxmapd [-addr :8080] [-workers 0] [-cache 0] [-portfolio] [-ladder]
 //	       [-timeout 60s] [-max-body 8388608] [-lower-bound on|off]
 //	       [-sat-threads 4] [-cost-model paper|swap=<n>,h=<n>]
 //	       [-calibration cal.json] [-store /var/lib/qxmapd] [-store-sync]
@@ -52,10 +52,21 @@
 // per fixed window, and a batch costs one unit per job. Rejections are 429
 // with a Retry-After header. Both mechanisms default to off.
 //
-// Synchronous work is bounded by -timeout (expiry returns 504); bodies
-// beyond -max-body return 413; shutdown on SIGINT/SIGTERM is graceful: the
-// listener drains before the mapper, its async jobs and the store are
-// stopped.
+// Synchronous work is bounded by -timeout; bodies beyond -max-body return
+// 413; shutdown on SIGINT/SIGTERM is graceful: the listener drains before
+// the mapper, its async jobs and the store are stopped.
+//
+// Under -ladder (the default) a deadline-starved exact solve degrades to a
+// valid, verified plan instead of timing out: the SAT descent's best
+// incumbent when one exists (degradation "anytime", with bound_gap
+// bracketing the optimum), a heuristic plan otherwise (degradation
+// "heuristic"). Only when even that fails does the request return 504 —
+// a structured body with degradation "none" and a retry_after_hint
+// mirroring the Retry-After header, like the limiter's 429s. Every
+// response carries an X-Request-ID; a handler panic is contained to a 500
+// naming that id, counted in qxmapd_panics_total, and the process keeps
+// serving. Degraded mappings are counted per rung in
+// qxmapd_degraded_total{mode=...}.
 //
 // Example:
 //
@@ -86,6 +97,7 @@ func main() {
 	workers := flag.Int("workers", 0, "mapper concurrency bound (0 = one per core)")
 	cacheSize := flag.Int("cache", 0, "portfolio cache capacity in entries (0 = library default)")
 	portfolio := flag.Bool("portfolio", false, "enable portfolio solving by default (requests may override)")
+	ladder := flag.Bool("ladder", true, "degrade deadline-starved exact solves to valid anytime/heuristic plans (degradation field) instead of failing with 504")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request mapping deadline (0 = none); expiry returns 504")
 	maxBody := flag.Int64("max-body", 8<<20, "maximum request body size in bytes")
 	maxJobs := flag.Int("max-jobs", 1024, "async job records retained for polling (oldest finished evicted beyond this)")
@@ -128,6 +140,7 @@ func main() {
 		workers:      *workers,
 		cacheSize:    *cacheSize,
 		portfolio:    *portfolio,
+		ladder:       *ladder,
 		costModel:    cm,
 		reqTimeout:   *timeout,
 		maxBody:      *maxBody,

@@ -41,6 +41,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("qxmapd_sat_conflicts_total", "CDCL conflicts across all solves.", tot.SATConflicts, "")
 	counter("qxmapd_bound_probes_total", "Cost-bound probes across all SAT descents.", tot.BoundProbes, "")
 	counter("qxmapd_rate_limited_total", "Requests rejected with 429 by the per-tenant limiter.", s.rateLimited.Load(), "")
+	counter("qxmapd_panics_total", "Handler panics contained by the request recover boundary.", s.panics.Load(), "")
+
+	fmt.Fprintf(&b, "# HELP qxmapd_degraded_total Mappings served by a degradation-ladder rung instead of a full exact solve, by rung.\n")
+	fmt.Fprintf(&b, "# TYPE qxmapd_degraded_total counter\n")
+	fmt.Fprintf(&b, "qxmapd_degraded_total{mode=\"anytime\"} %d\n", tot.DegradedAnytime)
+	fmt.Fprintf(&b, "qxmapd_degraded_total{mode=\"heuristic\"} %d\n", tot.DegradedHeuristic)
 
 	gauge("qxmapd_queue_depth", "Async jobs waiting in the scheduler queue.", qs.Depth)
 	gauge("qxmapd_queue_capacity", "Scheduler queue capacity.", qs.Capacity)

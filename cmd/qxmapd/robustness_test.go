@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	qxmap "repro"
+)
+
+// slowQASM returns a deterministic 4-qubit circuit long enough that the
+// exact SAT engine cannot even finish encoding it within a 1ms request
+// budget, while the heuristic rung maps it comfortably — the regime the
+// 504 and ladder tests below need to provoke reliably.
+func slowQASM() string {
+	var b strings.Builder
+	b.WriteString("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\n")
+	state := uint64(9)
+	for i := 0; i < 300; i++ {
+		state = state*2862933555777941757 + 3037000493
+		c := int((state >> 33) % 4)
+		state = state*2862933555777941757 + 3037000493
+		tg := int((state >> 33) % 4)
+		if c == tg {
+			tg = (tg + 1) % 4
+		}
+		fmt.Fprintf(&b, "cx q[%d],q[%d];\n", c, tg)
+	}
+	return b.String()
+}
+
+// TestPanicContainedWith500: a handler panic must become a 500 carrying
+// the request id — in the body and the X-Request-ID header — while the
+// process keeps serving and /metrics counts the containment.
+func TestPanicContainedWith500(t *testing.T) {
+	s := newTestServer(t, serverConfig{})
+	s.mux.HandleFunc("GET /v1/boom", func(http.ResponseWriter, *http.Request) {
+		panic("chaos: handler dies")
+	})
+
+	var eb errorBody
+	resp := doJSON(t, s, "GET", "/v1/boom", nil, &eb)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(eb.Error, "chaos: handler dies") {
+		t.Errorf("500 body %q does not name the panic value", eb.Error)
+	}
+	if eb.RequestID == "" || eb.RequestID != resp.Header.Get("X-Request-ID") {
+		t.Errorf("request id: body %q, header %q — want equal and non-empty",
+			eb.RequestID, resp.Header.Get("X-Request-ID"))
+	}
+
+	// The boundary contains, it does not cripple: the next request on the
+	// same server must succeed.
+	var res qxmap.ResultJSON
+	resp = doJSON(t, s, "POST", "/v1/map", mapRequest{QASM: bellQASM, Arch: "ibmqx4"}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map after a contained panic: status %d, want 200", resp.StatusCode)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if body := w.Body.String(); !strings.Contains(body, "qxmapd_panics_total 1") {
+		t.Error("metrics do not report the contained panic")
+	}
+}
+
+// TestTimeoutStructured504: with the ladder off, a request deadline the
+// solve cannot meet must come back as the structured 504 — Retry-After
+// header, machine-readable retry_after_hint, and an explicit degradation
+// "none" so clients know no fallback plan exists.
+func TestTimeoutStructured504(t *testing.T) {
+	s := newTestServer(t, serverConfig{ladder: false})
+	var eb errorBody
+	resp := doJSON(t, s, "POST", "/v1/map", mapRequest{
+		QASM: slowQASM(), Arch: "ibmqx4", Method: "exact", Engine: "sat", TimeoutMS: 1,
+	}, &eb)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("starved exact solve: status %d (body %+v), want 504", resp.StatusCode, eb)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("504 without a Retry-After header")
+	}
+	if eb.RetryAfterHint < 1 {
+		t.Errorf("retry_after_hint = %d, want ≥ 1", eb.RetryAfterHint)
+	}
+	if eb.Degradation != "none" {
+		t.Errorf("degradation = %q, want the explicit %q", eb.Degradation, "none")
+	}
+}
+
+// TestLadderServes200Degraded: the same starved request with the ladder
+// on must be answered — a 200 whose plan is labelled with the rung that
+// produced it — and the degradation must show up in the service totals
+// and Prometheus metrics.
+func TestLadderServes200Degraded(t *testing.T) {
+	s := newTestServer(t, serverConfig{ladder: true})
+	var res qxmap.ResultJSON
+	resp := doJSON(t, s, "POST", "/v1/map", mapRequest{
+		QASM: slowQASM(), Arch: "ibmqx4", Method: "exact", Engine: "sat", TimeoutMS: 1,
+	}, &res)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ladder did not soften the starved solve: status %d", resp.StatusCode)
+	}
+	if res.Degradation == "" {
+		t.Fatal("degraded plan not labelled with its rung")
+	}
+	if res.Minimal {
+		t.Error("degraded plan claims minimality")
+	}
+	if res.Stats.Degradation != res.Degradation {
+		t.Errorf("stats degradation does not mirror the top-level field: %+v", res.Stats)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	want := fmt.Sprintf("qxmapd_degraded_total{mode=%q} 1", res.Degradation)
+	if body := w.Body.String(); !strings.Contains(body, want) {
+		t.Errorf("metrics missing %q", want)
+	}
+}

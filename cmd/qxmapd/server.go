@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -23,6 +24,11 @@ type serverConfig struct {
 	// portfolio enables portfolio solving by default (requests may still
 	// override per call).
 	portfolio bool
+	// ladder enables the degradation ladder (-ladder, default on): exact
+	// solves that hit the request deadline degrade to a valid anytime or
+	// heuristic plan (reported in the result's degradation field) instead
+	// of failing with 504.
+	ladder bool
 	// costModel, when non-nil, makes every request optimize the weighted
 	// objective instead of the paper's uniform 7/4 one (-cost-model /
 	// -calibration).
@@ -79,6 +85,11 @@ type server struct {
 	jobIDs  []string // insertion order, for oldest-finished eviction
 	nextJob atomic.Uint64
 
+	// nextReq numbers every request for the X-Request-ID header; panics
+	// counts handler panics contained by the ServeHTTP recover boundary.
+	nextReq atomic.Uint64
+	panics  atomic.Uint64
+
 	limiter     *tenantLimiter
 	rateLimited atomic.Uint64
 
@@ -97,6 +108,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		qxmap.WithWorkers(cfg.workers),
 		qxmap.WithCacheSize(cfg.cacheSize),
 		qxmap.WithPortfolio(cfg.portfolio),
+		qxmap.WithLadder(cfg.ladder),
 		qxmap.WithCostModel(cfg.costModel),
 		qxmap.WithLowerBound(!cfg.noLowerBound),
 		qxmap.WithSATThreads(cfg.satThreads),
@@ -138,7 +150,25 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
+// ServeHTTP stamps every request with an X-Request-ID and contains handler
+// panics: a panicking handler yields a 500 naming the request id (for log
+// correlation) while the process keeps serving. The mapping pipeline has
+// its own recover boundaries, so this one only catches what slips past
+// them — if the handler already streamed part of a response the 500 body
+// may append to it, which is the best any post-hoc boundary can do.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("req-%d", s.nextReq.Add(1))
+	w.Header().Set("X-Request-ID", id)
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			log.Printf("qxmapd: %s: panic serving %s %s: %v", id, r.Method, r.URL.Path, rec)
+			s.writeJSON(w, http.StatusInternalServerError, errorBody{
+				Error:     fmt.Sprintf("internal error: the request handler panicked (%v)", rec),
+				RequestID: id,
+			})
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -206,9 +236,15 @@ type jobStatus struct {
 	Error    string            `json:"error,omitempty"`
 }
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. 504s carry the
+// degradation fields ("none" means no ladder rung could soften the
+// timeout) and a retry hint mirroring the Retry-After header; 500s from
+// the panic boundary carry the request id.
 type errorBody struct {
-	Error string `json:"error"`
+	Error          string `json:"error"`
+	RequestID      string `json:"request_id,omitempty"`
+	Degradation    string `json:"degradation,omitempty"`
+	RetryAfterHint int64  `json:"retry_after_hint,omitempty"`
 }
 
 func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -360,6 +396,37 @@ func mapStatus(err error) int {
 	}
 }
 
+// retryAfterSecs suggests when a timed-out request is worth retrying: half
+// the server's request budget, clamped to [1s, 60s]. Whole seconds because
+// the Retry-After header cannot express fractions.
+func (s *server) retryAfterSecs() int64 {
+	secs := int64(s.cfg.reqTimeout / (2 * time.Second))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeMapError renders a synchronous mapping failure. Timeouts become the
+// structured 504 shape — degradation "none" (with the ladder on, a timeout
+// reaching this path means even the heuristic rung produced nothing) plus
+// a Retry-After header mirrored in retry_after_hint — so clients never
+// have to parse error prose to schedule a retry.
+func (s *server) writeMapError(w http.ResponseWriter, err error) {
+	status := mapStatus(err)
+	body := errorBody{Error: err.Error()}
+	if status == http.StatusGatewayTimeout {
+		secs := s.retryAfterSecs()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		body.Degradation = "none"
+		body.RetryAfterHint = secs
+	}
+	s.writeJSON(w, status, body)
+}
+
 func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	var req mapRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
@@ -414,7 +481,7 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.mapper.MapWith(ctx, job.Circuit, job.Arch, job.Opts)
 	if err != nil {
-		s.writeError(w, mapStatus(err), err)
+		s.writeMapError(w, err)
 		return
 	}
 	body, err := res.JSON(req.IncludeQASM == nil || *req.IncludeQASM)
@@ -640,15 +707,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime_ns": time.Since(s.started).Nanoseconds(),
 		"cache":     cache,
 		"totals": map[string]any{
-			"maps":          tot.Maps,
-			"errors":        tot.Errors,
-			"memory_hits":   tot.MemoryHits,
-			"disk_hits":     tot.DiskHits,
-			"sat_solves":    tot.SATSolves,
-			"sat_encodes":   tot.SATEncodes,
-			"sat_conflicts": tot.SATConflicts,
-			"bound_probes":  tot.BoundProbes,
-			"rate_limited":  s.rateLimited.Load(),
+			"maps":               tot.Maps,
+			"errors":             tot.Errors,
+			"memory_hits":        tot.MemoryHits,
+			"disk_hits":          tot.DiskHits,
+			"sat_solves":         tot.SATSolves,
+			"sat_encodes":        tot.SATEncodes,
+			"sat_conflicts":      tot.SATConflicts,
+			"bound_probes":       tot.BoundProbes,
+			"rate_limited":       s.rateLimited.Load(),
+			"degraded_anytime":   tot.DegradedAnytime,
+			"degraded_heuristic": tot.DegradedHeuristic,
+			"panics":             s.panics.Load(),
 		},
 		"scheduler": map[string]any{
 			"queue_depth":    qs.Depth,

@@ -33,6 +33,13 @@ type StatsJSON struct {
 	OrbitHits             int   `json:"orbit_hits"`
 	SATThreads            int   `json:"sat_threads"`
 	SharedClauses         int64 `json:"shared_clauses"`
+	// Degradation and BoundGap report graceful degradation
+	// (Options.Ladder): the rung that produced the plan ("anytime" or
+	// "heuristic") and, for anytime plans, the bracket on the optimum
+	// (it lies in [cost−bound_gap, cost]). Omitted on full solves, so
+	// happy-path encodings are byte-identical to earlier versions.
+	Degradation string `json:"degradation,omitempty"`
+	BoundGap    int    `json:"bound_gap,omitempty"`
 }
 
 // JSON returns the stable wire encoding of the stats.
@@ -58,6 +65,8 @@ func (s Stats) JSON() StatsJSON {
 		OrbitHits:             s.OrbitHits,
 		SATThreads:            s.SATThreads,
 		SharedClauses:         s.SharedClauses,
+		Degradation:           s.Degradation,
+		BoundGap:              s.BoundGap,
 	}
 }
 
@@ -76,13 +85,17 @@ type CostModelJSON struct {
 
 // ResultJSON is the wire encoding of a Result.
 type ResultJSON struct {
-	Method             string `json:"method"`
-	Engine             string `json:"engine"`
-	Cost               int    `json:"cost"`
-	Swaps              int    `json:"swaps"`
-	Switches           int    `json:"switches"`
-	PermPoints         int    `json:"perm_points"`
-	Minimal            bool   `json:"minimal"`
+	Method     string `json:"method"`
+	Engine     string `json:"engine"`
+	Cost       int    `json:"cost"`
+	Swaps      int    `json:"swaps"`
+	Switches   int    `json:"switches"`
+	PermPoints int    `json:"perm_points"`
+	Minimal    bool   `json:"minimal"`
+	// Degradation mirrors Stats.Degradation at the top level so clients
+	// checking "was this plan degraded?" need not dig into stats; omitted
+	// (with minimal reporting the real guarantee) on full solves.
+	Degradation        string `json:"degradation,omitempty"`
 	CacheHit           bool   `json:"cache_hit"`
 	CacheTier          string `json:"cache_tier"`
 	Gates              int    `json:"gates"`
@@ -111,6 +124,7 @@ func (r *Result) JSON(includeQASM bool) (*ResultJSON, error) {
 		Switches:           r.Switches,
 		PermPoints:         r.PermPoints,
 		Minimal:            r.Minimal,
+		Degradation:        r.Stats.Degradation,
 		CacheHit:           r.CacheHit,
 		CacheTier:          r.CacheTier,
 		GatesOptimizedAway: r.GatesOptimizedAway,

@@ -2,6 +2,7 @@ package exact
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -57,6 +58,16 @@ type SATOptions struct {
 	// NoLowerBound it reproduces the pre-core bound-per-probe descent;
 	// kept as an escape hatch and for regression benchmarking.
 	NoCoreJumps bool
+	// Anytime changes the resource-exhaustion failure mode of the descent:
+	// when the context deadline expires (or the conflict budget runs dry)
+	// after at least one satisfying model has been found, the run returns
+	// that incumbent as a valid non-minimal Result — Degraded true,
+	// BoundGap bracketing the unproven range — instead of an error.
+	// Without an incumbent in hand the usual error is still returned, and
+	// a caller-initiated cancellation (context.Canceled) always errors:
+	// anytime is for deadlines, not for aborts. Off by default, so
+	// deadline expiry keeps its historical error semantics.
+	Anytime bool
 	// Threads, when > 1, runs every solver call as a clause-sharing
 	// portfolio of that many diversified goroutine workers over the one
 	// incremental encoding (sat.Pool), capped by the ThreadBudget so that
@@ -150,8 +161,17 @@ type boundGuards interface {
 // (Result.BoundJumps counts these multi-step advances).
 //
 // The context cancels the run: the solver notices within a few hundred
-// conflicts and SolveSAT returns ctx.Err() (wrapped).
-func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result, error) {
+// conflicts and SolveSAT returns ctx.Err() (wrapped) — unless
+// SATOptions.Anytime is set and an incumbent model exists, in which case a
+// deadline expiry returns that incumbent as a Degraded best-effort Result.
+func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (res *Result, err error) {
+	// A solver or encoder bug must fail this one solve, not whatever
+	// goroutine pool the caller runs it on: panics become errors here.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("exact: SAT engine panic: %v", r)
+		}
+	}()
 	start := time.Now()
 	lb := opts.LowerBound
 	if lb <= 0 {
@@ -191,7 +211,7 @@ func SolveSAT(ctx context.Context, p encoder.Problem, opts SATOptions) (*Result,
 		// master, so enc.Decode and the guard bookkeeping stay untouched.
 		prober = sat.NewPool(solver, threads)
 	}
-	res := &Result{
+	res = &Result{
 		WorkArch:   p.Arch,
 		PermPoints: enc.NumPermPoints(),
 		Engine:     EngineSAT.String(),
@@ -244,6 +264,14 @@ func startAssumptions(enc boundGuards, opts SATOptions) []sat.Lit {
 // set.
 func relaxable(solver satProber, opts SATOptions, assumed, haveModel bool) bool {
 	return assumed && !haveModel && !opts.StrictBound && solver.UnsatFromAssumptions()
+}
+
+// anytimeReturn reports whether a descent cut off by its context should hand
+// back the incumbent instead of erroring: anytime mode is on, a model is in
+// hand, and the context died of its deadline. A caller-initiated cancel
+// (context.Canceled) always errors — anytime softens deadlines, not aborts.
+func anytimeReturn(opts SATOptions, haveModel bool, ctxErr error) bool {
+	return opts.Anytime && haveModel && errors.Is(ctxErr, context.DeadlineExceeded)
 }
 
 // probeAssumptions builds the guard set for probing `bound` given `lo`, the
@@ -310,12 +338,17 @@ func minimizeLinear(ctx context.Context, solver satProber, enc *encoder.Encoding
 		switch status {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("exact: solve canceled: %w", err)
+				if !anytimeReturn(opts, best != nil, err) {
+					return nil, fmt.Errorf("exact: solve canceled: %w", err)
+				}
+				res.markAnytime(best.Cost, lo)
+				return best, nil // deadline hit with an incumbent: anytime return
 			}
 			if best == nil {
-				return nil, errBudgetExhausted
+				return nil, ErrBudgetExhausted
 			}
-			return best, nil // budget exhausted: best-effort, Minimal stays false
+			res.markAnytime(best.Cost, lo)
+			return best, nil // budget exhausted: best-effort, proof truncated
 		case sat.Unsat:
 			if relaxable(solver, opts, len(assume) > 0, best != nil) {
 				// The caller's StartBound undercut the true optimum; drop
@@ -381,10 +414,12 @@ func minimizeBinary(ctx context.Context, solver satProber, enc *encoder.Encoding
 		status = solver.SolveContext(ctx)
 	}
 	if status == sat.Unknown {
+		// No model exists yet at this point, so there is nothing for
+		// anytime mode to salvage: both exhaustion kinds are errors.
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("exact: solve canceled: %w", err)
 		}
-		return nil, errBudgetExhausted
+		return nil, ErrBudgetExhausted
 	}
 	if status != sat.Sat {
 		res.Minimal = true // the instance (or strict bound) is proven UNSAT
@@ -403,9 +438,12 @@ func minimizeBinary(ctx context.Context, solver satProber, enc *encoder.Encoding
 		switch solver.SolveContext(ctx, assume...) {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("exact: solve canceled: %w", err)
+				if !anytimeReturn(opts, best != nil, err) {
+					return nil, fmt.Errorf("exact: solve canceled: %w", err)
+				}
 			}
-			return best, nil // budget exhausted: best-effort, Minimal stays false
+			res.markAnytime(best.Cost, lo)
+			return best, nil // exhausted mid-search: best-effort, proof truncated
 		case sat.Unsat:
 			refuted, jumped := coreRefutedBound(solver, enc, assume)
 			if jumped {

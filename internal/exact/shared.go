@@ -51,7 +51,14 @@ type subsetInstance struct {
 // Parallel no longer multiplies subset encodes: it widens the clause-sharing
 // portfolio (sat.Pool) over the one instance, i.e. bound-probe parallelism,
 // clamped into the ThreadBudget.
-func solveSubsetsShared(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {
+func solveSubsetsShared(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (out *Result, err error) {
+	// One recover boundary for the whole shared fan-out: an encoder or
+	// descent bug fails this solve with an error instead of propagating.
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("exact: shared subset fan-out panic: %v", r)
+		}
+	}()
 	start := time.Now()
 	n := sk.NumQubits
 	subsets := a.ConnectedSubsets(n)
@@ -285,12 +292,17 @@ func (d *sharedDescent) minimizeLinear(ctx context.Context) (*encoder.Solution, 
 		switch status {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
-				return nil, -1, fmt.Errorf("exact: solve canceled: %w", err)
+				if !anytimeReturn(d.opts, best != nil, err) {
+					return nil, -1, fmt.Errorf("exact: solve canceled: %w", err)
+				}
+				d.res.markAnytime(best.Cost, lo)
+				return best, bestIdx, nil // deadline hit: best incumbent across the family
 			}
 			if best == nil {
-				return nil, -1, errBudgetExhausted
+				return nil, -1, ErrBudgetExhausted
 			}
-			return best, bestIdx, nil // budget exhausted: best-effort, Minimal stays false
+			d.res.markAnytime(best.Cost, lo)
+			return best, bestIdx, nil // budget exhausted: best-effort, proof truncated
 		case sat.Unsat:
 			if relaxable(d.prober, d.opts, len(bounds) > 0, best != nil) {
 				// The caller's StartBound undercut the family optimum; drop
@@ -353,10 +365,11 @@ func (d *sharedDescent) minimizeBinary(ctx context.Context) (*encoder.Solution, 
 		status = d.prober.SolveContext(ctx, d.familyGuard(pending))
 	}
 	if status == sat.Unknown {
+		// No model exists yet: nothing for anytime mode to salvage.
 		if err := ctx.Err(); err != nil {
 			return nil, -1, fmt.Errorf("exact: solve canceled: %w", err)
 		}
-		return nil, -1, errBudgetExhausted
+		return nil, -1, ErrBudgetExhausted
 	}
 	if status != sat.Sat {
 		d.res.Minimal = true // no subset admits any mapping (or any under the strict bound)
@@ -384,9 +397,12 @@ func (d *sharedDescent) minimizeBinary(ctx context.Context) (*encoder.Solution, 
 		switch d.prober.SolveContext(ctx, assume...) {
 		case sat.Unknown:
 			if err := ctx.Err(); err != nil {
-				return nil, -1, fmt.Errorf("exact: solve canceled: %w", err)
+				if !anytimeReturn(d.opts, best != nil, err) {
+					return nil, -1, fmt.Errorf("exact: solve canceled: %w", err)
+				}
 			}
-			return best, bestIdx, nil // budget exhausted: best-effort
+			d.res.markAnytime(best.Cost, lo)
+			return best, bestIdx, nil // exhausted mid-search: best-effort
 		case sat.Unsat:
 			if len(pending) > 1 {
 				d.res.CoreFamilyRefutations++

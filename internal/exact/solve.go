@@ -21,9 +21,11 @@ import (
 // true optimum. Test with errors.Is.
 var ErrUnsatisfiable = errors.New("no valid mapping exists")
 
-// errBudgetExhausted marks a SAT run whose conflict budget ran out before
-// any model was found — there is no best-effort result to return.
-var errBudgetExhausted = errors.New("exact: conflict budget exhausted before any mapping was found")
+// ErrBudgetExhausted marks a SAT run whose conflict budget ran out before
+// any model was found — there is no best-effort result to return. Test with
+// errors.Is; the portfolio's degradation ladder keys its heuristic fallback
+// on it (alongside context.DeadlineExceeded).
+var ErrBudgetExhausted = errors.New("exact: conflict budget exhausted before any mapping was found")
 
 // Engine selects the reasoning backend.
 type Engine int
@@ -182,7 +184,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 				// at all); other subsets may still work.
 				return nil
 			}
-			if errors.Is(err, errBudgetExhausted) {
+			if errors.Is(err, ErrBudgetExhausted) {
 				// The budget ran out before this subset produced any
 				// model. It might still have beaten the incumbent, so the
 				// minimality proof is voided — but an incumbent in hand
@@ -223,7 +225,7 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 				if runCtx.Err() != nil {
 					continue // drain after cancellation
 				}
-				if err := solveSubset(i); err != nil {
+				if err := safeSolveSubset(solveSubset, i); err != nil {
 					errs[i] = err
 					cancel() // a real failure aborts the remaining subsets
 				}
@@ -236,17 +238,6 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	close(idx)
 	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("exact: solve canceled: %w", err)
-	}
-	for _, err := range errs {
-		// Siblings cancelled by another subset's failure report context
-		// errors; the originating error is the one to surface.
-		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return nil, err
-		}
-	}
-
 	var win *Result
 	minimal := true
 	for _, r := range results {
@@ -258,11 +249,30 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 			win = r
 		}
 	}
+
+	if err := ctx.Err(); err != nil {
+		// The family's deadline expired mid-fan-out. A subset that already
+		// produced an incumbent makes this a best-effort aggregation, not a
+		// failure — exhaustion on one subset must never discard another's
+		// valid mapping (anytime mode only; historically this erred).
+		if !anytimeReturn(opts.SAT, win != nil, err) {
+			return nil, fmt.Errorf("exact: solve canceled: %w", err)
+		}
+		unproven.Store(true)
+	}
+	for _, err := range errs {
+		// Siblings cancelled by another subset's failure report context
+		// errors; the originating error is the one to surface.
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+	}
+
 	if win == nil {
 		if unproven.Load() {
 			// Every subset either had no mapping or hit the budget; a
 			// budget starvation must not masquerade as unsatisfiability.
-			return nil, errBudgetExhausted
+			return nil, ErrBudgetExhausted
 		}
 		return nil, fmt.Errorf("exact: %w on any connected %d-subset of %s", ErrUnsatisfiable, sk.NumQubits, a)
 	}
@@ -280,8 +290,26 @@ func solveSubsets(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []
 	win.SubsetsPruned = int(subsetsPruned.Load())
 	win.OrbitHits = orbitHits
 	win.Minimal = win.Cost == 0 || (minimal && !unproven.Load())
+	if !win.Minimal && unproven.Load() {
+		// Exhaustion elsewhere in the family: the winner's mapping is valid,
+		// but an unattempted subset could in principle have been cheaper, so
+		// only the trivial gap is known.
+		win.markAnytime(win.Cost, -1)
+	}
 	win.Runtime = time.Since(start)
 	return win, nil
+}
+
+// safeSolveSubset shields a fan-out worker lane from a panicking engine:
+// the panic becomes that subset's error (aborting the family like any other
+// real failure) instead of killing the worker goroutine and the process.
+func safeSolveSubset(solve func(int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exact: subset %d worker panic: %v", i, r)
+		}
+	}()
+	return solve(i)
 }
 
 func solveOne(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, pb []bool, opts Options) (*Result, error) {

@@ -1,0 +1,140 @@
+// Package faultinject provides named fault-injection points for chaos
+// testing. Production code calls Hit at I/O and concurrency boundaries;
+// the call is a single atomic load returning nil until a test activates
+// a Plan, so the hooks cost nothing in normal operation and there is no
+// way to switch them on from configuration or the environment.
+//
+// A Plan maps point names to the fault to inject there: a returned
+// error (the caller treats it like a transient failure from the real
+// operation), an added latency, or a panic (exercising recover
+// boundaries). Schedules are deterministic: a Point fires on every
+// Every-th visit (counted per point, starting at the Every-th) up to
+// Limit firings, and probabilistic schedules draw from a rand.Rand
+// seeded by Activate, so a failing chaos run reproduces from its seed.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Point describes the fault injected at one named site. Exactly one of
+// Err and PanicMsg should be set; Delay may accompany either or stand
+// alone as pure latency injection.
+type Point struct {
+	// Err is returned from Hit when the point fires. Callers treat it
+	// as a transient failure of the guarded operation.
+	Err error
+	// PanicMsg, when non-empty, makes Hit panic with this message when
+	// the point fires (after Err is found nil).
+	PanicMsg string
+	// Delay is slept before Hit returns whenever the point fires.
+	Delay time.Duration
+	// Every fires the point on every n-th visit (1 or 0 = every visit).
+	Every int
+	// Prob fires the point on each visit with this probability instead
+	// of deterministically; draws come from the Activate seed. Zero
+	// means the Every schedule applies unconditionally.
+	Prob float64
+	// Limit stops the point after this many firings (0 = unlimited).
+	Limit int
+}
+
+// Plan maps point names to their injected faults.
+type Plan map[string]Point
+
+type state struct {
+	plan Plan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	visits map[string]int
+	fired  map[string]int
+}
+
+var active atomic.Pointer[state]
+
+// Activate installs plan for the whole process and returns the function
+// that removes it. Only tests should call Activate; overlapping
+// activations are a test bug and panic. The seed drives every
+// probabilistic schedule in the plan.
+func Activate(seed int64, plan Plan) (deactivate func()) {
+	st := &state{
+		plan:   plan,
+		rng:    rand.New(rand.NewSource(seed)),
+		visits: make(map[string]int),
+		fired:  make(map[string]int),
+	}
+	if !active.CompareAndSwap(nil, st) {
+		panic("faultinject: Activate while another plan is active")
+	}
+	return func() { active.CompareAndSwap(st, nil) }
+}
+
+// Enabled reports whether any plan is currently active.
+func Enabled() bool { return active.Load() != nil }
+
+// Hit consults the active plan for the named point. With no active plan
+// (the production case) it returns nil after one atomic load. When the
+// point's schedule fires, Hit sleeps the configured Delay, then returns
+// the configured error or panics with the configured message.
+func Hit(point string) error {
+	st := active.Load()
+	if st == nil {
+		return nil
+	}
+	return st.hit(point)
+}
+
+// Fired reports how many times the named point has fired under the
+// active plan (0 when no plan is active).
+func Fired(point string) int {
+	st := active.Load()
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.fired[point]
+}
+
+func (st *state) hit(point string) error {
+	p, ok := st.plan[point]
+	if !ok {
+		return nil
+	}
+
+	st.mu.Lock()
+	st.visits[point]++
+	fire := true
+	if every := p.Every; every > 1 {
+		fire = st.visits[point]%every == 0
+	}
+	if fire && p.Prob > 0 {
+		fire = st.rng.Float64() < p.Prob
+	}
+	if fire && p.Limit > 0 && st.fired[point] >= p.Limit {
+		fire = false
+	}
+	if fire {
+		st.fired[point]++
+	}
+	st.mu.Unlock()
+
+	if !fire {
+		return nil
+	}
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	if p.Err != nil {
+		return p.Err
+	}
+	if p.PanicMsg != "" {
+		panic(fmt.Sprintf("faultinject: %s: %s", point, p.PanicMsg))
+	}
+	return nil
+}

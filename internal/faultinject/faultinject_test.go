@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no plan active, Enabled() = true")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("Hit without a plan = %v", err)
+	}
+	if got := Fired("anything"); got != 0 {
+		t.Fatalf("Fired without a plan = %d", got)
+	}
+}
+
+func TestErrorEverySchedule(t *testing.T) {
+	boom := errors.New("boom")
+	off := Activate(1, Plan{"store.get": {Err: boom, Every: 3}})
+	defer off()
+
+	var errs int
+	for i := 0; i < 9; i++ {
+		if err := Hit("store.get"); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("Hit = %v, want boom", err)
+			}
+			errs++
+		}
+		if err := Hit("other.point"); err != nil {
+			t.Fatalf("unplanned point fired: %v", err)
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("Every:3 over 9 visits fired %d times, want 3", errs)
+	}
+	if got := Fired("store.get"); got != 3 {
+		t.Fatalf("Fired = %d, want 3", got)
+	}
+}
+
+func TestLimitStopsFiring(t *testing.T) {
+	boom := errors.New("boom")
+	off := Activate(1, Plan{"p": {Err: boom, Limit: 2}})
+	defer off()
+
+	var errs int
+	for i := 0; i < 10; i++ {
+		if Hit("p") != nil {
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("Limit:2 fired %d times", errs)
+	}
+}
+
+func TestPanicPoint(t *testing.T) {
+	off := Activate(1, Plan{"pool.worker": {PanicMsg: "injected crash"}})
+	defer off()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Hit on a panic point did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "injected crash") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	Hit("pool.worker")
+}
+
+func TestDelay(t *testing.T) {
+	off := Activate(1, Plan{"slow": {Delay: 20 * time.Millisecond}})
+	defer off()
+
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("pure-latency point returned error: %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("Hit returned after %v, want >= 20ms", d)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []bool {
+		off := Activate(seed, Plan{"p": {Err: errors.New("x"), Prob: 0.5}})
+		defer off()
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Hit("p") != nil
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at visit %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules (suspicious)")
+	}
+}
+
+func TestOverlappingActivatePanics(t *testing.T) {
+	off := Activate(1, Plan{})
+	defer off()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nested Activate did not panic")
+		}
+	}()
+	Activate(2, Plan{})
+}
+
+func TestDeactivateRestoresNil(t *testing.T) {
+	off := Activate(1, Plan{"p": {Err: errors.New("x")}})
+	off()
+	if Enabled() {
+		t.Fatal("plan still active after deactivate")
+	}
+	if err := Hit("p"); err != nil {
+		t.Fatalf("Hit after deactivate = %v", err)
+	}
+	off() // double-deactivate must be harmless
+}

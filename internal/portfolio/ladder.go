@@ -1,0 +1,66 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/exact"
+	"repro/internal/heuristic"
+	"repro/internal/perm"
+)
+
+// Degradation rung names, reported through solver.Plan.Degradation,
+// qxmap.Stats.Degradation and the degradation wire field.
+const (
+	// DegradationAnytime marks a valid mapping whose minimality proof was
+	// truncated by a deadline or conflict budget: the cost is an upper
+	// bound on the optimum, bracketed by exact.Result.BoundGap.
+	DegradationAnytime = "anytime"
+	// DegradationHeuristic marks a plan from the ladder's last rung: the
+	// exact engines produced no model at all before exhaustion, so a
+	// heuristic mapper built one. Valid, but with no optimality bracket.
+	DegradationHeuristic = "heuristic"
+)
+
+// heuristicRungTimeout caps the last rung's detached run: by the time the
+// ladder reaches it the caller's deadline has usually already expired, so
+// the fallback gets its own short budget rather than none. A variable so
+// tests can shrink it.
+var heuristicRungTimeout = 2 * time.Second
+
+// Exhausted reports whether err is a resource-exhaustion failure the
+// degradation ladder may soften: a context deadline or a SAT conflict
+// budget running dry. Caller-initiated cancellation and genuine failures
+// (unsatisfiable instance, encode error) are never softened.
+func Exhausted(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, exact.ErrBudgetExhausted)
+}
+
+// HeuristicFallback is the ladder's last rung: a deterministic A* plan,
+// falling back to the stochastic mapper when A* cannot route the instance,
+// priced under the architecture's active cost model (both heuristics have
+// been cost-model-aware since the weighted-objective work). It runs on a
+// short deadline detached from the caller's context — which has typically
+// already expired when this rung is reached — so the caller still gets a
+// valid answer instead of a second deadline error. The result carries no
+// optimality guarantee of any kind.
+func HeuristicFallback(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, seed int64, initial []int) (*heuristic.Result, error) {
+	hctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), heuristicRungTimeout)
+	defer cancel()
+	var pin perm.Mapping
+	if initial != nil {
+		pin = perm.Mapping(initial)
+	}
+	h, aerr := heuristic.MapAStar(hctx, sk, a, heuristic.AStarOptions{Initial: pin})
+	if aerr == nil {
+		return h, nil
+	}
+	h, serr := heuristic.MapBest(hctx, sk, a, 2, heuristic.Options{Seed: seed, Initial: pin})
+	if serr == nil {
+		return h, nil
+	}
+	return nil, errors.Join(aerr, serr)
+}

@@ -61,6 +61,18 @@ type Options struct {
 	// disk across process restarts. Subject to the same cacheability rule
 	// as the Cache.
 	Store ResultStore
+	// Ladder enables the deadline-aware degradation ladder. Rung 1 is the
+	// normal exact race. Rung 2 is the anytime incumbent: the SAT descent
+	// runs with exact.SATOptions.Anytime, so a deadline that expires after
+	// a model was found returns that model as a valid non-minimal result
+	// (Result.Degradation "anytime"). Rung 3, when even that fails on a
+	// deadline or conflict-budget exhaustion, is a heuristic plan — A*
+	// first, the stochastic mapper as backup — priced under the
+	// architecture's active cost model (Result.Degradation "heuristic",
+	// Result.Heuristic set, Result.Result nil). With generous deadlines
+	// the ladder never engages and results are bit-identical to a run
+	// without it. Degraded results are never written to the caches.
+	Ladder bool
 }
 
 // Result is the outcome of a portfolio Solve.
@@ -68,8 +80,17 @@ type Result struct {
 	// Result is the winning engine's solution (shared with the cache when
 	// caching is enabled; treat as immutable).
 	*exact.Result
-	// Winner names the source of the result: "sat", "dp" or "cache".
+	// Winner names the source of the result: "sat", "dp", "cache" or
+	// "heuristic" (the ladder's last rung).
 	Winner string
+	// Degradation names the ladder rung that produced the result: "" for
+	// a full exact solve or cache hit, DegradationAnytime for a truncated
+	// descent's incumbent, DegradationHeuristic for the heuristic
+	// fallback.
+	Degradation string
+	// Heuristic is the fallback plan when Degradation is
+	// DegradationHeuristic; Result is nil in that case (and only then).
+	Heuristic *heuristic.Result
 	// CacheHit reports whether the result was served from the cache;
 	// Tier names the serving tier (TierMemory or TierDisk, "" on a solve).
 	CacheHit bool
@@ -104,6 +125,12 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 		return nil, fmt.Errorf("portfolio: solve canceled: %w", err)
 	}
 
+	if opts.Ladder {
+		// Rung 2 of the ladder lives inside the SAT descent: keep the
+		// incumbent on deadline expiry instead of erroring.
+		opts.Exact.SAT.Anytime = true
+	}
+
 	// Conflict-budgeted runs may return non-minimal best-effort results,
 	// which must never be memoized as if they were the instance's optimum.
 	tiers := Tiered{Mem: opts.Cache, Disk: opts.Store}
@@ -133,17 +160,38 @@ func Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options
 
 	winner, err := race(ctx, sk, a, opts, bound)
 	if err != nil {
+		if opts.Ladder && Exhausted(err) {
+			if h, herr := HeuristicFallback(ctx, sk, a, opts.Seed, opts.Exact.InitialMapping); herr == nil {
+				return &Result{
+					Winner:      "heuristic",
+					Degradation: DegradationHeuristic,
+					Heuristic:   h,
+					UpperBound:  bound,
+					Runtime:     time.Since(start),
+				}, nil
+			}
+			// No rung left; surface the exhaustion itself, not the
+			// fallback's failure — the caller retries against the former.
+		}
 		return nil, err
 	}
-	if cacheable {
+	// Degraded (anytime) results are valid but non-minimal: serve them,
+	// never memoize them — a later generous run must not read a truncated
+	// cost back as the optimum.
+	degradation := ""
+	if winner.res.Degraded {
+		degradation = DegradationAnytime
+	}
+	if cacheable && !winner.res.Degraded {
 		tiers.Store(key, winner.res)
 	}
 	cp := *winner.res
 	return &Result{
-		Result:     &cp,
-		Winner:     winner.engine.String(),
-		UpperBound: bound,
-		Runtime:    time.Since(start),
+		Result:      &cp,
+		Winner:      winner.engine.String(),
+		Degradation: degradation,
+		UpperBound:  bound,
+		Runtime:     time.Since(start),
 	}, nil
 }
 
@@ -164,6 +212,14 @@ func race(ctx context.Context, sk *circuit.Skeleton, a *arch.Arch, opts Options,
 	ch := make(chan attempt, len(engines))
 	for _, eng := range engines {
 		go func(eng exact.Engine) {
+			// The exact layer has its own recover boundaries, but this
+			// goroutine must survive whatever slips past them: a panicking
+			// engine is a lost race entry, not a dead process.
+			defer func() {
+				if r := recover(); r != nil {
+					ch <- attempt{err: fmt.Errorf("engine panic: %v", r), engine: eng}
+				}
+			}()
 			ch <- runEngine(raceCtx, sk, a, opts, eng, bound)
 		}(eng)
 	}

@@ -1,8 +1,38 @@
 package portfolio
 
 import (
+	"time"
+
 	"repro/internal/exact"
 )
+
+// Transient persistent-tier failures are retried with exponential backoff
+// before Lookup reads them as a miss or Store drops the write: disk I/O
+// under pressure (or an injected chaos fault) often clears within
+// milliseconds, and a retry is far cheaper than re-solving the instance.
+// Corruption is NOT transient — a record that reads but fails CRC or
+// decode stays a miss with no retry, since rereading corrupt bytes cannot
+// help. Package variables rather than constants so chaos tests can shrink
+// the waits.
+var (
+	storeAttempts  = 3
+	storeRetryBase = 2 * time.Millisecond
+)
+
+// retryStore runs op up to storeAttempts times, sleeping storeRetryBase,
+// then twice that, … between attempts, and returns the last error.
+func retryStore(op func() error) error {
+	var err error
+	for a := 0; a < storeAttempts; a++ {
+		if a > 0 {
+			time.Sleep(storeRetryBase << (a - 1))
+		}
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
 
 // Cache tier names, reported up the stack (solver.Plan.CacheTier,
 // qxmap.Stats.CacheTier, the cache_tier wire field).
@@ -37,7 +67,9 @@ type Tiered struct {
 // result, the tier that served it (TierMemory or TierDisk) and whether it
 // hit. A disk hit is decoded, validated and promoted into the memory tier.
 // Disk errors — I/O failures, schema-stale bytes, decode violations — are
-// misses: the caller re-solves and overwrites the record.
+// misses: the caller re-solves and overwrites the record. Transient I/O
+// errors get storeAttempts tries with backoff before the miss; corrupt
+// bytes are never retried.
 func (t Tiered) Lookup(fp string) (*exact.Result, string, bool) {
 	if t.Mem != nil {
 		if res, ok := t.Mem.Get(fp); ok {
@@ -47,7 +79,15 @@ func (t Tiered) Lookup(fp string) (*exact.Result, string, bool) {
 	if t.Disk == nil {
 		return nil, "", false
 	}
-	data, ok, err := t.Disk.Get(StoreKey(fp))
+	var (
+		data []byte
+		ok   bool
+	)
+	err := retryStore(func() error {
+		var e error
+		data, ok, e = t.Disk.Get(StoreKey(fp))
+		return e
+	})
 	if err != nil || !ok {
 		return nil, "", false
 	}
@@ -63,8 +103,8 @@ func (t Tiered) Lookup(fp string) (*exact.Result, string, bool) {
 
 // Store writes the result through both tiers under the fingerprint. The
 // persistent write is best-effort: a full disk must not fail a solve that
-// already succeeded, so errors are dropped and the record is simply
-// re-attempted on the next solve of the same instance.
+// already succeeded, so errors are dropped (after bounded retries) and the
+// record is simply re-attempted on the next solve of the same instance.
 func (t Tiered) Store(fp string, res *exact.Result) {
 	if t.Mem != nil {
 		t.Mem.Put(fp, res)
@@ -76,7 +116,7 @@ func (t Tiered) Store(fp string, res *exact.Result) {
 	if err != nil {
 		return
 	}
-	_ = t.Disk.Put(StoreKey(fp), data)
+	_ = retryStore(func() error { return t.Disk.Put(StoreKey(fp), data) })
 }
 
 // Enabled reports whether any tier is configured.

@@ -2,7 +2,11 @@ package sat
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // inboxCap bounds each worker's import channel. Exports are non-blocking:
@@ -40,6 +44,14 @@ type Pool struct {
 	// problem-clause list and level-0 trail each clone has replayed.
 	syncedClauses []int
 	syncedUnits   []int
+
+	// dead marks clones that panicked mid-solve: their internal state is
+	// untrusted, so they are excluded from every future solve and sync and
+	// the portfolio continues on the survivors. dead[0] is never set — a
+	// master panic poisons the whole pool and is repropagated instead.
+	dead []bool
+	// panicked counts worker panics contained over the pool's lifetime.
+	panicked atomic.Uint64
 }
 
 // NewPool wraps master in a portfolio of threads workers (threads ≥ 1;
@@ -93,6 +105,7 @@ func (p *Pool) start() {
 	}
 	p.workers = make([]*Solver, p.threads)
 	p.inboxes = make([]chan []Lit, p.threads)
+	p.dead = make([]bool, p.threads)
 	p.syncedClauses = make([]int, p.threads)
 	p.syncedUnits = make([]int, p.threads)
 	p.workers[0] = p.master
@@ -155,6 +168,9 @@ func (s *Solver) rootUnits() int {
 func (p *Pool) sync() {
 	m := p.master
 	for i := 1; i < len(p.workers); i++ {
+		if p.dead[i] {
+			continue
+		}
 		w := p.workers[i]
 		for w.NumVars() < m.NumVars() {
 			w.NewVar()
@@ -195,11 +211,25 @@ func (p *Pool) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	statuses := make([]Status, len(p.workers))
+	panics := make([]any, len(p.workers))
 	var wg sync.WaitGroup
 	for i := range p.workers {
+		if p.dead[i] {
+			continue // a clone that panicked earlier stays benched
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// A panicking worker must not kill the process: its verdict
+			// stays Unknown and the peers keep searching — a portfolio
+			// member crashing is a narrower portfolio, not a failed solve.
+			defer func() {
+				if r := recover(); r != nil {
+					panics[i] = r
+					p.panicked.Add(1)
+				}
+			}()
+			_ = faultinject.Hit(fmt.Sprintf("sat.pool.worker.%d", i))
 			st := p.workers[i].SolveContext(cctx, assumptions...)
 			statuses[i] = st
 			if st == Sat || st == Unsat {
@@ -208,6 +238,18 @@ func (p *Pool) SolveContext(ctx context.Context, assumptions ...Lit) Status {
 		}(i)
 	}
 	wg.Wait()
+	for i := 1; i < len(p.workers); i++ {
+		if panics[i] != nil {
+			p.dead[i] = true
+		}
+	}
+	if panics[0] != nil {
+		// The master's trail/arena cannot be trusted after a mid-search
+		// panic, and every query surface reads through it. Repropagate so
+		// the caller's recover boundary (the exact layer) turns the whole
+		// solve into an error instead of silently reusing a corrupt solver.
+		panic(panics[0])
+	}
 
 	winner := -1
 	for i, st := range statuses {
@@ -247,6 +289,22 @@ func (p *Pool) adopt(w *Solver, st Status) {
 			m.unsat = true
 		}
 	}
+}
+
+// Panics reports how many worker panics the pool has contained over its
+// lifetime (including a master panic, which is repropagated after counting).
+func (p *Pool) Panics() uint64 { return p.panicked.Load() }
+
+// DeadWorkers reports how many clones have been benched after panicking
+// mid-solve; the portfolio keeps answering on the survivors.
+func (p *Pool) DeadWorkers() int {
+	n := 0
+	for _, d := range p.dead {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // Value returns the master's model value for v (the winning worker's model

@@ -1,0 +1,79 @@
+package sat
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestPoolClonePanicBenched: a clone panicking mid-solve must cost the
+// portfolio one worker, not the answer or the process — the survivors
+// finish the solve, the panic is counted, and later solves skip the
+// benched clone.
+func TestPoolClonePanicBenched(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 3)
+	s.AddClause(v[0].Pos(), v[1].Pos())
+	p := NewPool(s, 4)
+
+	deactivate := faultinject.Activate(1, faultinject.Plan{
+		"sat.pool.worker.2": {PanicMsg: "chaos: clone dies", Limit: 1},
+	})
+	got := p.Solve()
+	deactivate()
+	if got != Sat {
+		t.Fatalf("solve with a panicking clone = %v, want SAT", got)
+	}
+	if n := p.Panics(); n != 1 {
+		t.Errorf("Panics() = %d, want 1", n)
+	}
+	if n := p.DeadWorkers(); n != 1 {
+		t.Errorf("DeadWorkers() = %d, want 1", n)
+	}
+
+	// The benched clone stays out of later solves; the survivors still
+	// answer correctly under assumptions.
+	if got := p.Solve(v[0].Neg()); got != Sat {
+		t.Fatalf("post-panic solve = %v, want SAT", got)
+	}
+	if !p.Value(v[1]) {
+		t.Error("post-panic model violates the clause under the assumption")
+	}
+	if n := p.DeadWorkers(); n != 1 {
+		t.Errorf("DeadWorkers() after clean solve = %d, want still 1", n)
+	}
+	if n := p.Panics(); n != 1 {
+		t.Errorf("Panics() after clean solve = %d, want still 1", n)
+	}
+}
+
+// TestPoolMasterPanicPropagates: worker 0 IS the master — after a
+// mid-search panic its trail cannot be trusted, so the pool must
+// repropagate rather than answer from a corrupt solver. The exact layer's
+// recover boundary turns this into an error.
+func TestPoolMasterPanicPropagates(t *testing.T) {
+	s := NewSolver()
+	v := newVars(s, 2)
+	s.AddClause(v[0].Pos(), v[1].Pos())
+	p := NewPool(s, 2)
+
+	defer faultinject.Activate(1, faultinject.Plan{
+		"sat.pool.worker.0": {PanicMsg: "chaos: master dies", Limit: 1},
+	})()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("master panic was swallowed; the corrupt master must not be reused")
+		}
+		if !strings.Contains(fmt.Sprint(r), "master dies") {
+			t.Errorf("repropagated panic = %v, want the injected one", r)
+		}
+		if n := p.Panics(); n != 1 {
+			t.Errorf("Panics() = %d, want 1 (master panic counted before repropagation)", n)
+		}
+	}()
+	p.Solve()
+	t.Fatal("unreachable: Solve must repropagate the master panic")
+}

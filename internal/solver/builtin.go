@@ -89,11 +89,17 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		InitialMapping: s.cfg.InitialLayout,
 		Parallel:       s.cfg.Parallel,
 	}
+	if s.cfg.Ladder {
+		// Rung 2 of the degradation ladder: deadline expiry after a model
+		// was found hands back the incumbent instead of erroring.
+		eo.SAT.Anytime = true
+	}
 	var er *exact.Result
 	var cacheHit bool
 	var cacheTier string
+	var degradation string
 	if s.cfg.Portfolio {
-		po := portfolio.Options{Exact: eo, Seed: s.cfg.Seed, Cache: s.cfg.Cache, Store: s.cfg.Store}
+		po := portfolio.Options{Exact: eo, Seed: s.cfg.Seed, Cache: s.cfg.Cache, Store: s.cfg.Store, Ladder: s.cfg.Ladder}
 		switch {
 		case s.cfg.UpperBound > 0:
 			po.UpperBound = s.cfg.UpperBound
@@ -105,9 +111,17 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		if err != nil {
 			return nil, err
 		}
+		if pr.Heuristic != nil {
+			// The ladder bottomed out in its heuristic rung: no exact
+			// result exists, the plan comes from the heuristic mapper.
+			p := heuristicPlan(pr.Heuristic, NameHeuristic, start)
+			p.Degradation = pr.Degradation
+			return p, nil
+		}
 		er = pr.Result
 		cacheHit = pr.CacheHit
 		cacheTier = pr.Tier
+		degradation = pr.Degradation
 	} else {
 		// Direct engine path. An attached persistent store turns it into the
 		// same two-tier lookup the portfolio uses — memory, then disk with
@@ -127,9 +141,23 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		if er == nil {
 			var err error
 			if er, err = exact.Solve(ctx, sk, a, eo); err != nil {
+				if s.cfg.Ladder && portfolio.Exhausted(err) {
+					// Last rung: the descent exhausted without even an
+					// incumbent — build a heuristic plan rather than fail.
+					if h, herr := portfolio.HeuristicFallback(ctx, sk, a, s.cfg.Seed, s.cfg.InitialLayout); herr == nil {
+						p := heuristicPlan(h, NameHeuristic, start)
+						p.Degradation = portfolio.DegradationHeuristic
+						return p, nil
+					}
+				}
 				return nil, err
 			}
-			if cacheable {
+			if er.Degraded {
+				degradation = portfolio.DegradationAnytime
+			}
+			if cacheable && !er.Degraded {
+				// An anytime incumbent is valid but non-minimal: never let
+				// it be read back later as the instance's optimum.
 				tiers.Store(key, er)
 			}
 		}
@@ -160,6 +188,8 @@ func (s exactSolver) Solve(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		OrbitHits:             er.OrbitHits,
 		SATThreads:            er.SATThreads,
 		SharedClauses:         er.SharedClauses,
+		Degradation:           degradation,
+		BoundGap:              er.BoundGap,
 		Runtime:               time.Since(start),
 	}, nil
 }

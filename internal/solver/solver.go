@@ -87,6 +87,16 @@ type Config struct {
 	// skipped). Zero leaves the portfolio's own bounding enabled.
 	// Portfolio mode only.
 	UpperBound int
+	// Ladder enables graceful degradation for the exact family: the SAT
+	// descent runs in anytime mode (a deadline that expires after a model
+	// was found returns that incumbent as a valid non-minimal plan,
+	// Plan.Degradation "anytime" with Plan.BoundGap bracketing the
+	// optimum), and when even that yields nothing on a deadline or
+	// conflict-budget exhaustion, a heuristic fallback plan is built
+	// (Plan.Degradation "heuristic"). With generous deadlines the ladder
+	// never engages and plans are identical to a run without it. Degraded
+	// plans are never cached. Heuristic methods ignore it.
+	Ladder bool
 }
 
 // Plan is the uniform outcome of a Solve call, shared by every method: the
@@ -149,6 +159,14 @@ type Plan struct {
 	// SharedClauses the learnt clauses imported across its workers.
 	SATThreads    int
 	SharedClauses int64
+	// Degradation names the ladder rung that produced the plan when
+	// Config.Ladder degraded the solve: portfolio.DegradationAnytime for
+	// a deadline-truncated descent's incumbent,
+	// portfolio.DegradationHeuristic for the heuristic fallback, "" for a
+	// full solve. BoundGap brackets an anytime plan's distance from the
+	// optimum (the optimum lies in [Cost−BoundGap, Cost]); 0 otherwise.
+	Degradation string
+	BoundGap    int
 	// Runtime is the wall-clock solving time.
 	Runtime time.Duration
 }

@@ -32,6 +32,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // segmentSuffix names segment files: fmt.Sprintf("%08d"+segmentSuffix, id).
@@ -250,6 +252,9 @@ func (s *Store) applyReplay(kind byte, key string, loc recordLoc) {
 // Get returns the value stored under key (a fresh copy) and whether it
 // exists. The record is re-verified against its checksum on every read.
 func (s *Store) Get(key []byte) ([]byte, bool, error) {
+	if err := faultinject.Hit("store.get"); err != nil {
+		return nil, false, fmt.Errorf("store: injected read fault: %w", err)
+	}
 	s.gets.Add(1)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -295,6 +300,9 @@ func (s *Store) Put(key, value []byte) error {
 	}
 	if len(value) > maxValueLen {
 		return fmt.Errorf("store: value length %d exceeds %d", len(value), maxValueLen)
+	}
+	if err := faultinject.Hit("store.put"); err != nil {
+		return fmt.Errorf("store: injected write fault: %w", err)
 	}
 	s.puts.Add(1)
 	s.mu.Lock()

@@ -64,6 +64,8 @@ type Mapper struct {
 	totEncodes   atomic.Uint64
 	totConflicts atomic.Uint64
 	totProbes    atomic.Uint64
+	totDegAny    atomic.Uint64
+	totDegHeur   atomic.Uint64
 	inflight     atomic.Int64
 
 	// Async scheduler: Submit enqueues JobHandles onto a bounded queue
@@ -254,6 +256,18 @@ func WithSATThreads(n int) Option {
 	}
 }
 
+// WithLadder enables the degradation ladder by default for every Map call
+// and job that adopts the instance defaults (Options.Ladder): exhausted
+// exact solves return the best valid plan found — anytime incumbent or
+// heuristic fallback — instead of an error, reported through
+// Stats.Degradation. A no-op under generous deadlines.
+func WithLadder(on bool) Option {
+	return func(c *mapperConfig) error {
+		c.opts.Ladder = on
+		return nil
+	}
+}
+
 // WithCostModel sets the default cost model for every Map call and job
 // that adopts the instance defaults: nil (the default) keeps the paper's
 // uniform 7/4 objective, a model from NewCostModel/ParseCostModel/
@@ -436,6 +450,12 @@ type Totals struct {
 	SATSolves, SATEncodes uint64
 	SATConflicts          uint64
 	BoundProbes           uint64
+	// DegradedAnytime and DegradedHeuristic count successful trips that
+	// the degradation ladder softened (Options.Ladder): anytime
+	// incumbents and heuristic fallback plans respectively. Both are a
+	// strict subset of Maps − Errors.
+	DegradedAnytime   uint64
+	DegradedHeuristic uint64
 }
 
 // Totals returns a snapshot of the mapper's cumulative work counters.
@@ -449,6 +469,9 @@ func (m *Mapper) Totals() Totals {
 		SATEncodes:   m.totEncodes.Load(),
 		SATConflicts: m.totConflicts.Load(),
 		BoundProbes:  m.totProbes.Load(),
+
+		DegradedAnytime:   m.totDegAny.Load(),
+		DegradedHeuristic: m.totDegHeur.Load(),
 	}
 }
 
@@ -470,6 +493,12 @@ func (m *Mapper) recordTotals(res *Result, err error) {
 	m.totEncodes.Add(uint64(res.Stats.SATEncodes))
 	m.totConflicts.Add(uint64(res.Stats.SATConflicts))
 	m.totProbes.Add(uint64(res.Stats.BoundProbes))
+	switch res.Stats.Degradation {
+	case portfolio.DegradationAnytime:
+		m.totDegAny.Add(1)
+	case portfolio.DegradationHeuristic:
+		m.totDegHeur.Add(1)
+	}
 }
 
 // QueueStats is a point-in-time view of the async scheduler and the
@@ -746,8 +775,16 @@ func (m *Mapper) workLoop() {
 	}
 }
 
-// runHandle executes one queued job on a worker.
+// runHandle executes one queued job on a worker. A panic escaping the
+// pipeline's own recover boundary (or the handle bookkeeping) fails the
+// job rather than the worker goroutine: the scheduler must keep draining
+// whatever one poisoned job does.
 func (m *Mapper) runHandle(h *JobHandle) {
+	defer func() {
+		if r := recover(); r != nil {
+			h.finish(nil, fmt.Errorf("qxmap: job panicked: %v", r))
+		}
+	}()
 	// A worker's select may dequeue a job even after Close cancelled
 	// lifeCtx; honor the Close contract (queued jobs fail with
 	// ErrMapperClosed, not a generic cancellation) before starting it.

@@ -90,6 +90,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/exact"
+	"repro/internal/faultinject"
 	"repro/internal/opt"
 	"repro/internal/perm"
 	"repro/internal/sim"
@@ -280,6 +281,18 @@ type Options struct {
 	// and reports Result.Cost under the effective model, and portfolio
 	// cache keys include it, so runs under different models never alias.
 	CostModel *CostModel
+	// Ladder enables graceful degradation for exact methods: a solve cut
+	// off by its context deadline (or SAT conflict budget) returns the
+	// best valid plan discovered instead of an error. The rungs, in
+	// order: the full exact solve; the SAT descent's anytime incumbent —
+	// a valid, verified, non-minimal plan with Stats.Degradation
+	// "anytime" and Stats.BoundGap bracketing the optimum; a heuristic
+	// fallback plan (Stats.Degradation "heuristic") when exhaustion
+	// struck before any model existed. With generous deadlines the ladder
+	// is a strict no-op: costs, probes and encodes are identical to a run
+	// without it. Degraded results never enter the caches. Off by
+	// default; heuristic methods ignore it.
+	Ladder bool
 }
 
 // Stats instruments one trip through the mapping pipeline: a wall-clock
@@ -344,6 +357,13 @@ type Stats struct {
 	// ≤ 1).
 	SATThreads    int
 	SharedClauses int64
+	// Degradation names the ladder rung that produced the plan when
+	// Options.Ladder degraded the solve ("anytime" or "heuristic"; ""
+	// for a full solve), and BoundGap brackets an anytime plan's
+	// distance from the optimum: the true minimum lies in
+	// [Cost−BoundGap, Cost]. Both zero-valued on the happy path.
+	Degradation string
+	BoundGap    int
 }
 
 // Result is the outcome of a Map call.
@@ -434,9 +454,26 @@ func MapContext(ctx context.Context, c *Circuit, a *Architecture, opts Options) 
 func (m *Mapper) mapPipeline(ctx context.Context, c *Circuit, a *Architecture, opts Options) (*Result, error) {
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
-	res, err := m.runPipeline(ctx, c, a, opts)
+	res, err := m.safeRunPipeline(ctx, c, a, opts)
 	m.recordTotals(res, err)
 	return res, err
+}
+
+// safeRunPipeline converts a panic anywhere in the pipeline — a solver
+// bug, a materialization invariant violation — into an ordinary error:
+// one poisoned request fails itself, never the batch worker, the
+// scheduler goroutine, or the process. The faultinject point lets chaos
+// tests drive this boundary (and inject pipeline latency) on demand.
+func (m *Mapper) safeRunPipeline(ctx context.Context, c *Circuit, a *Architecture, opts Options) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("qxmap: mapping panicked: %v", r)
+		}
+	}()
+	if err := faultinject.Hit("qxmap.pipeline"); err != nil {
+		return nil, fmt.Errorf("qxmap: %w", err)
+	}
+	return m.runPipeline(ctx, c, a, opts)
 }
 
 // runPipeline is the pipeline proper, free of instance accounting.
@@ -500,6 +537,8 @@ func (m *Mapper) runPipeline(ctx context.Context, c *Circuit, a *Architecture, o
 	res.Stats.OrbitHits = plan.OrbitHits
 	res.Stats.SATThreads = plan.SATThreads
 	res.Stats.SharedClauses = plan.SharedClauses
+	res.Stats.Degradation = plan.Degradation
+	res.Stats.BoundGap = plan.BoundGap
 	if e, err := ParseEngine(plan.Engine); err == nil {
 		res.Engine = e
 	}
@@ -583,6 +622,7 @@ func (m *Mapper) solvePlan(ctx context.Context, sk *circuit.Skeleton, a *arch.Ar
 		InitialLayout: opts.InitialLayout,
 		Portfolio:     opts.Portfolio,
 		Cache:         m.cache,
+		Ladder:        opts.Ladder,
 	}
 	// The nil check matters: assigning a nil *store.Store into the
 	// interface field would make it non-nil and flip the exact family's
